@@ -1,0 +1,5 @@
+"""Legacy shim: lets `pip install -e . --no-use-pep517` work offline
+(the environment has no `wheel` package and no network access)."""
+from setuptools import setup
+
+setup()

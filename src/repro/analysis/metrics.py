@@ -1,0 +1,37 @@
+"""Derived metrics over :class:`~repro.runtime.results.JobResult`."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.results import JobResult
+
+__all__ = ["mops", "breakdown", "mean_comm", "mean_compute"]
+
+
+def mops(total_flops: float, result: JobResult) -> float:
+    """NPB-style aggregate Mop/s for a completed kernel run."""
+    return total_flops / result.elapsed / 1e6
+
+
+def mean_compute(result: JobResult) -> float:
+    """Mean per-rank computation time (the paper's breakdown numerator)."""
+    return sum(
+        t.get("compute") for t in result.timers.values()
+    ) / len(result.timers)
+
+
+def mean_comm(result: JobResult) -> float:
+    """Mean per-rank communication time (everything except compute)."""
+    return sum(t.comm_total() for t in result.timers.values()) / len(
+        result.timers
+    )
+
+
+def breakdown(result: JobResult) -> dict[str, float]:
+    """Execution-time breakdown (Figure 8 of the paper)."""
+    return {
+        "elapsed": result.elapsed,
+        "compute": mean_compute(result),
+        "comm": mean_comm(result),
+    }

@@ -1,0 +1,53 @@
+"""Plain-text tables for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "Report"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned ASCII table."""
+
+    def cell(x: Any) -> str:
+        if isinstance(x, float):
+            if x == 0:
+                return "0"
+            if abs(x) >= 1000:
+                return f"{x:,.0f}"
+            if abs(x) >= 10:
+                return f"{x:.1f}"
+            return f"{x:.3f}"
+        return str(x)
+
+    grid = [[cell(h) for h in headers]] + [[cell(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in grid) for i in range(len(headers))]
+    lines = []
+    for j, row in enumerate(grid):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if j == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+class Report:
+    """A titled block of text collected by the benchmark harness."""
+
+    def __init__(self, title: str) -> None:
+        self.title = title
+        self.blocks: list[str] = []
+
+    def add(self, text: str) -> "Report":
+        """Append a text block; returns self for chaining."""
+        self.blocks.append(text)
+        return self
+
+    def table(self, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> "Report":
+        """Append an aligned table block; returns self for chaining."""
+        return self.add(format_table(headers, rows))
+
+    def render(self) -> str:
+        """The full report as display-ready text."""
+        bar = "=" * max(len(self.title), 40)
+        return f"\n{bar}\n{self.title}\n{bar}\n" + "\n\n".join(self.blocks) + "\n"

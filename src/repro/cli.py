@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands mirror the workflows of the paper's evaluation:
+
+* ``pingpong`` — latency/bandwidth across devices (Figures 5/6);
+* ``burst`` — the Figure 9 nonblocking burst pattern;
+* ``kernel`` — run one NPB proxy on one device;
+* ``faulty`` — run a kernel under random faults with checkpointing
+  (the Figure 11 setup);
+* ``sched`` — the §4.6.2 checkpoint-scheduling policy comparison.
+
+All output is plain-text tables; everything runs on simulated time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis.metrics import breakdown, mops
+from .analysis.report import format_table
+from .runtime.mpirun import run_job
+from .workloads import nas
+from .workloads.pingpong import measure as pingpong_measure
+from .workloads.synthetic import measure as burst_measure
+
+__all__ = ["main"]
+
+DEVICES = ("p4", "v1", "v2")
+
+
+def _cmd_pingpong(args: argparse.Namespace) -> int:
+    sizes = [int(s) for s in args.sizes.split(",")]
+    rows = []
+    for nbytes in sizes:
+        cells = [nbytes]
+        for dev in args.devices.split(","):
+            m = pingpong_measure(dev, nbytes, reps=args.reps)
+            cells.append(m["latency_us"])
+            cells.append(m["bandwidth_MBps"])
+        rows.append(cells)
+    headers = ["bytes"]
+    for dev in args.devices.split(","):
+        headers += [f"{dev} us", f"{dev} MB/s"]
+    print(format_table(headers, rows))
+    return 0
+
+
+def _cmd_burst(args: argparse.Namespace) -> int:
+    sizes = [int(s) for s in args.sizes.split(",")]
+    rows = []
+    for nbytes in sizes:
+        p4 = burst_measure("p4", nbytes, reps=args.reps)["bandwidth_MBps"]
+        v2 = burst_measure("v2", nbytes, reps=args.reps)["bandwidth_MBps"]
+        rows.append([nbytes, p4, v2, v2 / p4])
+    print(format_table(["bytes", "P4 MB/s", "V2 MB/s", "V2/P4"], rows))
+    return 0
+
+
+def _cmd_kernel(args: argparse.Namespace) -> int:
+    mod = nas.KERNELS[args.name]
+    spec = mod.spec(args.klass)
+    res = run_job(
+        mod.program, args.nprocs, device=args.device,
+        params={"klass": args.klass}, limit=1e8,
+    )
+    b = breakdown(res)
+    print(
+        format_table(
+            ["kernel", "device", "procs", "elapsed s", "compute s",
+             "comm s", "Mop/s"],
+            [[f"{args.name.upper()}-{args.klass}", args.device, args.nprocs,
+              b["elapsed"], b["compute"], b["comm"],
+              mops(spec.total_flops, res)]],
+        )
+    )
+    return 0
+
+
+def _cmd_faulty(args: argparse.Namespace) -> int:
+    from .ft.failure import RandomFaults
+
+    mod = nas.KERNELS[args.name]
+    base = run_job(
+        mod.program, args.nprocs, device="v2",
+        params={"klass": args.klass}, limit=1e8,
+    )
+    interval = base.elapsed / max(1, args.faults + 1)
+    res = run_job(
+        mod.program, args.nprocs, device="v2",
+        params={"klass": args.klass},
+        checkpointing=True, ckpt_policy="random", ckpt_continuous=True,
+        faults=RandomFaults(interval=interval, count=args.faults,
+                            seed=args.seed) if args.faults else None,
+        limit=1e8,
+    )
+    print(
+        format_table(
+            ["kernel", "faults", "reference s", "elapsed s", "slowdown",
+             "restarts", "checkpoints"],
+            [[f"{args.name.upper()}-{args.klass}", args.faults, base.elapsed,
+              res.elapsed, res.elapsed / base.elapsed, res.restarts,
+              res.checkpoints]],
+        )
+    )
+    return 0
+
+
+def _cmd_sched(args: argparse.Namespace) -> int:
+    from .sched import SCHEMES, scheme, simulate
+
+    rows = []
+    for name in sorted(SCHEMES):
+        sc = scheme(name, args.nodes, rate=2e6)
+        rr = simulate(sc, "round_robin", footprint=4e6)
+        ad = simulate(sc, "adaptive", footprint=4e6)
+        rows.append(
+            [name, rr.ckpt_bandwidth / 1e6, ad.ckpt_bandwidth / 1e6,
+             rr.ckpt_bandwidth / ad.ckpt_bandwidth]
+        )
+    print(format_table(["scheme", "RR MB/s", "adaptive MB/s", "RR/AD"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``python -m repro``."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="MPICH-V2 reproduction: run the paper's experiments",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sp = sub.add_parser("pingpong", help="latency/bandwidth (Figures 5/6)")
+    sp.add_argument("--sizes", default="0,1024,65536,1048576")
+    sp.add_argument("--devices", default="p4,v1,v2")
+    sp.add_argument("--reps", type=int, default=8)
+    sp.set_defaults(fn=_cmd_pingpong)
+
+    sp = sub.add_parser("burst", help="nonblocking burst bandwidth (Figure 9)")
+    sp.add_argument("--sizes", default="1024,16384,65536")
+    sp.add_argument("--reps", type=int, default=4)
+    sp.set_defaults(fn=_cmd_burst)
+
+    sp = sub.add_parser("kernel", help="run one NPB proxy")
+    sp.add_argument("name", choices=sorted(nas.KERNELS))
+    sp.add_argument("--class", dest="klass", default="A",
+                    choices=["T", "S", "A", "B", "C"])
+    sp.add_argument("-n", "--nprocs", type=int, default=4)
+    sp.add_argument("--device", default="v2", choices=DEVICES)
+    sp.set_defaults(fn=_cmd_kernel)
+
+    sp = sub.add_parser("faulty", help="kernel under faults (Figure 11 setup)")
+    sp.add_argument("name", choices=sorted(nas.KERNELS))
+    sp.add_argument("--class", dest="klass", default="A",
+                    choices=["T", "S", "A", "B", "C"])
+    sp.add_argument("-n", "--nprocs", type=int, default=4)
+    sp.add_argument("--faults", type=int, default=3)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.set_defaults(fn=_cmd_faulty)
+
+    sp = sub.add_parser("sched", help="checkpoint-scheduling policies (§4.6.2)")
+    sp.add_argument("--nodes", type=int, default=16)
+    sp.set_defaults(fn=_cmd_sched)
+
+    return p
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""The paper's contribution: the MPICH-V2 pessimistic sender-based
+message-logging protocol — clocks, sender log, event logger, the
+daemon/device pair, and the replay engine."""
+
+from .clocks import ClockState, EventRecord
+from .event_logger import EventLoggerServer
+from .replay import CheckpointImage, DeliveryRecord, ReplayState
+from .sender_log import LogOverflow, SavedMessage, SenderLog
+from .v2_device import PeerLink, V2Daemon, V2Device
+
+__all__ = [
+    "ClockState",
+    "EventRecord",
+    "EventLoggerServer",
+    "CheckpointImage",
+    "DeliveryRecord",
+    "ReplayState",
+    "LogOverflow",
+    "SavedMessage",
+    "SenderLog",
+    "PeerLink",
+    "V2Daemon",
+    "V2Device",
+]

@@ -1,0 +1,133 @@
+"""The Event Logger: reliable storage of reception events.
+
+"The event logger is a repository executed on a reliable component of the
+system. It stores and delivers dependency information about messages
+exchanged by the computing nodes." (Section 4.5)
+
+Each computing-node daemon holds one stream to its event logger and
+
+* pushes reception events asynchronously (~20 bytes each on the wire);
+* receives acknowledgements — the daemon may not emit application
+  messages while events are unacknowledged (the pessimistic gate);
+* on restart, downloads every event with receiver-clock greater than its
+  checkpoint clock (``DownloadEL`` of Appendix A);
+* after a completed checkpoint, asks the logger to prune old events.
+
+Several event loggers can serve one system (each daemon connects to
+exactly one); they never communicate with each other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..runtime.config import TestbedConfig
+from ..runtime.fabric import Acceptor, Fabric
+from ..simnet.kernel import Simulator
+from ..simnet.node import Host
+from ..simnet.streams import Disconnected, StreamEnd
+from ..simnet.trace import Tracer
+from .clocks import EventRecord
+
+__all__ = ["EventLoggerServer"]
+
+
+class EventLoggerServer:
+    """One event-logger service instance."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        fabric: Fabric,
+        cfg: TestbedConfig,
+        name: str = "el:0",
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.fabric = fabric
+        self.cfg = cfg
+        self.name = name
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        # rank -> {rclock -> EventRecord}; survives daemon incarnations
+        self.events: dict[int, dict[int, EventRecord]] = {}
+        self.acks_sent = 0
+        self.events_stored = 0
+        self._cpu_free = 0.0  # host-CPU serialization across connections
+        self._acceptor: Optional[Acceptor] = None
+
+    def start(self) -> None:
+        """Register the listener and start accepting daemons."""
+        self._acceptor = self.fabric.listen(self.name, self.host)
+        p = self.sim.spawn(self._accept_loop(), name=f"{self.name}.accept")
+        self.host.register(p)
+
+    # -- server loops ------------------------------------------------------
+    def _accept_loop(self):
+        assert self._acceptor is not None
+        while True:
+            end, hello = yield self._acceptor.accept()
+            p = self.sim.spawn(
+                self._serve(end, hello), name=f"{self.name}.serve({hello})",
+                supervised=True,
+            )
+            self.host.register(p)
+
+    def _serve(self, end: StreamEnd, hello: Any):
+        while True:
+            try:
+                _, msg = yield end.read()
+            except Disconnected:
+                return  # daemon died; its replacement will reconnect
+            kind = msg[0]
+            if kind == "EVENT":
+                _, rank, records = msg
+                # the event logger runs on an auxiliary PIII: storing and
+                # acknowledging events costs real CPU there, serialized
+                # across every daemon it serves (a contention point that
+                # grows with the computing-node count)
+                cost = self.cfg.el_cpu_per_event * len(records)
+                begin = max(self.sim.now, self._cpu_free)
+                self._cpu_free = begin + cost
+                yield self.sim.timeout(self._cpu_free - self.sim.now)
+                store = self.events.setdefault(rank, {})
+                for rec in records:
+                    if rec.rclock not in store:
+                        store[rec.rclock] = rec
+                        self.events_stored += 1
+                self.acks_sent += 1
+                self.tracer.emit(
+                    self.sim.now, "el.store", rank=rank, n=len(records)
+                )
+                yield from end.write(
+                    self.cfg.event_ack_bytes, ("ACK", len(records))
+                )
+            elif kind == "DOWNLOAD":
+                _, rank, after_clock = msg
+                store = self.events.get(rank, {})
+                records = sorted(
+                    rec for rc, rec in store.items() if rc > after_clock
+                )
+                nbytes = self.cfg.event_bytes * max(1, len(records))
+                self.tracer.emit(
+                    self.sim.now, "el.download", rank=rank, n=len(records)
+                )
+                yield from end.write(nbytes, ("EVENTS", records))
+            elif kind == "PRUNE":
+                _, rank, upto_clock = msg
+                store = self.events.get(rank, {})
+                for rc in [rc for rc in store if rc <= upto_clock]:
+                    del store[rc]
+            else:  # pragma: no cover
+                raise RuntimeError(f"event logger got {kind!r}")
+
+    # -- test/diagnostic helpers ---------------------------------------------
+    def records_for(self, rank: int) -> list[EventRecord]:
+        """All stored events for ``rank``, in receive order."""
+        return sorted(self.events.get(rank, {}).values())
+
+    def high_water(self, rank: int) -> int:
+        """Highest stored receive-sequence for ``rank`` (0 if none)."""
+        store = self.events.get(rank, {})
+        return max(store) if store else 0

@@ -1,0 +1,195 @@
+"""Re-execution state: checkpoint images, fast-forward and forced replay.
+
+Restart of a V2 computing node has three phases (Figure 2 of the paper):
+
+A. retrieve the logged reception events from the event logger (and the
+   latest checkpoint image from the checkpoint server, if any);
+B. ask every other process to re-send old messages (RESTART1/RESTART2);
+C. re-execute, delivering replayed receptions in the logged order and
+   discarding duplicates, until the crash point is passed.
+
+Because Python generator state cannot be snapshotted like a Condor
+process image, a checkpoint here stores the *replay position* instead:
+the API-operation index, the clock state, the SAVED set, and the log of
+deliveries made so far (payload included).  Restoring an image re-runs
+the program in **fast-forward**: pre-checkpoint receives are fed from the
+recorded delivery log and pre-checkpoint compute segments cost zero
+simulated time (the image-load substitution documented in DESIGN.md);
+the image *transfer* from the checkpoint server is charged for real.
+After the fast-forward boundary, re-execution proceeds through the real
+protocol, driven by the event-logger records via :class:`ReplayState`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..mpi.datatypes import Envelope
+from .clocks import ClockState, EventRecord
+
+__all__ = ["DeliveryRecord", "CheckpointImage", "ReplayState"]
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One application-level delivery (mirror of the logged event + data)."""
+
+    src: int
+    sclock: int
+    rclock: int
+    probes: int
+    nbytes: int
+    tag: int
+    context: int
+    data: Any = None
+
+    def to_envelope(self, dst: int) -> Envelope:
+        """Rebuild the message envelope for re-delivery to ``dst``."""
+        return Envelope(
+            src=self.src,
+            dst=dst,
+            tag=self.tag,
+            context=self.context,
+            nbytes=self.nbytes,
+            sclock=self.sclock,
+            data=self.data,
+        )
+
+
+@dataclass
+class CheckpointImage:
+    """Everything a restarted node needs to resume from a checkpoint."""
+
+    rank: int
+    seq: int  # checkpoint ordinal for this rank
+    op_count: int  # API-operation index at the capture point
+    clock: ClockState
+    saved: list[tuple[int, int, Any]]  # SenderLog.snapshot()
+    delivery_log: list[DeliveryRecord]
+    app_footprint: int
+
+    @property
+    def image_bytes(self) -> int:
+        """Transfer size: process image + serialized daemon message data."""
+        saved_bytes = sum(env.nbytes for _, _, env in self.saved)
+        return self.app_footprint + saved_bytes + 4096
+
+
+class ReplayState:
+    """Drives one re-execution (phases A-C) for a restarted node."""
+
+    def __init__(
+        self,
+        image: Optional[CheckpointImage],
+        events: list[EventRecord],
+    ) -> None:
+        self.image = image
+        self.ff_target_ops = image.op_count if image else 0
+        self.ff_deliveries: deque[DeliveryRecord] = deque(
+            image.delivery_log if image else ()
+        )
+        base_clock = image.clock.recv_seq if image else 0
+        self.events: deque[EventRecord] = deque(
+            sorted(e for e in events if e.rclock > base_clock)
+        )
+        # deliveries at or below this receiver clock are already logged on
+        # the EL: do not re-log (and do not gate sends on) them
+        self.log_resume_clock = max(
+            [base_clock] + [e.rclock for e in self.events]
+        )
+        # packets that arrived but are not yet due for delivery
+        self.holdback: dict[int, deque[Any]] = {}
+        self._ff_probe_budget: Optional[int] = None
+        self._replay_probe_budget: Optional[int] = None
+
+    # -- phase boundaries ---------------------------------------------------
+    def fast_forward(self, op_index: int) -> bool:
+        """Is the re-execution still inside the checkpointed prefix?"""
+        return op_index < self.ff_target_ops
+
+    def replaying(self) -> bool:
+        """Are logged events still waiting to be replayed?"""
+        return bool(self.events)
+
+    def active(self, op_index: int) -> bool:
+        """Is any phase of the re-execution still in progress?"""
+        return self.fast_forward(op_index) or self.replaying()
+
+    # -- fast-forward deliveries ------------------------------------------------
+    def next_ff_delivery(self) -> Optional[DeliveryRecord]:
+        """Pop the next recorded delivery of the fast-forward phase."""
+        if not self.ff_deliveries:
+            return None
+        self._ff_probe_budget = None
+        return self.ff_deliveries.popleft()
+
+    def ff_probe(self) -> bool:
+        """Forced iprobe result during fast-forward: False exactly as often
+        as the original execution saw unsuccessful probes."""
+        if not self.ff_deliveries:
+            return False
+        if self._ff_probe_budget is None:
+            self._ff_probe_budget = self.ff_deliveries[0].probes
+        if self._ff_probe_budget > 0:
+            self._ff_probe_budget -= 1
+            return False
+        return True
+
+    # -- event-driven replay --------------------------------------------------
+    def expected(self) -> Optional[EventRecord]:
+        """The next event the replay is waiting for, if any."""
+        return self.events[0] if self.events else None
+
+    def offer_packet(self, pkt: Any) -> list[Any]:
+        """An application packet arrived during replay.
+
+        Returns the (possibly empty) list of packets now releasable to the
+        MPI process, in forced order.  Packets not yet due are held back;
+        the caller must drop duplicates before offering.
+        """
+        q = self.holdback.setdefault(pkt.env.src, deque())
+        if any(p.env.sclock == pkt.env.sclock for p in q):
+            return self.drain_releasable()  # duplicate already held
+        q.append(pkt)
+        return self.drain_releasable()
+
+    def drain_releasable(self) -> list[Any]:
+        """Release every held packet now admitted by the event order."""
+        released: list[Any] = []
+        while self.events:
+            head = self.events[0]
+            q = self.holdback.get(head.src)
+            due = None
+            if q:
+                # normally the due message is at the queue head (per-sender
+                # FIFO), but scan defensively: recovery races could park a
+                # later message in front
+                for i, p in enumerate(q):
+                    if p.env.sclock == head.sclock:
+                        due = i
+                        break
+            if due is None:
+                break  # the due message has not arrived yet
+            released.append(q[due])
+            del q[due]
+            self.events.popleft()
+            self._replay_probe_budget = None
+        if not self.events:
+            # replay finished: everything still held is post-crash traffic
+            for q in self.holdback.values():
+                released.extend(q)
+                q.clear()
+        return released
+
+    def replay_probe(self) -> Optional[bool]:
+        """Forced iprobe result during event replay (None = no opinion)."""
+        if not self.events:
+            return None
+        if self._replay_probe_budget is None:
+            self._replay_probe_budget = self.events[0].probes
+        if self._replay_probe_budget > 0:
+            self._replay_probe_budget -= 1
+            return False
+        return None  # due probe should succeed: let the normal path run

@@ -1,0 +1,26 @@
+"""Channel devices: the MPICH-P4 baseline and the MPICH-V1
+Channel-Memory logger.  (The MPICH-V2 device lives in ``repro.core``.)
+
+``V1Device``/``ChannelMemory`` are exposed lazily: the V1 module also
+hosts its job launcher, which pulls in the runtime.
+"""
+
+from .base import ChannelDevice, DeviceStats, segment_sizes
+from .p4 import P4Device
+
+__all__ = [
+    "ChannelDevice",
+    "DeviceStats",
+    "segment_sizes",
+    "P4Device",
+    "ChannelMemory",
+    "V1Device",
+]
+
+
+def __getattr__(name):
+    if name in ("ChannelMemory", "V1Device"):
+        from . import v1
+
+        return getattr(v1, name)
+    raise AttributeError(name)

@@ -1,0 +1,100 @@
+"""The MPICH-P4 baseline device.
+
+The reference TCP/IP channel: every computing node holds a direct stream
+to every other node and the MPI process performs its own socket I/O.  Two
+behaviours matter for the paper's results and are modelled explicitly:
+
+* the payload of an eager message is pushed *inside* the MPI_(I)send call
+  (the MPI process blocks on the socket) — this is where P4's 44.9 s of
+  `MPI_(I)send` time in Table 1 comes from;
+* the driver does not service incoming traffic while pushing a message:
+  P4 computing nodes are built with half-duplex endpoints, so
+  simultaneous bidirectional transfers serialize — the reason MPICH-V2
+  reaches twice P4's bandwidth on the Figure 9 pattern.  To preserve
+  liveness, a window-blocked send drains arrived segments before waiting
+  (the select() fallback of the real implementation).
+
+P4 has no fault tolerance: a broken stream surfaces as an exception in
+the MPI process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..mpi.protocol import Packet, PacketKind
+from ..simnet.kernel import Future, any_of
+from ..simnet.streams import StreamEnd
+from .base import ChannelDevice, segment_sizes
+
+__all__ = ["P4Device"]
+
+
+class P4Device(ChannelDevice):
+    """Direct-stream device; the non-fault-tolerant baseline."""
+
+    def __init__(self, *args: Any, **kw: Any) -> None:
+        super().__init__(*args, **kw)
+        self.ends: dict[int, StreamEnd] = {}
+
+    def wire(self, ends: dict[int, StreamEnd]) -> None:
+        """Attach the pre-established streams (rank -> local endpoint)."""
+        self.ends = dict(ends)
+        self._by_end = {id(e): r for r, e in self.ends.items()}
+
+    # -- sending -----------------------------------------------------------
+    def pibsend(self, dst: int, pkt: Packet) -> Generator[Future, Any, bool]:
+        """Push the packet straight into the peer's stream (may block)."""
+        self.stamp(pkt.env)
+        # the MPI process performs the socket write itself: the syscall and
+        # kernel copy are charged to the calling MPI function (this is the
+        # MPI_(I)send cost of Table 1, absent on V2 where a daemon writes)
+        yield self.sim.timeout(self.cfg.p4_send_cpu)
+        end = self.ends[dst]
+        total = pkt.payload_bytes + self.cfg.packet_header_bytes
+        sizes = segment_sizes(total, self.cfg.chunk_bytes)
+        last = len(sizes) - 1
+        # eager payload pushes happen inside MPI_(I)send, where the P4
+        # driver does not service its receive side: mark them bulk so a
+        # half-duplex endpoint serializes them against reception.
+        # Rendezvous DATA is pumped inside a wait, where the driver's
+        # select loop interleaves both directions.
+        bulk = pkt.kind in (PacketKind.SHORT, PacketKind.EAGER)
+        for i, nbytes in enumerate(sizes):
+            payload = pkt if i == last else None
+            while not end.write_nowait(nbytes, payload, bulk=bulk):
+                # window full: fall back to the select loop — drain what has
+                # arrived, then sleep until credit or traffic shows up
+                self._pump_ready()
+                if end.write_nowait(nbytes, payload):
+                    break
+                waits = [end.when_writable(nbytes)]
+                waits += [e.when_readable() for e in self.ends.values() if not e.readable]
+                yield any_of(self.sim, waits)
+        self.stats.bytes_sent += pkt.payload_bytes
+        self.stats.msgs_sent += 1
+        return True
+
+    def try_send_now(self, dst: int, pkt: Packet) -> bool:
+        """Single-chunk nonblocking write if the window allows."""
+        total = pkt.payload_bytes + self.cfg.packet_header_bytes
+        if total > self.cfg.chunk_bytes:
+            return False
+        return self.ends[dst].write_nowait(total, pkt)
+
+    # -- receiving ----------------------------------------------------------
+    def _pump_ready(self) -> None:
+        for rank, end in self.ends.items():
+            while True:
+                ok, _nbytes, payload = end.try_read()
+                if not ok:
+                    break
+                if payload is not None:
+                    self._note_received(payload)
+                    self.inbox.put((rank, payload))
+
+    def _wait_for_traffic(self) -> Generator[Future, Any, None]:
+        waits = [e.when_readable() for e in self.ends.values()]
+        if not waits:
+            raise RuntimeError("P4 device has no peers wired")
+        yield any_of(self.sim, waits)

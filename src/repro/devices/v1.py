@@ -1,0 +1,395 @@
+"""The MPICH-V1 baseline: Channel-Memory-based pessimistic logging.
+
+MPICH-V1 (the paper's first protocol, SC'02) associates every computing
+node with a reliable **Channel Memory** (CM): "Every communication sent
+to a process is stored and ordered on its associated Channel Memory. To
+receive a message, a process sends a request to its associated Channel
+Memory."  Every payload therefore crosses the network twice through the
+CM's NIC, store-and-forward at message granularity — which is why V1's
+bandwidth is about half of P4's and why it needs many reliable nodes
+(the paper uses one CM per 4 computing nodes: 9 reliable nodes for 32
+CNs, versus 1 for MPICH-V2).
+
+Recovery is trivially uncoordinated: the CM keeps the full ordered
+reception log, so a restarted process simply replays its receive stream
+from the CM (no sender cooperation needed).  This module implements the
+CM server, the V1 channel device, and a V1 job launcher with optional
+fault injection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..mpi.api import MPI
+from ..mpi.protocol import Packet, PacketKind
+from ..runtime.cluster import Cluster
+from ..runtime.config import DEFAULT_TESTBED, TestbedConfig
+from ..runtime.fabric import Fabric
+from ..runtime.mpirun import rank_main
+from ..runtime.results import JobResult
+from ..simnet.kernel import Future, Killed, Simulator, all_of
+from ..simnet.node import Host
+from ..simnet.streams import Disconnected, StreamEnd
+from ..simnet.trace import Tracer
+from .base import ChannelDevice, segment_sizes
+
+__all__ = ["ChannelMemory", "V1Device", "run_v1_job"]
+
+
+class ChannelMemory:
+    """One reliable Channel Memory node serving a group of computing nodes.
+
+    Stores every message addressed to its associated receivers, in
+    arrival order, and serves them one per GET request.  The permanent
+    log survives receiver crashes; a restarted receiver's GET cursor
+    restarts from zero (or from its checkpoint position) and replays the
+    stored stream in the original order.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        fabric: Fabric,
+        cfg: TestbedConfig,
+        name: str,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.fabric = fabric
+        self.cfg = cfg
+        self.name = name
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        # per destination rank: the full ordered reception log
+        self.log: dict[int, list[Packet]] = {}
+        # per destination rank: message ids already stored (re-executed
+        # senders re-emit their history; the CM is the dedup point)
+        self.seen: dict[int, set] = {}
+        # per destination rank: cursor of the next message to serve
+        self.cursor: dict[int, int] = {}
+        # pending GET requests per rank (stream to answer on)
+        self._waiting: dict[int, StreamEnd] = {}
+        self.stores = 0
+        self.serves = 0
+
+    def start(self) -> None:
+        """Register the CM's listener and start serving connections."""
+        acceptor = self.fabric.listen(self.name, self.host)
+
+        def accept_loop():
+            while True:
+                end, hello = yield acceptor.accept()
+                p = self.sim.spawn(
+                    self._serve(end), name=f"{self.name}.serve", supervised=True
+                )
+                self.host.register(p)
+
+        self.host.register(self.sim.spawn(accept_loop(), name=f"{self.name}.accept"))
+
+    def _serve(self, end: StreamEnd):
+        while True:
+            try:
+                _, msg = yield end.read()
+            except Disconnected:
+                return
+            if msg is None:
+                continue  # mid-packet chunk
+            if isinstance(msg, Packet):
+                # STORE: a message for one of our receivers
+                dst = msg.env.dst
+                yield self.sim.timeout(self.cfg.cm_store_cpu)
+                ids = self.seen.setdefault(dst, set())
+                if msg.env.msgid in ids:
+                    yield from self._maybe_serve(dst)
+                    continue  # duplicate from a re-executing sender
+                ids.add(msg.env.msgid)
+                self.log.setdefault(dst, []).append(msg)
+                self.stores += 1
+                yield from self._maybe_serve(dst)
+            elif msg[0] == "GET":
+                # replies go back on the same stream the request came in on
+                self._waiting[msg[1]] = end
+                yield from self._maybe_serve(msg[1])
+            elif msg[0] == "RESET":
+                # a restarted receiver replays from its checkpoint cursor
+                self.cursor[msg[1]] = msg[2]
+            elif msg[0] == "PROBE":
+                rank = msg[1]
+                pending = self.cursor.get(rank, 0) < len(self.log.get(rank, ()))
+                yield from end.write(16, ("PROBE_R", pending))
+            else:  # pragma: no cover
+                raise RuntimeError(f"channel memory got {msg[0]!r}")
+
+    def _maybe_serve(self, rank: int) -> Generator[Future, Any, None]:
+        end = self._waiting.get(rank)
+        if end is None:
+            return
+        cur = self.cursor.get(rank, 0)
+        msgs = self.log.get(rank, ())
+        if cur >= len(msgs):
+            return
+        pkt = msgs[cur]
+        self.cursor[rank] = cur + 1
+        del self._waiting[rank]
+        self.serves += 1
+        total = pkt.payload_bytes + self.cfg.packet_header_bytes
+        sizes = segment_sizes(total, self.cfg.chunk_bytes)
+        try:
+            for nbytes in sizes[:-1]:
+                yield from end.write(nbytes, None)
+            yield from end.write(sizes[-1], pkt)
+        except Disconnected:
+            # the receiver crashed mid-delivery: rewind so its replacement
+            # replays this message too
+            self.cursor[rank] = cur
+            self._waiting.pop(rank, None)
+
+
+class V1Device(ChannelDevice):
+    """The V1 channel: all traffic through the receiver's Channel Memory."""
+
+    #: the CM buffers everything reliably, so the rendezvous protocol is
+    #: pointless: every message ships eagerly to the CM
+    eager_override = True
+
+    def __init__(self, *args: Any, cm_of=None, incarnation: int = 0, **kw: Any) -> None:
+        super().__init__(*args, **kw)
+        self.cm_of = cm_of or {}  # rank -> CM service name
+        self.incarnation = incarnation
+        self._cm_ends: dict[str, StreamEnd] = {}  # CM name -> stream (for sends)
+        self._own_end: Optional[StreamEnd] = None  # stream to our own CM
+        self._get_outstanding = False
+        self.fabric: Optional[Fabric] = None
+        self.replay_cursor = 0  # messages consumed (checkpointing hook)
+
+    def wire(self, fabric: Fabric) -> None:
+        """Attach the connection fabric (done by the launcher)."""
+        self.fabric = fabric
+
+    def piinit(self) -> Generator[Future, Any, None]:
+        self._own_end = self.fabric.connect(
+            self.host, self.cm_of[self.rank], hello=("CN", self.rank)
+        )
+        if self.incarnation > 0:
+            # uncoordinated restart: replay the reception stream from the
+            # beginning -- "a process re-execution is independent of the
+            # other processes of the system" (Section 3.2)
+            yield from self._own_end.write(16, ("RESET", self.rank, 0))
+        yield self.sim.timeout(0.0)
+
+    def _end_for(self, dst: int) -> StreamEnd:
+        cm = self.cm_of[dst]
+        end = self._cm_ends.get(cm)
+        if end is None or end.broken is not None:
+            end = self.fabric.connect(self.host, cm, hello=("CN", self.rank))
+            self._cm_ends[cm] = end
+        return end
+
+    # -- sending: store on the receiver's CM ------------------------------------
+    def pibsend(self, dst: int, pkt: Packet) -> Generator[Future, Any, bool]:
+        """Store the message on the *receiver's* Channel Memory."""
+        self.stamp(pkt.env)
+        end = self._end_for(dst)
+        total = pkt.payload_bytes + self.cfg.packet_header_bytes
+        sizes = segment_sizes(total, self.cfg.chunk_bytes)
+        last = len(sizes) - 1
+        for i, nbytes in enumerate(sizes):
+            yield from end.write(nbytes, pkt if i == last else None)
+        self.stats.bytes_sent += pkt.payload_bytes
+        self.stats.msgs_sent += 1
+        return True
+
+    def try_send_now(self, dst: int, pkt: Packet) -> bool:
+        """V1 has no small control replies to push."""
+        # V1 never sends CTS (eager_override): nothing small to push
+        return False
+
+    # -- receiving: pull from our own CM ------------------------------------------
+    def pibrecv(self) -> Generator[Future, Any, tuple[int, Packet]]:
+        """Pull the next stored message from our Channel Memory."""
+        if not self._get_outstanding:
+            yield from self._own_end.write(
+                self.cfg.cm_request_bytes, ("GET", self.rank)
+            )
+            self._get_outstanding = True
+        while True:
+            _, payload = yield self._own_end.read()
+            if payload is None:
+                continue
+            if isinstance(payload, Packet):
+                self._get_outstanding = False
+                self.replay_cursor += 1
+                self._note_received(payload)
+                self._last_from = payload.env.src
+                return payload.env.src, payload
+            # a stale PROBE_R reply: ignore
+            if payload[0] != "PROBE_R":  # pragma: no cover
+                raise RuntimeError(f"unexpected CM reply {payload[0]!r}")
+
+    def poll(self) -> list[tuple[int, Packet]]:
+        """Drain already-arrived CM replies without blocking."""
+        out = []
+        while True:
+            ok, _n, payload = self._own_end.try_read()
+            if not ok:
+                break
+            if isinstance(payload, Packet):
+                self._get_outstanding = False
+                self.replay_cursor += 1
+                self._note_received(payload)
+                self._last_from = payload.env.src
+                out.append((payload.env.src, payload))
+        return out
+
+    def pinprobe(self) -> bool:
+        # a non-blocking probe cannot see messages still parked on the CM;
+        # blocking probes work (they pump pibrecv).  The paper's V1 numbers
+        # (Figures 5, 6, 8) never exercise MPI_Iprobe.
+        return False
+
+    def _wait_for_traffic(self) -> Generator[Future, Any, None]:
+        yield self._own_end.when_readable()
+
+
+def run_v1_job(
+    program,
+    nprocs: int,
+    cfg: TestbedConfig,
+    params: dict[str, Any],
+    trace: bool,
+    seed: int,
+    limit: Optional[float],
+    *,
+    cns_per_cm: int = 4,
+    faults: Optional[Any] = None,
+) -> JobResult:
+    """Run a job on MPICH-V1: one reliable CM per ``cns_per_cm`` nodes.
+
+    Fault tolerance is V1's own: a crashed rank restarts from the
+    beginning and replays its reception stream from its Channel Memory,
+    with no cooperation from any other process (uncoordinated restart).
+    Checkpoint images are not modelled for V1 (restart is always from
+    scratch, the paper's Figure 10-style configuration).
+    """
+    cluster = Cluster(cfg, seed=seed, trace=trace)
+    sim = cluster.sim
+    fabric = Fabric(cluster)
+
+    n_cm = max(1, (nprocs + cns_per_cm - 1) // cns_per_cm)
+    cms = []
+    cm_of: dict[int, str] = {}
+    for i in range(n_cm):
+        host = cluster.add_aux(f"cm{i}")
+        cm = ChannelMemory(sim, host, fabric, cfg, name=f"cm:{i}", tracer=cluster.tracer)
+        cm.start()
+        cms.append(cm)
+    for r in range(nprocs):
+        cm_of[r] = f"cm:{r // cns_per_cm}"
+
+    hosts = [cluster.add_cn(f"cn{r}") for r in range(nprocs)]
+
+    class RankSlot:
+        def __init__(self, rank: int) -> None:
+            self.rank = rank
+            self.incarnation = -1
+            self.device: Optional[V1Device] = None
+            self.mpi: Optional[MPI] = None
+            self.finished = False
+            self.result: Any = None
+            self.finish_time = 0.0
+            self.restarts = 0
+
+    slots = [RankSlot(r) for r in range(nprocs)]
+    done = sim.future("v1.job.done")
+    total_restarts = [0]
+
+    def spawn_rank(rank: int) -> None:
+        slot = slots[rank]
+        slot.incarnation += 1
+        inc = slot.incarnation
+        host = hosts[rank]
+        dev = V1Device(
+            sim, cfg, rank, nprocs, host, tracer=cluster.tracer,
+            cm_of=cm_of, incarnation=inc,
+        )
+        dev.wire(fabric)
+        mpi = MPI(sim, rank, nprocs, dev, tracer=cluster.tracer)
+        slot.device, slot.mpi = dev, mpi
+        p = sim.spawn(
+            rank_main(mpi, program, params), name=f"rank{rank}.i{inc}",
+            supervised=True,
+        )
+        host.register(p)
+
+        def finished(fut, r=rank, i=inc):
+            slot2 = slots[r]
+            if slot2.incarnation != i:
+                return
+            exc = fut.exception
+            if exc is None:
+                slot2.finish_time, slot2.result = fut.value
+                slot2.finished = True
+                if all(sl.finished for sl in slots):
+                    done.resolve_if_pending([sl.result for sl in slots])
+                return
+            if isinstance(exc, Killed):
+                return  # host crash: restart below
+            done.fail_if_pending(exc)
+
+        p.done.add_done_callback(finished)
+
+        def crashed(h, r=rank, i=inc):
+            slot2 = slots[r]
+            if slot2.incarnation != i or done.done:
+                return
+
+            def restart():
+                yield sim.timeout(
+                    cfg.restart_detect_delay + cfg.restart_spawn_delay
+                )
+                if done.done or slots[r].incarnation != i:
+                    return
+                if hosts[r].failed:
+                    hosts[r].restart()
+                slots[r].restarts += 1
+                total_restarts[0] += 1
+                spawn_rank(r)
+
+            sim.spawn(restart(), name=f"v1.restart{r}")
+
+        host.on_crash.append(crashed)
+
+    for r in range(nprocs):
+        spawn_rank(r)
+
+    if faults is not None:
+        from ..ft.failure import FaultContext
+
+        ctx = FaultContext(
+            sim=sim,
+            alive_unfinished=lambda: [
+                s_.rank for s_ in slots
+                if not s_.finished and not hosts[s_.rank].failed
+            ],
+            kill=lambda r: (
+                False if hosts[r].failed or done.done or slots[r].finished
+                else (hosts[r].crash() or True)
+            ),
+            job_running=lambda: not done.done,
+        )
+        sim.spawn(faults.driver(ctx), name="v1.fault-injector")
+
+    results = sim.run_until(done, limit=limit)
+    return JobResult(
+        nprocs=nprocs,
+        device="v1",
+        elapsed=max(s_.finish_time for s_ in slots),
+        results=results,
+        timers={r: slots[r].mpi.timer for r in range(nprocs)},
+        tracer=cluster.tracer,
+        stats={r: slots[r].device.stats.snapshot() for r in range(nprocs)},
+        restarts=total_restarts[0],
+        extras={"channel_memories": cms},
+    )

@@ -1,0 +1,18 @@
+"""The fault-tolerance runtime: dispatcher, checkpoint server and
+scheduler, failure injection."""
+
+from .ckpt_scheduler import POLICIES, CheckpointScheduler
+from .ckpt_server import CheckpointServer
+from .dispatcher import Dispatcher, run_v2_job
+from .failure import ExplicitFaults, FaultContext, RandomFaults
+
+__all__ = [
+    "POLICIES",
+    "CheckpointScheduler",
+    "CheckpointServer",
+    "Dispatcher",
+    "run_v2_job",
+    "ExplicitFaults",
+    "FaultContext",
+    "RandomFaults",
+]

@@ -1,0 +1,174 @@
+"""The Checkpoint Scheduler (Section 4.6.2).
+
+"The role of the checkpoint scheduler is to evaluate the cost and the
+benefit of a checkpoint, at any specific time, and to order the
+checkpoints accordingly."  Checkpoints need no coordination — scheduling
+exists purely to bound the memory held by the sender-based logs and the
+bandwidth consumed by image transfers.
+
+Three policies are implemented:
+
+* **round_robin** — the paper's baseline: no status traffic, fair only
+  for symmetric communication schemes;
+* **adaptive** — orders nodes by decreasing ratio of received-over-sent
+  bytes ("considering the ratio amount of received messages over amount
+  of sent messages for each computing node"); asymmetric schemes get
+  their heavy loggers checkpointed (and garbage-collected) first;
+* **random** — the policy used in the Figure 11 fault experiment ("We
+  use a scheduling policy randomly selecting the node to checkpoint").
+
+The scheduler runs in two modes: *periodic* (order one checkpoint every
+``interval``) and *continuous* ("the checkpoint of a node immediately
+follows the one of another node", the Figure 11 setup).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..runtime.config import TestbedConfig
+from ..runtime.fabric import Fabric
+from ..simnet.kernel import Queue, Simulator, any_of
+from ..simnet.node import Host
+from ..simnet.streams import Disconnected, StreamEnd
+from ..simnet.trace import Tracer
+
+__all__ = ["CheckpointScheduler", "POLICIES"]
+
+POLICIES = ("round_robin", "adaptive", "random")
+
+
+class CheckpointScheduler:
+    """The checkpoint-ordering service."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        fabric: Fabric,
+        cfg: TestbedConfig,
+        nprocs: int,
+        policy: str = "round_robin",
+        interval: float = 30.0,
+        continuous: bool = False,
+        name: str = "sched:0",
+        rng: Optional[np.random.Generator] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; pick from {POLICIES}")
+        self.sim = sim
+        self.host = host
+        self.fabric = fabric
+        self.cfg = cfg
+        self.nprocs = nprocs
+        self.policy = policy
+        self.interval = interval
+        self.continuous = continuous
+        self.name = name
+        self.rng = rng or np.random.default_rng(0)
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.links: dict[int, StreamEnd] = {}
+        self.status: dict[int, dict[str, Any]] = {}
+        self._rr_next = 0
+        self._done_q: Queue = Queue(sim, name="sched.done")
+        self.orders_issued = 0
+
+    def start(self) -> None:
+        """Register the listener and start the scheduling loop."""
+        acceptor = self.fabric.listen(self.name, self.host)
+
+        def accept_loop():
+            while True:
+                end, hello = yield acceptor.accept()
+                _, rank, inc = hello
+                self.links[rank] = end
+                p = self.sim.spawn(
+                    self._reader(rank, end), name=f"sched.rx{rank}", supervised=True
+                )
+                self.host.register(p)
+
+        self.host.register(self.sim.spawn(accept_loop(), name="sched.accept"))
+        self.host.register(self.sim.spawn(self._drive(), name="sched.drive"))
+
+    def _reader(self, rank: int, end: StreamEnd):
+        while True:
+            try:
+                _, msg = yield end.read()
+            except Disconnected:
+                if self.links.get(rank) is end:
+                    del self.links[rank]
+                return
+            if msg[0] == "STATUS":
+                self.status[msg[1]] = msg[2]
+            elif msg[0] == "CKPT_DONE":
+                self._done_q.put((msg[1], msg[2]))
+
+    # -- the scheduling loop -------------------------------------------------
+    def _drive(self):
+        # give daemons a moment to connect
+        yield self.sim.timeout(0.05)
+        while True:
+            if not self.continuous:
+                yield self.sim.timeout(self.interval)
+            target = yield from self._pick()
+            if target is None:
+                yield self.sim.timeout(self.interval if not self.continuous else 1.0)
+                continue
+            end = self.links.get(target)
+            if end is None:
+                continue
+            try:
+                yield from end.write(16, ("CKPT_ORDER",))
+            except Disconnected:
+                continue
+            self.orders_issued += 1
+            self.tracer.emit(self.sim.now, "sched.order", rank=target)
+            if self.continuous:
+                # wait for completion (or give up if the node crashed)
+                done = self._done_q.get()
+                patience = self.sim.timeout(self.interval * 10)
+                yield any_of(self.sim, [done, patience])
+
+    def _pick(self):
+        """Choose the next node to checkpoint, per policy."""
+        live = sorted(self.links)
+        if not live:
+            yield self.sim.timeout(0.0)
+            return None
+        if self.policy == "round_robin":
+            yield self.sim.timeout(0.0)
+            for _ in range(self.nprocs):
+                cand = self._rr_next % self.nprocs
+                self._rr_next += 1
+                if cand in self.links:
+                    return cand
+            return None
+        if self.policy == "random":
+            yield self.sim.timeout(0.0)
+            return int(self.rng.choice(live))
+        # adaptive: poll status, rank by received/sent ratio (descending)
+        yield from self._poll_status(live)
+        best, best_ratio = None, -1.0
+        for r in live:
+            st = self.status.get(r)
+            if st is None or st.get("finalized"):
+                continue
+            ratio = st["bytes_received"] / max(1.0, st["bytes_sent"])
+            if ratio > best_ratio:
+                best, best_ratio = r, ratio
+        return best
+
+    def _poll_status(self, live):
+        for r in live:
+            end = self.links.get(r)
+            if end is None:
+                continue
+            try:
+                yield from end.write(16, ("STATUS_REQ",))
+            except Disconnected:
+                continue
+        # replies arrive through _reader; give them a beat
+        yield self.sim.timeout(0.01)

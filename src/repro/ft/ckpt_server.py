@@ -1,0 +1,111 @@
+"""The Checkpoint Server: reliable storage of process images.
+
+"The checkpoint server is a reliable repository storing the checkpoint
+images of the MPI processes and of the communication daemons."
+(Section 4.6.1.)  Images arrive as chunked stream traffic (the transfer
+competes with application communication for NIC bandwidth, exactly the
+contention the checkpoint scheduler tries to limit); an image is stored
+only when fully received, so a node crashing mid-push leaves the previous
+image intact.  Fetching serves the most recent complete image.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core.replay import CheckpointImage
+from ..devices.base import segment_sizes
+from ..runtime.config import TestbedConfig
+from ..runtime.fabric import Fabric
+from ..simnet.kernel import Simulator
+from ..simnet.node import Host
+from ..simnet.streams import Disconnected, StreamEnd
+from ..simnet.trace import Tracer
+
+__all__ = ["CheckpointServer"]
+
+
+class CheckpointServer:
+    """One checkpoint-server instance."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        fabric: Fabric,
+        cfg: TestbedConfig,
+        name: str = "cs:0",
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.fabric = fabric
+        self.cfg = cfg
+        self.name = name
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.images: dict[int, CheckpointImage] = {}  # rank -> latest image
+        self.stores = 0
+        self.fetches = 0
+
+    def start(self) -> None:
+        """Register the listener and start serving store/fetch requests."""
+        acceptor = self.fabric.listen(self.name, self.host)
+
+        def accept_loop():
+            while True:
+                end, hello = yield acceptor.accept()
+                p = self.sim.spawn(
+                    self._serve(end), name=f"{self.name}.serve", supervised=True
+                )
+                self.host.register(p)
+
+        p = self.sim.spawn(accept_loop(), name=f"{self.name}.accept")
+        self.host.register(p)
+
+    def _serve(self, end: StreamEnd):
+        while True:
+            try:
+                _, msg = yield end.read()
+            except Disconnected:
+                return
+            if msg is None:
+                continue  # chunk of an image in flight
+            kind = msg[0]
+            if kind == "STORE":
+                image: CheckpointImage = msg[1]
+                prev = self.images.get(image.rank)
+                if prev is None or image.seq > prev.seq:
+                    self.images[image.rank] = image
+                self.stores += 1
+                self.tracer.emit(
+                    self.sim.now,
+                    "cs.store",
+                    rank=image.rank,
+                    seq=image.seq,
+                    nbytes=image.image_bytes,
+                )
+                try:
+                    yield from end.write(16, ("STORED", image.rank, image.seq))
+                except Disconnected:
+                    return
+            elif kind == "FETCH":
+                rank = msg[1]
+                image = self.images.get(rank)
+                self.fetches += 1
+                try:
+                    if image is None:
+                        yield from end.write(16, ("IMAGE", None))
+                    else:
+                        sizes = segment_sizes(image.image_bytes, self.cfg.chunk_bytes)
+                        for nbytes in sizes[:-1]:
+                            yield from end.write(nbytes, None)
+                        yield from end.write(sizes[-1], ("IMAGE", image))
+                except Disconnected:
+                    return
+            else:  # pragma: no cover
+                raise RuntimeError(f"checkpoint server got {kind!r}")
+
+    # -- diagnostics --------------------------------------------------------
+    def latest(self, rank: int) -> Optional[CheckpointImage]:
+        """The most recent complete image for ``rank``, if any."""
+        return self.images.get(rank)

@@ -1,0 +1,445 @@
+"""The Dispatcher: launch, monitor, and restart (the mpirun of Section 4.7).
+
+"The execution monitor first launches the execution of the different
+programs (CS, EL, SC, CN), and then monitors the execution potentially
+re-launching the crashed programs. ... a socket disconnection is
+considered as a trusty fault detector."
+
+:func:`run_v2_job` is the MPICH-V2 entry point used by ``run_job``:
+it assembles the paper's typical deployment — volatile computing nodes,
+one reliable node hosting dispatcher + event logger(s) + checkpoint
+scheduler, one reliable node for the checkpoint server — wires the fault
+injector, and runs to completion, restarting every crashed rank through
+the recovery protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..core.v2_device import V2Daemon, V2Device
+from ..core.event_logger import EventLoggerServer
+from ..mpi.api import MPI
+from ..simnet.kernel import Future, Killed, Queue, Simulator
+from ..simnet.node import Host
+from ..simnet.streams import Disconnected, StreamEnd
+from ..runtime.cluster import Cluster
+from ..runtime.config import TestbedConfig
+from ..runtime.fabric import Fabric
+from ..runtime.mpirun import rank_main
+from ..runtime.progfile import DeploymentPlan
+from ..runtime.results import JobResult
+from .ckpt_scheduler import CheckpointScheduler
+from .ckpt_server import CheckpointServer
+from .failure import FaultContext
+
+__all__ = ["Dispatcher", "run_v2_job"]
+
+
+class RankState:
+    """Dispatcher-side view of one MPI rank."""
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self.host: Optional[Host] = None
+        self.incarnation = -1
+        self.daemon: Optional[V2Daemon] = None
+        self.mpi: Optional[MPI] = None
+        self.app_done: Optional[Future] = None
+        self.finished = False
+        self.result: Any = None
+        self.finish_time = 0.0
+        self.spawn_time = 0.0  # when this incarnation was launched
+        self.restarts = 0
+
+
+class Dispatcher:
+    """Launches rank processes and restarts them on failure."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        fabric: Fabric,
+        host: Host,
+        program: Callable,
+        params: dict[str, Any],
+        nprocs: int,
+        cn_hosts: list[Host],
+        spare_hosts: list[Host],
+        el_names: list[str],
+        sched_name: Optional[str],
+        cs_name: Optional[str],
+        wipe_logs: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.cfg = cluster.cfg
+        self.fabric = fabric
+        self.host = host
+        self.program = program
+        self.params = params
+        self.nprocs = nprocs
+        self.cn_hosts = cn_hosts
+        self.spare_hosts = list(spare_hosts)
+        self.el_names = el_names
+        self.sched_name = sched_name
+        self.cs_name = cs_name
+        self.wipe_logs = wipe_logs
+        self.states = [RankState(r) for r in range(nprocs)]
+        self.done = Future(self.sim, name="dispatcher.done")
+        self.total_restarts = 0
+        self.global_restarts = 0
+        self._global_restarting = False
+
+    # -- launch --------------------------------------------------------------
+    def start(self) -> None:
+        """Listen for daemon control links and launch every rank."""
+        acceptor = self.fabric.listen("dispatcher", self.host)
+
+        def accept_loop():
+            while True:
+                end, hello = yield acceptor.accept()
+                p = self.sim.spawn(
+                    self._control_reader(end), name="disp.ctrl", supervised=True
+                )
+                self.host.register(p)
+
+        self.host.register(self.sim.spawn(accept_loop(), name="disp.accept"))
+        for r in range(self.nprocs):
+            self._spawn_rank(r, self.cn_hosts[r])
+
+    def _control_reader(self, end: StreamEnd):
+        while True:
+            try:
+                _, msg = yield end.read()
+            except Disconnected:
+                return  # crash detection is handled via host.on_crash below
+            if isinstance(msg, tuple) and msg and msg[0] == "UNRECOVERABLE":
+                # a rank's checkpoint image is gone but its logs were
+                # already garbage-collected: per-process replay is
+                # impossible and the whole application restarts from
+                # scratch ("restart from scratch, at worst", Section 4.3)
+                self._trigger_global_restart()
+            # FINALIZED messages are informational; completion is tracked
+            # through the app process future (same information, no race)
+
+    def _trigger_global_restart(self) -> None:
+        if self._global_restarting or self.done.done:
+            return
+        self._global_restarting = True
+        p = self.sim.spawn(self._global_restart(), name="disp.global-restart")
+        self.host.register(p)
+
+    def _global_restart(self):
+        self.cluster.tracer.emit(self.sim.now, "ft.global_restart")
+        # invalidate every per-rank monitor/restart before tearing down
+        for st in self.states:
+            st.incarnation += 1
+            st.finished = False
+        for st in self.states:
+            if st.host is not None and not st.host.failed:
+                st.host.crash()
+        yield self.sim.timeout(
+            self.cfg.restart_detect_delay + self.cfg.restart_spawn_delay
+        )
+        if self.done.done:
+            return
+        # the previous execution's logs describe a dead history: wipe them
+        if self.wipe_logs is not None:
+            self.wipe_logs()
+        for st in self.states:
+            if st.host is not None and st.host.failed:
+                st.host.restart()
+        self.global_restarts += 1
+        self._global_restarting = False
+        for st in self.states:
+            # incarnation was already bumped; _spawn_rank bumps again, so
+            # compensate to keep the sequence dense
+            st.incarnation -= 1
+            self._spawn_rank(st.rank, st.host)
+
+    def _spawn_rank(self, rank: int, host: Host) -> None:
+        st = self.states[rank]
+        st.host = host
+        st.spawn_time = self.sim.now
+        st.incarnation += 1
+        incarnation = st.incarnation
+        daemon = V2Daemon(
+            self.sim,
+            self.cfg,
+            self.fabric,
+            rank,
+            self.nprocs,
+            host,
+            incarnation=incarnation,
+            el_name=self.el_names[rank % len(self.el_names)],
+            cs_name=self.cs_name,
+            sched_name=self.sched_name,
+            dispatcher_name="dispatcher",
+            tracer=self.cluster.tracer,
+        )
+        device = V2Device(
+            self.sim, self.cfg, rank, self.nprocs, host, daemon,
+            tracer=self.cluster.tracer,
+        )
+        mpi = MPI(self.sim, rank, self.nprocs, device, tracer=self.cluster.tracer)
+        st.daemon = daemon
+        st.mpi = mpi
+
+        dproc = self.sim.spawn(
+            daemon.start(), name=f"daemon{rank}.i{incarnation}"
+        )
+        host.register(dproc)
+        aproc = self.sim.spawn(
+            rank_main(mpi, self.program, self.params),
+            name=f"rank{rank}.i{incarnation}",
+            supervised=True,
+        )
+        host.register(aproc)
+        st.app_done = aproc.done
+        aproc.done.add_done_callback(
+            lambda fut, r=rank, inc=incarnation: self._app_finished(r, inc, fut)
+        )
+        host.on_crash.append(
+            lambda h, r=rank, inc=incarnation: self._on_host_crash(r, inc)
+        )
+
+    # -- monitoring / recovery ---------------------------------------------------
+    def _app_finished(self, rank: int, incarnation: int, fut: Future) -> None:
+        st = self.states[rank]
+        if st.incarnation != incarnation:
+            return
+        exc = fut.exception
+        if exc is None:
+            finish_time, result = fut.value
+            st.finished = True
+            st.result = result
+            st.finish_time = finish_time
+            if all(s.finished for s in self.states) and not self.done.done:
+                self.done.resolve([s.result for s in self.states])
+            return
+        if isinstance(exc, Killed):
+            return  # the host crashed; _on_host_crash drives the restart
+        # a genuine program/runtime error: abort the job loudly
+        self.done.fail_if_pending(exc)
+
+    def _on_host_crash(self, rank: int, incarnation: int) -> None:
+        st = self.states[rank]
+        if st.incarnation != incarnation or self.done.done:
+            return
+        p = self.sim.spawn(
+            self._restart(rank, incarnation), name=f"disp.restart{rank}"
+        )
+        self.host.register(p)
+
+    def _restart(self, rank: int, incarnation: int):
+        st = self.states[rank]
+        yield self.sim.timeout(self.cfg.restart_detect_delay)
+        if self.done.done or st.incarnation != incarnation:
+            return
+        old_host = st.host
+        if self.spare_hosts:
+            host = self.spare_hosts.pop(0)
+        else:
+            host = old_host
+        yield self.sim.timeout(self.cfg.restart_spawn_delay)
+        if self.done.done or st.incarnation != incarnation:
+            return
+        if host.failed:
+            host.restart()
+        st.finished = False  # a finished rank can be re-executed to serve peers
+        st.restarts += 1
+        self.total_restarts += 1
+        self.cluster.tracer.emit(
+            self.sim.now, "ft.restart", rank=rank, incarnation=incarnation + 1,
+            host=host.name,
+        )
+        self._spawn_rank(rank, host)
+
+    # -- fault-injection context ---------------------------------------------------
+    def fault_context(self) -> FaultContext:
+        """The kill/inspect interface handed to fault injectors."""
+        def alive_unfinished() -> list[int]:
+            return [
+                s.rank
+                for s in self.states
+                if not s.finished and s.host is not None and not s.host.failed
+            ]
+
+        def kill(rank: int) -> bool:
+            st = self.states[rank]
+            if st.host is None or st.host.failed or self.done.done:
+                return False
+            self.cluster.tracer.emit(self.sim.now, "ft.fault", rank=rank)
+            st.host.crash()
+            return True
+
+        return FaultContext(
+            sim=self.sim,
+            alive_unfinished=alive_unfinished,
+            kill=kill,
+            job_running=lambda: not self.done.done,
+        )
+
+
+def run_v2_job(
+    program: Callable,
+    nprocs: int,
+    cfg: TestbedConfig,
+    params: dict[str, Any],
+    trace: bool,
+    seed: int,
+    limit: Optional[float],
+    *,
+    checkpointing: bool = False,
+    ckpt_policy: str = "round_robin",
+    ckpt_interval: float = 30.0,
+    ckpt_continuous: bool = False,
+    faults: Optional[Any] = None,
+    n_event_loggers: int = 1,
+    spares: int = 0,
+    on_ready: Optional[Callable[[dict], None]] = None,
+    plan: Optional["DeploymentPlan"] = None,
+) -> JobResult:
+    """Deploy and run an MPICH-V2 job.
+
+    Without a ``plan``, the paper's typical setup is used: one reliable
+    machine hosting the dispatcher, the event logger(s) and the
+    checkpoint scheduler, one reliable machine for the checkpoint
+    server, plus the volatile computing nodes.  A
+    :class:`~repro.runtime.progfile.DeploymentPlan` (e.g. parsed from a
+    §4.7 program file) overrides machine placement; its computing-node
+    count must match ``nprocs``.
+    """
+    cluster = Cluster(cfg, seed=seed, trace=trace)
+    sim = cluster.sim
+    fabric = Fabric(cluster)
+
+    if plan is not None and plan.nprocs != nprocs:
+        raise ValueError(
+            f"program file declares {plan.nprocs} computing nodes, "
+            f"job asked for {nprocs}"
+        )
+
+    if plan is None:
+        service = cluster.add_aux("service")  # dispatcher + EL(s) + scheduler
+        cs_host = cluster.add_aux("cs-host")
+        cn_hosts = [cluster.add_cn(f"cn{r}") for r in range(nprocs)]
+        spare_hosts = [cluster.add_cn(f"spare{i}") for i in range(spares)]
+        el_hosts = [service] * n_event_loggers
+        sched_host = service
+    else:
+        aux_names = set(plan.els) | {plan.cs, plan.scheduler, plan.dispatcher}
+        machines = {
+            name: cluster.add_aux(
+                name, site=plan.options.get(name, {}).get("site", "site0")
+            )
+            for name in sorted(aux_names)
+        }
+        for name in plan.cns + plan.spares:
+            machines[name] = cluster.add_cn(
+                name, site=plan.options.get(name, {}).get("site", "site0")
+            )
+        cn_hosts = [machines[n] for n in plan.cns]
+        spare_hosts = [machines[n] for n in plan.spares]
+        el_hosts = [machines[n] for n in plan.els]
+        cs_host = machines[plan.cs]
+        sched_host = machines[plan.scheduler]
+        service = machines[plan.dispatcher]
+        n_event_loggers = len(plan.els)
+
+    el_names = []
+    loggers = []
+    for i in range(n_event_loggers):
+        el = EventLoggerServer(
+            sim, el_hosts[i], fabric, cfg, name=f"el:{i}", tracer=cluster.tracer
+        )
+        el.start()
+        loggers.append(el)
+        el_names.append(el.name)
+
+    cs = CheckpointServer(sim, cs_host, fabric, cfg, tracer=cluster.tracer)
+    cs.start()
+
+    sched_name = None
+    scheduler = None
+    if checkpointing:
+        scheduler = CheckpointScheduler(
+            sim,
+            sched_host,
+            fabric,
+            cfg,
+            nprocs,
+            policy=ckpt_policy,
+            interval=ckpt_interval,
+            continuous=ckpt_continuous,
+            rng=cluster.rng.stream("ckpt-sched"),
+            tracer=cluster.tracer,
+        )
+        scheduler.start()
+        sched_name = scheduler.name
+
+    def wipe_logs() -> None:
+        for el in loggers:
+            el.events.clear()
+        cs.images.clear()
+
+    dispatcher = Dispatcher(
+        cluster,
+        fabric,
+        service,
+        program,
+        params,
+        nprocs,
+        cn_hosts,
+        spare_hosts,
+        el_names,
+        sched_name,
+        "cs:0",
+        wipe_logs=wipe_logs,
+    )
+    dispatcher.start()
+
+    if faults is not None:
+        ctx = dispatcher.fault_context()
+        service.register(sim.spawn(faults.driver(ctx), name="fault-injector"))
+
+    if on_ready is not None:
+        # test/chaos hook: lets callers schedule failures of auxiliary
+        # components (checkpoint server, ...) before the run starts
+        on_ready(
+            {
+                "sim": sim,
+                "cluster": cluster,
+                "dispatcher": dispatcher,
+                "cs_host": cs_host,
+                "service_host": service,
+                "checkpoint_server": cs,
+                "event_loggers": loggers,
+            }
+        )
+
+    results = sim.run_until(dispatcher.done, limit=limit)
+    elapsed = max(s.finish_time for s in dispatcher.states)
+    return JobResult(
+        nprocs=nprocs,
+        device="v2",
+        elapsed=elapsed,
+        results=results,
+        timers={r: dispatcher.states[r].mpi.timer for r in range(nprocs)},
+        tracer=cluster.tracer,
+        stats={
+            r: dispatcher.states[r].mpi.device.stats.snapshot()
+            for r in range(nprocs)
+        },
+        restarts=dispatcher.total_restarts,
+        checkpoints=cs.stores,
+        extras={
+            "global_restarts": dispatcher.global_restarts,
+            "event_loggers": loggers,
+            "checkpoint_server": cs,
+            "scheduler": scheduler,
+            "dispatcher": dispatcher,
+            "faults": faults,
+        },
+    )

@@ -1,0 +1,133 @@
+"""Fault injection: the paper's volatility model.
+
+"We simulate faults by sending a termination signal to a randomly
+selected MPI process. Faults may occur at any time during the execution,
+including during the checkpoint or during the re-execution." (Section 5.4)
+
+Two schedule flavours:
+
+* :class:`ExplicitFaults` — a list of ``(time, rank)`` kills, for
+  deterministic tests and the Figure 10 re-execution benchmark;
+* :class:`RandomFaults` — kills a random non-finished rank every
+  ``interval`` seconds (the Figure 11 workload: one fault every 45 s),
+  up to ``count`` faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol, Sequence
+
+import numpy as np
+
+__all__ = ["ExplicitFaults", "RandomFaults", "ChurnFaults", "FaultPlan"]
+
+
+class FaultPlan(Protocol):
+    """A fault schedule the dispatcher can execute."""
+
+    def driver(self, ctx: "FaultContext"):  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class FaultContext:
+    """What an injector can see and do (provided by the dispatcher)."""
+
+    sim: object
+    alive_unfinished: Callable[[], list[int]]  # ranks eligible for a kill
+    kill: Callable[[int], bool]  # returns False if the kill was impossible
+    job_running: Callable[[], bool]
+
+
+@dataclass
+class ExplicitFaults:
+    """Kill exact ranks at exact simulated times."""
+
+    schedule: Sequence[tuple[float, int]]
+    injected: list[tuple[float, int]] = field(default_factory=list)
+
+    def driver(self, ctx: FaultContext):
+        """Run the schedule (spawned by the dispatcher)."""
+        for when, rank in sorted(self.schedule):
+            delay = when - ctx.sim.now
+            if delay > 0:
+                yield ctx.sim.timeout(delay)
+            if not ctx.job_running():
+                return
+            if ctx.kill(rank):
+                self.injected.append((ctx.sim.now, rank))
+
+
+@dataclass
+class RandomFaults:
+    """Kill a random eligible rank every ``interval`` seconds."""
+
+    interval: float
+    count: int
+    seed: int = 0
+    first_at: Optional[float] = None
+    injected: list[tuple[float, int]] = field(default_factory=list)
+
+    def driver(self, ctx: FaultContext):
+        """Run the schedule (spawned by the dispatcher)."""
+        rng = np.random.default_rng(self.seed)
+        yield ctx.sim.timeout(
+            self.first_at if self.first_at is not None else self.interval
+        )
+        done = 0
+        while done < self.count and ctx.job_running():
+            targets = ctx.alive_unfinished()
+            if targets:
+                rank = int(rng.choice(targets))
+                if ctx.kill(rank):
+                    self.injected.append((ctx.sim.now, rank))
+                    done += 1
+            if done < self.count:
+                yield ctx.sim.timeout(self.interval)
+
+
+@dataclass
+class ChurnFaults:
+    """Desktop-grid churn: node lifetimes drawn from a Weibull distribution.
+
+    The paper motivates MPICH-V2 with "campus/industry wide desktop Grids
+    with volatile nodes" where machines "join/leave the system
+    independently and unpredictably".  Empirical desktop-grid studies fit
+    machine availability with Weibull lifetimes; ``shape < 1`` gives the
+    heavy-tailed churn typical of volunteer machines.
+
+    Every ``check_interval`` the injector draws which currently-running
+    ranks die, until ``max_faults`` is reached (a safety bound, not a
+    target).
+    """
+
+    mean_lifetime: float  # mean node lifetime, simulated seconds
+    shape: float = 0.7  # Weibull shape (<1: heavy-tailed)
+    max_faults: int = 50
+    seed: int = 0
+    check_interval: float = 0.5
+    injected: list[tuple[float, int]] = field(default_factory=list)
+
+    def driver(self, ctx: FaultContext):
+        """Run the churn process (spawned by the dispatcher)."""
+        import math
+
+        rng = np.random.default_rng(self.seed)
+        # per-rank scheduled death time; re-drawn after each restart
+        deaths: dict[int, float] = {}
+        # Weibull mean = scale * Gamma(1 + 1/shape)
+        scale = self.mean_lifetime / math.gamma(1 + 1 / self.shape)
+        while ctx.job_running() and len(self.injected) < self.max_faults:
+            now = ctx.sim.now
+            for rank in ctx.alive_unfinished():
+                if rank not in deaths:
+                    deaths[rank] = now + scale * rng.weibull(self.shape)
+            for rank, when in list(deaths.items()):
+                if when <= now and rank in ctx.alive_unfinished():
+                    if ctx.kill(rank):
+                        self.injected.append((now, rank))
+                    del deaths[rank]
+                    if len(self.injected) >= self.max_faults:
+                        return
+            yield ctx.sim.timeout(self.check_interval)

@@ -1,0 +1,37 @@
+"""The MPICH-like layered MPI stack: channel interface -> protocol layer
+-> ADI progress engine -> user API and collectives.
+
+``MPI`` (the user-level context) is exposed lazily to avoid a circular
+import with the channel devices.
+"""
+
+from .datatypes import ANY_SOURCE, ANY_TAG, Envelope, Message
+from .requests import RecvRequest, Request, SendRequest
+from .timing import CallTimer
+
+__all__ = [
+    "MPI",
+    "SubComm",
+    "comm_split",
+    "payload_nbytes",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Envelope",
+    "Message",
+    "RecvRequest",
+    "Request",
+    "SendRequest",
+    "CallTimer",
+]
+
+
+def __getattr__(name):
+    if name in ("MPI", "payload_nbytes"):
+        from . import api
+
+        return getattr(api, name)
+    if name in ("SubComm", "comm_split"):
+        from . import communicator
+
+        return getattr(communicator, name)
+    raise AttributeError(name)

@@ -1,0 +1,367 @@
+"""The user-level MPI API.
+
+One :class:`MPI` object per rank, handed to the application program (a
+generator function).  All potentially blocking operations are generator
+functions invoked with ``yield from``; nonblocking operations return
+request objects completed later by ``wait``/``waitall``.
+
+Per-call simulated time is attributed to a category by :class:`CallTimer`
+(reproducing Table 1 of the paper); every call boundary also runs the
+device's checkpoint-safe-point hook.
+
+Data semantics: ``nbytes`` drives the timing model; ``data`` is an
+optional payload object, which must be treated as immutable once sent
+(the sender-based log of MPICH-V2 retains a reference, exactly like the
+real implementation retains the bytes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..devices.base import ChannelDevice
+from ..simnet.kernel import Future, Simulator
+from ..simnet.trace import Tracer
+from .adi import Adi
+from .datatypes import ANY_SOURCE, ANY_TAG, CTX_COLL, CTX_PT2PT, Envelope, Message
+from .requests import RecvRequest, Request, SendRequest
+from .timing import CallTimer
+
+__all__ = ["MPI", "payload_nbytes"]
+
+_API_CALL_CPU = 1.5e-6  # library entry/exit cost per MPI call
+
+
+def payload_nbytes(data: Any) -> int:
+    """Estimate the wire size of a payload object."""
+    if data is None:
+        return 0
+    if isinstance(data, (bytes, bytearray)):
+        return len(data)
+    if isinstance(data, np.ndarray):
+        return int(data.nbytes)
+    if isinstance(data, (int, float)):
+        return 8
+    if isinstance(data, (list, tuple)):
+        return 16 + sum(payload_nbytes(x) for x in data)
+    return 64
+
+
+class MPI:
+    """The per-rank MPI context handed to application programs."""
+
+    ANY_SOURCE = ANY_SOURCE
+    ANY_TAG = ANY_TAG
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rank: int,
+        size: int,
+        device: ChannelDevice,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.sim = sim
+        self.rank = rank
+        self.size = size
+        self.device = device
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.adi = Adi(sim, device, rank, size, tracer=self.tracer)
+        device.bind_adi(self.adi)
+        self.timer = CallTimer()
+        self._send_seq = 0
+        self._coll_seq = 0
+        self.app_footprint = 0  # declared application memory (ckpt image size)
+        self.finalized = False
+
+    # -- lifecycle ----------------------------------------------------------
+    def init(self) -> Generator[Future, Any, None]:
+        """MPI_Init: bring the channel device up."""
+        yield from self.device.piinit()
+
+    def finalize(self) -> Generator[Future, Any, None]:
+        """Complete outstanding protocol state and close the channel."""
+        yield from self.barrier()
+        yield from self.device.pifinish()
+        self.finalized = True
+
+    def set_footprint(self, nbytes: int) -> None:
+        """Declare application memory (sizes the checkpoint image)."""
+        self.app_footprint = int(nbytes)
+        daemon = getattr(self.device, "daemon", None)
+        if daemon is not None:
+            daemon.set_app_footprint(nbytes)
+
+    # -- point to point -------------------------------------------------------
+    def isend(
+        self,
+        dest: int,
+        nbytes: Optional[int] = None,
+        tag: int = 0,
+        data: Any = None,
+        _context: int = CTX_PT2PT,
+        _cat: str = "isend",
+    ) -> Generator[Future, Any, SendRequest]:
+        """Nonblocking send; returns a :class:`SendRequest`."""
+        self.timer.enter(_cat, self.sim.now)
+        yield from self.device.ckpt_poll()
+        if nbytes is None:
+            nbytes = payload_nbytes(data)
+        env = Envelope(
+            src=self.rank, dst=dest, tag=tag, context=_context, nbytes=nbytes, data=data
+        )
+        yield from self._charge_call_cpu()
+        req = yield from self.adi.isend(env)
+        self.timer.exit(self.sim.now)
+        return req
+
+    def irecv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        _context: int = CTX_PT2PT,
+        _cat: str = "irecv",
+    ) -> Generator[Future, Any, RecvRequest]:
+        """Nonblocking receive; returns a :class:`RecvRequest`."""
+        self.timer.enter(_cat, self.sim.now)
+        yield from self.device.ckpt_poll()
+        yield from self._charge_call_cpu()
+        req = self.adi.irecv(source, tag, _context)
+        self.timer.exit(self.sim.now)
+        return req
+
+    def send(
+        self,
+        dest: int,
+        nbytes: Optional[int] = None,
+        tag: int = 0,
+        data: Any = None,
+        _context: int = CTX_PT2PT,
+    ) -> Generator[Future, Any, None]:
+        """Blocking send."""
+        self.timer.enter("send", self.sim.now)
+        req = yield from self.isend(dest, nbytes, tag, data, _context=_context)
+        yield from self.adi.wait(req)
+        self.timer.exit(self.sim.now)
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        _context: int = CTX_PT2PT,
+    ) -> Generator[Future, Any, Message]:
+        """Blocking receive; returns the delivered :class:`Message`."""
+        self.timer.enter("recv", self.sim.now)
+        req = yield from self.irecv(source, tag, _context=_context)
+        msg = yield from self.adi.wait(req)
+        self.timer.exit(self.sim.now)
+        return msg
+
+    def sendrecv(
+        self,
+        dest: int,
+        nbytes: Optional[int] = None,
+        tag: int = 0,
+        data: Any = None,
+        source: int = ANY_SOURCE,
+        recvtag: int = ANY_TAG,
+    ) -> Generator[Future, Any, Message]:
+        """Combined send+receive (deadlock-free exchange)."""
+        self.timer.enter("sendrecv", self.sim.now)
+        rreq = yield from self.irecv(source, recvtag)
+        sreq = yield from self.isend(dest, nbytes, tag, data)
+        yield from self.adi.wait_all([sreq, rreq])
+        self.timer.exit(self.sim.now)
+        return rreq.message
+
+    # -- completion -------------------------------------------------------------
+    def wait(self, req: Request) -> Generator[Future, Any, Any]:
+        """Block until ``req`` completes; returns its value."""
+        self.timer.enter("wait", self.sim.now)
+        yield from self.device.ckpt_poll()
+        value = yield from self.adi.wait(req)
+        self.timer.exit(self.sim.now)
+        return value
+
+    def waitall(self, reqs: Sequence[Request]) -> Generator[Future, Any, list[Any]]:
+        """Block until every request completes; returns their values."""
+        self.timer.enter("wait", self.sim.now)
+        yield from self.device.ckpt_poll()
+        yield from self.adi.wait_all(reqs)
+        self.timer.exit(self.sim.now)
+        return [r.done.value for r in reqs]
+
+    def waitany(self, reqs: Sequence[Request]) -> Generator[Future, Any, int]:
+        """Block until one request completes; returns its index."""
+        self.timer.enter("wait", self.sim.now)
+        yield from self.device.ckpt_poll()
+        idx = yield from self.adi.wait_any(reqs)
+        self.timer.exit(self.sim.now)
+        return idx
+
+    def waitsome(
+        self, reqs: Sequence[Request]
+    ) -> Generator[Future, Any, list[int]]:
+        """Block until at least one completes; returns all completed indices."""
+        self.timer.enter("wait", self.sim.now)
+        yield from self.device.ckpt_poll()
+        yield from self.adi.wait_any(reqs)
+        done = [i for i, r in enumerate(reqs) if r.complete]
+        self.timer.exit(self.sim.now)
+        return done
+
+    def test(self, req: Request) -> Generator[Future, Any, bool]:
+        """Nonblocking completion check (advances progress)."""
+        self.timer.enter("test", self.sim.now)
+        yield from self._charge_call_cpu()
+        self.adi._progress_nonblocking()
+        self.timer.exit(self.sim.now)
+        return req.complete
+
+    # -- probing ------------------------------------------------------------------
+    def iprobe(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Generator[Future, Any, bool]:
+        """Nonblocking probe for a matching unexpected message."""
+        self.timer.enter("probe", self.sim.now)
+        yield from self._charge_call_cpu()
+        env = self.adi.iprobe(source, tag, CTX_PT2PT)
+        self.timer.exit(self.sim.now)
+        return env is not None
+
+    def probe(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Generator[Future, Any, tuple[int, int, int]]:
+        """Blocking probe; returns (source, tag, nbytes) of the match."""
+        self.timer.enter("probe", self.sim.now)
+        env = yield from self.adi.probe_blocking(source, tag, CTX_PT2PT)
+        self.timer.exit(self.sim.now)
+        return env.src, env.tag, env.nbytes
+
+    # -- compute ----------------------------------------------------------------
+    def compute(
+        self, seconds: Optional[float] = None, flops: Optional[float] = None
+    ) -> Generator[Future, Any, None]:
+        """Advance simulated time for a computation segment.
+
+        Exactly one of ``seconds``/``flops`` must be given; ``flops`` is
+        converted through the host's sustained compute rate.  The device
+        may add CPU tax (daemon competition) or skip the time entirely
+        (checkpoint fast-forward during re-execution).
+        """
+        if (seconds is None) == (flops is None):
+            raise ValueError("give exactly one of seconds= or flops=")
+        if seconds is None:
+            seconds = self.device.host.compute_seconds(flops)
+        self.timer.enter("compute", self.sim.now)
+        yield from self.device.ckpt_poll()
+        yield from self.device.app_compute(seconds)
+        self.timer.exit(self.sim.now)
+
+    # -- collectives (implemented in collectives.py) ------------------------------
+    def barrier(self) -> Generator[Future, Any, None]:
+        """Block until every rank has entered the barrier."""
+        from . import collectives
+
+        self.timer.enter("barrier", self.sim.now)
+        yield from collectives.barrier(self)
+        self.timer.exit(self.sim.now)
+
+    def bcast(self, root: int, nbytes: Optional[int] = None, data: Any = None):
+        """Broadcast from ``root``; returns the payload on every rank."""
+        from . import collectives
+
+        self.timer.enter("coll", self.sim.now)
+        out = yield from collectives.bcast(self, root, nbytes, data)
+        self.timer.exit(self.sim.now)
+        return out
+
+    def reduce(self, root: int, value: Any, op=None, nbytes: Optional[int] = None):
+        """Reduce to ``root`` (default op: +); None on non-roots."""
+        from . import collectives
+
+        self.timer.enter("coll", self.sim.now)
+        out = yield from collectives.reduce(self, root, value, op, nbytes)
+        self.timer.exit(self.sim.now)
+        return out
+
+    def allreduce(self, value: Any, op=None, nbytes: Optional[int] = None):
+        """Reduce-to-all (default op: +)."""
+        from . import collectives
+
+        self.timer.enter("coll", self.sim.now)
+        out = yield from collectives.allreduce(self, value, op, nbytes)
+        self.timer.exit(self.sim.now)
+        return out
+
+    def gather(self, root: int, value: Any, nbytes: Optional[int] = None):
+        """Gather to ``root``; rank-ordered list there, None elsewhere."""
+        from . import collectives
+
+        self.timer.enter("coll", self.sim.now)
+        out = yield from collectives.gather(self, root, value, nbytes)
+        self.timer.exit(self.sim.now)
+        return out
+
+    def allgather(self, value: Any, nbytes: Optional[int] = None):
+        """Gather-to-all; every rank gets the rank-ordered list."""
+        from . import collectives
+
+        self.timer.enter("coll", self.sim.now)
+        out = yield from collectives.allgather(self, value, nbytes)
+        self.timer.exit(self.sim.now)
+        return out
+
+    def scatter(self, root: int, values: Optional[Sequence[Any]] = None, nbytes: Optional[int] = None):
+        """Scatter ``values`` from ``root``; returns this rank's element."""
+        from . import collectives
+
+        self.timer.enter("coll", self.sim.now)
+        out = yield from collectives.scatter(self, root, values, nbytes)
+        self.timer.exit(self.sim.now)
+        return out
+
+    def scan(self, value: Any, op=None, nbytes: Optional[int] = None):
+        """Inclusive prefix reduction over ranks 0..self.rank."""
+        from . import collectives
+
+        self.timer.enter("coll", self.sim.now)
+        out = yield from collectives.scan(self, value, op, nbytes)
+        self.timer.exit(self.sim.now)
+        return out
+
+    def alltoall(self, values: Sequence[Any], nbytes_each: Optional[int] = None):
+        """Personalized all-to-all: values[i] goes to rank i."""
+        from . import collectives
+
+        self.timer.enter("coll", self.sim.now)
+        out = yield from collectives.alltoall(self, values, nbytes_each)
+        self.timer.exit(self.sim.now)
+        return out
+
+    def split(self, color: Any, key: Optional[int] = None):
+        """MPI_Comm_split: partition COMM_WORLD into sub-communicators.
+
+        Collective over all ranks; returns a :class:`SubComm` for this
+        rank's group (or None for color=None).
+        """
+        from .communicator import comm_split
+
+        out = yield from comm_split(self, color, key)
+        return out
+
+    # -- internals ------------------------------------------------------------------
+    def _charge_call_cpu(self) -> Generator[Future, Any, None]:
+        if not self.device.fast_forward():
+            yield self.sim.timeout(_API_CALL_CPU)
+
+    def coll_tag(self) -> int:
+        """A fresh internal tag for one collective operation.
+
+        Deterministic per rank call-order, so all ranks agree on the tag of
+        the i-th collective — and re-execution regenerates the same tags.
+        """
+        self._coll_seq += 1
+        return self._coll_seq

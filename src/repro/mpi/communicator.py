@@ -1,0 +1,238 @@
+"""Sub-communicators: MPI_Comm_split over the matching-context mechanism.
+
+A :class:`SubComm` presents the same API surface as the world
+:class:`~repro.mpi.api.MPI` object, with ranks renumbered inside the
+group and all traffic carried in a pair of fresh matching contexts (one
+point-to-point, one collective), so sub-communicator traffic can never
+match world or sibling-communicator receives.  Context ids are derived
+deterministically from the parent's context, the split sequence number
+and the agreed color list, so every member computes the same ids — and a
+re-execution after a crash regenerates them identically (the same
+argument as for collective tags).  Splits nest: a SubComm can be split
+again.
+
+The collectives in :mod:`repro.mpi.collectives` only use the
+``rank``/``size``/``isend``/``irecv``/``adi``/``coll_tag``/``sim``
+surface and pass ``_context=CTX_COLL``; a SubComm maps that sentinel to
+its own collective context, so the shared algorithms run unchanged
+inside any group.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from .datatypes import ANY_SOURCE, ANY_TAG, CTX_COLL
+
+__all__ = ["SubComm", "comm_split"]
+
+#: first context id available to sub-communicators (0/1 are the world's)
+_FIRST_USER_CTX = 16
+
+
+def comm_split(parent, color: Any, key: Optional[int] = None):
+    """Collective: partition ``parent`` (MPI or SubComm) by ``color``.
+
+    Returns a :class:`SubComm` for this rank's group, or ``None`` for
+    ``color is None`` (MPI_UNDEFINED).  ``key`` orders ranks inside the
+    new group (ties broken by parent rank).
+    """
+    key = parent.rank if key is None else key
+    entries = yield from parent.allgather(value=(color, key, parent.rank),
+                                          nbytes=24)
+    parent._split_seq = getattr(parent, "_split_seq", 0) + 1
+    if color is None:
+        return None
+    colors = sorted({c for c, _, _ in entries if c is not None}, key=repr)
+    members = sorted((k, r) for c, k, r in entries if c == color)
+    ranks = [r for _, r in members]
+    # a tree encoding keeps context ids unique across nested/sibling splits
+    parent_ctx = getattr(parent, "p2p_context", 0)
+    slot = parent._split_seq * max(8, len(colors)) + colors.index(color)
+    ctx_base = _FIRST_USER_CTX + 2 * ((parent_ctx + 1) * 1024 + slot)
+    return SubComm(parent, ranks, ctx_base)
+
+
+class SubComm:
+    """A communicator over a subset of a parent communicator's ranks."""
+
+    def __init__(self, parent, ranks: Sequence[int], ctx_base: int) -> None:
+        if parent.rank not in ranks:
+            raise ValueError("calling rank is not a member of the group")
+        self.parent = parent
+        self.ranks = list(ranks)  # group rank -> parent rank
+        self.rank = self.ranks.index(parent.rank)
+        self.size = len(self.ranks)
+        self.p2p_context = ctx_base
+        self.coll_context = ctx_base + 1
+        self._coll_seq = 0
+        # the surfaces shared algorithms rely on (the ADI/simulator are
+        # global; rank translation happens in isend/irecv below)
+        self.sim = parent.sim
+        self.adi = parent.adi
+        self.ANY_SOURCE = ANY_SOURCE
+        self.ANY_TAG = ANY_TAG
+
+    # -- translation -------------------------------------------------------
+    def _g(self, rank: int) -> int:
+        """Group rank -> parent rank."""
+        return self.ranks[rank]
+
+    def _ctx(self, _context) -> int:
+        """Resolve the context argument.
+
+        ``None`` means this communicator's point-to-point context;
+        ``CTX_COLL`` (the sentinel the shared collective algorithms use)
+        means its collective context; any other integer is an
+        already-resolved context from a nested child and passes through.
+        """
+        if _context is None or _context == 0:
+            return self.p2p_context
+        if _context == CTX_COLL:
+            return self.coll_context
+        return _context
+
+    def coll_tag(self) -> int:
+        """Fresh deterministic tag for one collective in this group."""
+        self._coll_seq += 1
+        return self._coll_seq
+
+    def set_footprint(self, nbytes: int) -> None:
+        """Declare application memory (delegates to the world context)."""
+        self.parent.set_footprint(nbytes)
+
+    # -- point to point ------------------------------------------------------
+    def isend(self, dest, nbytes=None, tag=0, data=None,
+              _context=None, _cat="isend"):
+        """Nonblocking send to a group rank."""
+        req = yield from self.parent.isend(
+            self._g(dest), nbytes, tag, data,
+            _context=self._ctx(_context), _cat=_cat,
+        )
+        return req
+
+    def irecv(self, source=ANY_SOURCE, tag=ANY_TAG, _context=None,
+              _cat="irecv"):
+        """Nonblocking receive from a group rank (or ANY_SOURCE)."""
+        src = source if source == ANY_SOURCE else self._g(source)
+        req = yield from self.parent.irecv(
+            src, tag, _context=self._ctx(_context), _cat=_cat,
+        )
+        return req
+
+    def send(self, dest, nbytes=None, tag=0, data=None):
+        """Blocking send to a group rank."""
+        req = yield from self.isend(dest, nbytes, tag, data)
+        yield from self.adi.wait(req)
+
+    def recv(self, source=ANY_SOURCE, tag=ANY_TAG):
+        """Blocking receive; returns the Message."""
+        req = yield from self.irecv(source, tag)
+        msg = yield from self.adi.wait(req)
+        return msg
+
+    def sendrecv(self, dest, nbytes=None, tag=0, data=None,
+                 source=ANY_SOURCE, recvtag=ANY_TAG):
+        """Combined send+receive within the group."""
+        rreq = yield from self.irecv(source, recvtag)
+        sreq = yield from self.isend(dest, nbytes, tag, data)
+        yield from self.adi.wait_all([sreq, rreq])
+        return rreq.message
+
+    # -- completion / compute (rank-agnostic: delegate) -------------------------
+    def wait(self, req):
+        """Block until the request completes (delegates to the world)."""
+        out = yield from self.parent.wait(req)
+        return out
+
+    def waitall(self, reqs):
+        """Block until every request completes."""
+        out = yield from self.parent.waitall(reqs)
+        return out
+
+    def waitany(self, reqs):
+        """Block until one request completes; returns its index."""
+        out = yield from self.parent.waitany(reqs)
+        return out
+
+    def waitsome(self, reqs):
+        """Block until some requests complete; returns their indices."""
+        out = yield from self.parent.waitsome(reqs)
+        return out
+
+    def test(self, req):
+        """Nonblocking completion check."""
+        out = yield from self.parent.test(req)
+        return out
+
+    def compute(self, seconds=None, flops=None):
+        """Advance simulated time for computation."""
+        yield from self.parent.compute(seconds=seconds, flops=flops)
+
+    # -- collectives: the shared algorithms, scoped by this object's surface ----
+    def barrier(self):
+        """Barrier over the group."""
+        from . import collectives
+
+        yield from collectives.barrier(self)
+
+    def bcast(self, root, nbytes=None, data=None):
+        """Broadcast from the group rank ``root``."""
+        from . import collectives
+
+        out = yield from collectives.bcast(self, root, nbytes, data)
+        return out
+
+    def reduce(self, root, value, op=None, nbytes=None):
+        """Reduce to the group rank ``root``."""
+        from . import collectives
+
+        out = yield from collectives.reduce(self, root, value, op, nbytes)
+        return out
+
+    def allreduce(self, value, op=None, nbytes=None):
+        """Reduce-to-all over the group."""
+        from . import collectives
+
+        out = yield from collectives.allreduce(self, value, op, nbytes)
+        return out
+
+    def gather(self, root, value, nbytes=None):
+        """Gather to the group rank ``root``."""
+        from . import collectives
+
+        out = yield from collectives.gather(self, root, value, nbytes)
+        return out
+
+    def allgather(self, value, nbytes=None):
+        """Gather-to-all over the group."""
+        from . import collectives
+
+        out = yield from collectives.allgather(self, value, nbytes)
+        return out
+
+    def scatter(self, root, values=None, nbytes=None):
+        """Scatter from the group rank ``root``."""
+        from . import collectives
+
+        out = yield from collectives.scatter(self, root, values, nbytes)
+        return out
+
+    def alltoall(self, values, nbytes_each=None):
+        """Personalized all-to-all over the group."""
+        from . import collectives
+
+        out = yield from collectives.alltoall(self, values, nbytes_each)
+        return out
+
+    def scan(self, value, op=None, nbytes=None):
+        """Inclusive prefix reduction over group ranks 0..rank."""
+        from . import collectives
+
+        out = yield from collectives.scan(self, value, op, nbytes)
+        return out
+
+    def split(self, color, key=None):
+        """Split this communicator further (collective over the group)."""
+        out = yield from comm_split(self, color, key)
+        return out

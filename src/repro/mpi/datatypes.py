@@ -1,0 +1,60 @@
+"""Message envelopes and MPI constants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "CTX_PT2PT", "CTX_COLL", "Envelope", "Message"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+# communication contexts (a minimal stand-in for MPI communicators: all
+# traffic runs in COMM_WORLD, but collectives use a separate matching
+# context so internal tags can never collide with application tags)
+CTX_PT2PT = 0
+CTX_COLL = 1
+
+
+@dataclass
+class Envelope:
+    """Everything that identifies one application-level message.
+
+    ``sclock`` is the sender's logical clock at emission: under MPICH-V2
+    the couple ``(src, sclock)`` is the unique message identifier used by
+    the replay protocol ("part of the remitted message" in the paper); the
+    other devices carry a plain per-destination sequence number in the same
+    slot, which also preserves MPI's non-overtaking guarantee.
+    """
+
+    src: int
+    dst: int
+    tag: int
+    context: int
+    nbytes: int
+    sclock: int = 0
+    data: Any = None
+
+    @property
+    def msgid(self) -> tuple[int, int]:
+        """The unique message identifier (sender, sender sequence)."""
+        return (self.src, self.sclock)
+
+    def matches(self, src: int, tag: int, context: int) -> bool:
+        """Does this envelope satisfy a receive for (src, tag, context)?"""
+        return (
+            context == self.context
+            and (src == ANY_SOURCE or src == self.src)
+            and (tag == ANY_TAG or tag == self.tag)
+        )
+
+
+@dataclass(frozen=True)
+class Message:
+    """What a completed receive hands back to the application."""
+
+    source: int
+    tag: int
+    nbytes: int
+    data: Any = None

@@ -1,0 +1,74 @@
+"""MPI message matching: posted-receive and unexpected-message queues.
+
+Semantics follow the MPI standard: an arriving message is matched against
+posted receives in posting order; a posted receive is matched against
+unexpected messages in arrival order; wildcards ``ANY_SOURCE``/``ANY_TAG``
+are supported; messages between the same (source, destination) pair are
+non-overtaking (guaranteed upstream by FIFO streams and FIFO daemons).
+
+The engine only *pairs* receives with envelopes — delivery (and, for the
+rendezvous protocol, the deferred payload transfer) is orchestrated by the
+ADI layer, so that a matched rendezvous request-to-send triggers a
+clear-to-send instead of an immediate delivery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .datatypes import Envelope
+from .requests import RecvRequest
+
+__all__ = ["MatchEngine"]
+
+
+class MatchEngine:
+    """Per-rank matching state (pure pairing, no delivery side effects)."""
+
+    def __init__(self) -> None:
+        self.posted: list[RecvRequest] = []
+        self.unexpected: list[Envelope] = []
+
+    def arrived(self, env: Envelope) -> Optional[RecvRequest]:
+        """Offer an arrived envelope.
+
+        Returns the posted receive it pairs with (removed from the posted
+        queue), or None after queueing the envelope as unexpected.
+        """
+        for i, req in enumerate(self.posted):
+            if env.matches(req.src, req.tag, req.context):
+                self.posted.pop(i)
+                return req
+        self.unexpected.append(env)
+        return None
+
+    def post(self, req: RecvRequest) -> Optional[Envelope]:
+        """Post a receive.
+
+        Returns the unexpected envelope it pairs with (removed from the
+        unexpected queue), or None after queueing the receive.
+        """
+        for i, env in enumerate(self.unexpected):
+            if env.matches(req.src, req.tag, req.context):
+                return self.unexpected.pop(i)
+        self.posted.append(req)
+        return None
+
+    def probe(self, src: int, tag: int, context: int) -> Optional[Envelope]:
+        """First unexpected envelope matching (src, tag, context), if any."""
+        for env in self.unexpected:
+            if env.matches(src, tag, context):
+                return env
+        return None
+
+    def cancel(self, req: RecvRequest) -> bool:
+        """Remove a posted receive (used at teardown); True if found."""
+        try:
+            self.posted.remove(req)
+            return True
+        except ValueError:
+            return False
+
+    def idle(self) -> bool:
+        """No posted receives and no unexpected messages."""
+        return not self.posted and not self.unexpected

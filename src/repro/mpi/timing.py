@@ -1,0 +1,56 @@
+"""Per-call time attribution (reproduces Table 1 of the paper).
+
+Simulated time spent inside each MPI API call is accumulated per
+category.  Only the *outermost* call records (``MPI_Send`` implemented as
+isend+wait is charged to "send", not split), mirroring how the paper's
+instrumentation wraps the user-visible MPI functions.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+__all__ = ["CallTimer"]
+
+
+class CallTimer:
+    """Accumulates simulated seconds per MPI call category for one rank."""
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = defaultdict(float)
+        self.counts: dict[str, int] = defaultdict(int)
+        self._depth = 0
+        self._cat: str = ""
+        self._t0 = 0.0
+
+    def enter(self, cat: str, now: float) -> None:
+        """Begin an API call; only the outermost category records."""
+        self._depth += 1
+        if self._depth == 1:
+            self._cat = cat
+            self._t0 = now
+
+    def exit(self, now: float) -> None:
+        """End the innermost open call."""
+        if self._depth <= 0:
+            raise RuntimeError("CallTimer.exit without matching enter")
+        self._depth -= 1
+        if self._depth == 0:
+            self.totals[self._cat] += now - self._t0
+            self.counts[self._cat] += 1
+
+    def get(self, cat: str) -> float:
+        """Accumulated seconds for one category."""
+        return self.totals.get(cat, 0.0)
+
+    def total(self) -> float:
+        """Accumulated seconds across all categories."""
+        return sum(self.totals.values())
+
+    def comm_total(self) -> float:
+        """Everything except compute (the paper's 'communication time')."""
+        return sum(v for k, v in self.totals.items() if k != "compute")
+
+    def snapshot(self) -> dict[str, float]:
+        """A plain-dict copy of the per-category totals."""
+        return dict(self.totals)

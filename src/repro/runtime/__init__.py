@@ -1,0 +1,22 @@
+"""Deployment runtime: cluster assembly, connection fabric, mpirun."""
+
+from .cluster import Cluster
+from .config import DEFAULT_TESTBED, TestbedConfig
+from .fabric import Acceptor, ConnectionRefused, Fabric
+from .mpirun import run_job
+from .results import JobResult
+
+__all__ = [
+    "Cluster",
+    "DEFAULT_TESTBED",
+    "TestbedConfig",
+    "Acceptor",
+    "ConnectionRefused",
+    "Fabric",
+    "run_job",
+    "JobResult",
+]
+
+from .progfile import DeploymentPlan, parse_progfile  # noqa: E402
+
+__all__ += ["DeploymentPlan", "parse_progfile"]

@@ -1,0 +1,79 @@
+"""Connection fabric: a naming service for dynamic stream establishment.
+
+The P4 baseline wires a static all-to-all mesh, but the fault-tolerant
+runtimes need *dynamic* connections: a restarted daemon (possibly on a
+different machine) must reconnect to its peers, the event logger, the
+checkpoint server and the dispatcher.  Services listen under well-known
+names ("daemon:3", "el:0", "cs:0", "dispatcher"); connecting creates a
+fresh stream and delivers ``(stream_end, hello)`` to the listener's accept
+queue — the simulated analogue of listen/accept on a known port.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..simnet.kernel import Queue, Simulator
+from ..simnet.node import Host, HostDown
+from ..simnet.streams import Stream, StreamEnd
+from .cluster import Cluster
+
+__all__ = ["Acceptor", "Fabric", "ConnectionRefused"]
+
+
+class ConnectionRefused(Exception):
+    """No live listener under that name."""
+
+
+class Acceptor:
+    """A service's accept queue."""
+
+    def __init__(self, sim: Simulator, name: str, host: Host) -> None:
+        self.name = name
+        self.host = host
+        self.queue: Queue = Queue(sim, name=f"accept:{name}")
+        self.closed = False
+
+    def accept(self):
+        """Future of the next ``(stream_end, hello)`` connection."""
+        return self.queue.get()
+
+
+class Fabric:
+    """The naming service (conceptually: everyone knows the program file)."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self._listeners: dict[str, Acceptor] = {}
+
+    def listen(self, name: str, host: Host) -> Acceptor:
+        """Register (or re-register, after a restart) a named listener."""
+        acc = Acceptor(self.cluster.sim, name, host)
+        old = self._listeners.get(name)
+        if old is not None:
+            old.closed = True
+        self._listeners[name] = acc
+        return acc
+
+    def unlisten(self, name: str, acceptor: Acceptor) -> None:
+        """Withdraw a listener (future connects are refused)."""
+        if self._listeners.get(name) is acceptor:
+            del self._listeners[name]
+        acceptor.closed = True
+
+    def connect(
+        self, from_host: Host, name: str, hello: Any = None, window: Optional[int] = None
+    ) -> StreamEnd:
+        """Open a stream to the named service; returns the local endpoint.
+
+        Raises :class:`ConnectionRefused` when the listener is absent or
+        its host is down (the caller retries, as a real connect() would).
+        """
+        acc = self._listeners.get(name)
+        if acc is None or acc.closed or acc.host.failed:
+            raise ConnectionRefused(name)
+        if from_host.failed:
+            raise HostDown(from_host.name)
+        stream = self.cluster.connect(from_host, acc.host, window=window)
+        acc.queue.put((stream.end_for(acc.host), hello))
+        return stream.end_for(from_host)

@@ -1,0 +1,122 @@
+"""mpirun: launch an MPI program on a simulated deployment.
+
+The user-facing entry point is :func:`run_job`: pick a device
+("p4", "v1", "v2"), a program (a generator function taking an
+:class:`~repro.mpi.api.MPI` context), a process count, and run.  Device
+launchers encapsulate the paper's per-implementation deployments:
+
+* **p4** — computing nodes only, all-to-all direct streams;
+* **v1** — computing nodes + reliable Channel Memory nodes (default 1 CM
+  per 4 CNs, the ratio of the paper's Figure 8 setup);
+* **v2** — computing nodes + reliable node(s) hosting the dispatcher,
+  event logger and checkpoint scheduler, + checkpoint server; full fault
+  tolerance (failure injection, restart, replay).
+
+Launchers for the fault-tolerant devices live in their packages; this
+module wires the common scaffolding (hosts, streams, rank processes) and
+collects :class:`JobResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from ..devices.p4 import P4Device
+from ..mpi.api import MPI
+from ..simnet.kernel import Future, all_of
+from .cluster import Cluster
+from .config import DEFAULT_TESTBED, TestbedConfig
+from .results import JobResult
+
+__all__ = ["run_job", "rank_main"]
+
+Program = Callable[..., Generator[Future, Any, Any]]
+
+
+def rank_main(mpi: MPI, program: Program, params: dict[str, Any]):
+    """The wrapper every rank runs: init, program, finalize."""
+    yield from mpi.init()
+    result = yield from program(mpi, **params)
+    yield from mpi.finalize()
+    return (mpi.sim.now, result)
+
+
+def run_job(
+    program: Program,
+    nprocs: int,
+    device: str = "p4",
+    cfg: TestbedConfig = DEFAULT_TESTBED,
+    params: Optional[dict[str, Any]] = None,
+    trace: bool = False,
+    seed: int = 0,
+    limit: Optional[float] = None,
+    **device_kw: Any,
+) -> JobResult:
+    """Run ``program`` on ``nprocs`` simulated processes; block to completion.
+
+    ``limit`` bounds simulated seconds (raises if exceeded).  Extra keyword
+    arguments are forwarded to the device launcher (fault schedules,
+    checkpoint policies, event-logger counts, ...).
+    """
+    params = params or {}
+    if device == "p4":
+        return _run_p4(program, nprocs, cfg, params, trace, seed, limit, **device_kw)
+    if device == "v1":
+        from ..devices.v1 import run_v1_job
+
+        return run_v1_job(program, nprocs, cfg, params, trace, seed, limit, **device_kw)
+    if device == "v2":
+        from ..ft.dispatcher import run_v2_job
+
+        return run_v2_job(program, nprocs, cfg, params, trace, seed, limit, **device_kw)
+    raise ValueError(f"unknown device {device!r} (expected p4/v1/v2)")
+
+
+def _run_p4(
+    program: Program,
+    nprocs: int,
+    cfg: TestbedConfig,
+    params: dict[str, Any],
+    trace: bool,
+    seed: int,
+    limit: Optional[float],
+) -> JobResult:
+    cluster = Cluster(cfg, seed=seed, trace=trace)
+    sim = cluster.sim
+    hosts = [cluster.add_cn(f"cn{r}", full_duplex=False) for r in range(nprocs)]
+
+    devices = [
+        P4Device(sim, cfg, r, nprocs, hosts[r], tracer=cluster.tracer)
+        for r in range(nprocs)
+    ]
+    # all-to-all streams
+    ends: list[dict[int, Any]] = [dict() for _ in range(nprocs)]
+    for i in range(nprocs):
+        for j in range(i + 1, nprocs):
+            s = cluster.connect(hosts[i], hosts[j])
+            ends[i][j] = s.end_for(hosts[i])
+            ends[j][i] = s.end_for(hosts[j])
+    for r in range(nprocs):
+        devices[r].wire(ends[r])
+
+    mpis = [
+        MPI(sim, r, nprocs, devices[r], tracer=cluster.tracer) for r in range(nprocs)
+    ]
+    procs = []
+    for r in range(nprocs):
+        p = sim.spawn(rank_main(mpis[r], program, params), name=f"rank{r}")
+        hosts[r].register(p)
+        procs.append(p)
+
+    done = all_of(sim, [p.done for p in procs])
+    outcome = sim.run_until(done, limit=limit)
+    finish_times = [t for t, _ in outcome]
+    return JobResult(
+        nprocs=nprocs,
+        device="p4",
+        elapsed=max(finish_times),
+        results=[res for _, res in outcome],
+        timers={r: mpis[r].timer for r in range(nprocs)},
+        tracer=cluster.tracer,
+        stats={r: devices[r].stats.snapshot() for r in range(nprocs)},
+    )

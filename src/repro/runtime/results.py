@@ -1,0 +1,39 @@
+"""Job results: what a completed (possibly faulty) MPI run reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..mpi.timing import CallTimer
+from ..simnet.trace import Tracer
+
+__all__ = ["JobResult"]
+
+
+@dataclass
+class JobResult:
+    """Outcome of one simulated mpirun."""
+
+    nprocs: int
+    device: str
+    elapsed: float  # simulated seconds, start to last rank's finalize
+    results: list[Any]  # per-rank return values of the program
+    timers: dict[int, CallTimer]  # per-rank call-time attribution
+    tracer: Optional[Tracer] = None
+    stats: dict[int, dict[str, int]] = field(default_factory=dict)
+    restarts: int = 0  # how many process restarts occurred
+    checkpoints: int = 0  # how many checkpoints completed
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def timer_sum(self, cat: str) -> float:
+        """Sum of one call category's time across all ranks."""
+        return sum(t.get(cat) for t in self.timers.values())
+
+    def comm_time(self, rank: int) -> float:
+        """One rank's total non-compute (communication) time."""
+        return self.timers[rank].comm_total()
+
+    def compute_time(self, rank: int) -> float:
+        """One rank's total computation time."""
+        return self.timers[rank].get("compute")

@@ -1,0 +1,17 @@
+"""The checkpoint-scheduling policy study of Section 4.6.2."""
+
+from .policies import Adaptive, POLICY_NAMES, RoundRobin, make_policy
+from .schemes import SCHEMES, Scheme, scheme
+from .simulator import SchedOutcome, simulate
+
+__all__ = [
+    "Adaptive",
+    "POLICY_NAMES",
+    "RoundRobin",
+    "make_policy",
+    "SCHEMES",
+    "Scheme",
+    "scheme",
+    "SchedOutcome",
+    "simulate",
+]

@@ -1,0 +1,83 @@
+"""Checkpoint-ordering policies for the §4.6.2 study."""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+import numpy as np
+
+__all__ = ["RoundRobin", "Adaptive", "POLICY_NAMES", "make_policy"]
+
+
+class RoundRobin:
+    """The paper's baseline: cycle through the nodes.
+
+    "The main advantage of the round-robin algorithm is its lack of
+    communication between the scheduler and the nodes. Its main problem
+    comes from the asymmetry of some communication schemes."
+    """
+
+    name = "round_robin"
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self._next = 0
+
+    def pick(self, logged: np.ndarray, sent: np.ndarray, recv: np.ndarray) -> int:
+        """Next node to checkpoint."""
+        node = self._next
+        self._next = (self._next + 1) % self.n
+        return node
+
+
+class Adaptive:
+    """The paper's adaptive policy.
+
+    "considering the ratio 'amount of received messages' over 'amount of
+    sent messages' for each computing node. It computes a scheduling
+    following a decreasing order of this ratio across the nodes."
+
+    The policy schedules whole *cycles*: at the start of each cycle it
+    sorts the nodes by decreasing received-over-sent ratio and orders the
+    checkpoints in that sequence.  Heavy receivers go first — their
+    checkpoints garbage-collect the payload copies their senders hold —
+    and heavy senders go last, by which point their logs have been
+    collected and their images are small.  On a symmetric scheme the
+    order degenerates to round-robin (the "never worse" half of the
+    paper's claim); on an asynchronous broadcast it avoids ever moving
+    the root's giant log (the "up to n times better" half).
+    """
+
+    name = "adaptive"
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self._queue: list[int] = []
+
+    def pick(self, logged: np.ndarray, sent: np.ndarray, recv: np.ndarray) -> int:
+        """Next node to checkpoint (cycle sorted by recv/sent ratio)."""
+        if not self._queue:
+            ratio = recv / np.maximum(sent, 1.0)
+            # the schedule "does not have to be fair" (§4.6.2): nodes that
+            # receive nothing gain nothing from a checkpoint — their logs
+            # are freed by their *receivers'* checkpoints — and hauling
+            # their images (proportional to the emitted bytes) is pure
+            # waste.  Keep only the receivers, in decreasing-ratio order.
+            useful = ratio > 0
+            if not useful.any():
+                useful[:] = True
+            order = np.argsort(-ratio, kind="stable")
+            self._queue = [int(i) for i in order if useful[i]]
+        return self._queue.pop(0)
+
+
+POLICY_NAMES = ("round_robin", "adaptive")
+
+
+def make_policy(name: str, n: int):
+    """Instantiate a policy by name (round_robin or adaptive)."""
+    if name == "round_robin":
+        return RoundRobin(n)
+    if name == "adaptive":
+        return Adaptive(n)
+    raise ValueError(f"unknown policy {name!r}")

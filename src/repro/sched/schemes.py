@@ -1,0 +1,89 @@
+"""Communication schemes for the checkpoint-scheduling study (§4.6.2).
+
+The paper: "We have built a simulator and have compared the two policies
+with classical communication schemes (point to point, synchronous all to
+all, broadcasts and reduces)."  A scheme is a matrix of steady-state
+traffic rates: ``rate[j, i]`` bytes/s flow from node j to node i — every
+such byte is retained in j's sender-based log until *i* checkpoints
+(garbage collection removes, on each sender, the copies destined to the
+checkpointed receiver).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Scheme", "SCHEMES", "scheme"]
+
+
+@dataclass(frozen=True)
+class Scheme:
+    """Steady-state pairwise traffic of one communication pattern."""
+
+    name: str
+    rate: np.ndarray  # rate[j, i]: bytes/s logged on j, destined to i
+
+    @property
+    def n(self) -> int:
+        """Number of computing nodes in the scheme."""
+        return self.rate.shape[0]
+
+    def send_rate(self) -> np.ndarray:
+        """Per-node bytes/s logged (summed over destinations)."""
+        return self.rate.sum(axis=1)
+
+    def recv_rate(self) -> np.ndarray:
+        """Per-node bytes/s received (summed over senders)."""
+        return self.rate.sum(axis=0)
+
+
+def point_to_point(n: int, rate: float = 1e6) -> Scheme:
+    """Ring of symmetric pairwise exchanges."""
+    m = np.zeros((n, n))
+    for j in range(n):
+        m[j, (j + 1) % n] = rate
+        m[j, (j - 1) % n] = rate
+    return Scheme("point_to_point", m)
+
+
+def all_to_all(n: int, rate: float = 1e6) -> Scheme:
+    """Synchronous all-to-all: perfectly symmetric."""
+    m = np.full((n, n), rate)
+    np.fill_diagonal(m, 0.0)
+    return Scheme("all_to_all", m)
+
+
+def broadcast(n: int, rate: float = 1e6) -> Scheme:
+    """Asynchronous broadcast from a flat root: the pathological case.
+
+    The root's log grows (n-1) times faster than anything else; a fair
+    round-robin scheduler garbage-collects it only piecemeal and hauls
+    its giant image once per cycle, while the adaptive policy (highest
+    received-over-sent ratio first) keeps checkpointing the receivers —
+    which is what actually frees the root's log.
+    """
+    m = np.zeros((n, n))
+    m[0, 1:] = rate
+    return Scheme("broadcast", m)
+
+
+def reduce_(n: int, rate: float = 1e6) -> Scheme:
+    """Flat reduce to a root: every leaf logs its contributions."""
+    m = np.zeros((n, n))
+    m[1:, 0] = rate
+    return Scheme("reduce", m)
+
+
+SCHEMES = {
+    "point_to_point": point_to_point,
+    "all_to_all": all_to_all,
+    "broadcast": broadcast,
+    "reduce": reduce_,
+}
+
+
+def scheme(name: str, n: int, rate: float = 1e6) -> Scheme:
+    """Build the named scheme for ``n`` nodes at ``rate`` bytes/s."""
+    return SCHEMES[name](n, rate)

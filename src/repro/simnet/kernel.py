@@ -1,0 +1,580 @@
+"""Discrete-event simulation kernel.
+
+The kernel executes *simulated processes* — plain Python generators that
+``yield`` :class:`Future` objects when they block.  Time advances only
+through scheduled events; the simulation is fully deterministic given the
+order of scheduling calls (ties on the event heap are broken by a
+monotonically increasing sequence number).
+
+Conventions used throughout the code base:
+
+* a *primitive* blocking operation returns a :class:`Future`; a process
+  blocks on it with ``value = yield fut``;
+* a *composite* blocking operation is a generator function and is invoked
+  with ``value = yield from op(...)``.
+
+Processes can be killed abruptly (modelling a node crash): a killed
+process is never resumed again and its completion future fails with
+:class:`Killed`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "SimError",
+    "DeadlockError",
+    "Killed",
+    "Future",
+    "Process",
+    "Simulator",
+    "Queue",
+    "Gate",
+    "Semaphore",
+    "wait",
+    "all_of",
+    "any_of",
+]
+
+
+class SimError(Exception):
+    """Base class for simulation-kernel errors."""
+
+
+class DeadlockError(SimError):
+    """The event queue drained while some process was still blocked."""
+
+
+class Killed(SimError):
+    """Raised into the completion future of a killed process."""
+
+
+class Future:
+    """A one-shot completion token.
+
+    A future is resolved with a value exactly once (or failed with an
+    exception exactly once).  Callbacks registered with
+    :meth:`add_done_callback` fire synchronously at resolution time, in
+    registration order.
+    """
+
+    __slots__ = ("_sim", "_done", "_value", "_exc", "_callbacks", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self._sim = sim
+        self._done = False
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._callbacks: list[Callable[["Future"], None]] = []
+        self.name = name
+
+    # -- inspection ------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """Has the future been resolved or failed?"""
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        """The result; raises the stored exception for failed futures."""
+        if not self._done:
+            raise SimError(f"future {self.name!r} not resolved yet")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The stored exception, or None (also while pending)."""
+        return self._exc if self._done else None
+
+    # -- resolution ------------------------------------------------------
+    def resolve(self, value: Any = None) -> None:
+        """Complete the future with ``value`` (exactly once)."""
+        if self._done:
+            raise SimError(f"future {self.name!r} resolved twice")
+        self._done = True
+        self._value = value
+        self._fire()
+
+    def fail(self, exc: BaseException) -> None:
+        """Complete the future with an exception (exactly once)."""
+        if self._done:
+            raise SimError(f"future {self.name!r} resolved twice")
+        self._done = True
+        self._exc = exc
+        self._fire()
+
+    def resolve_if_pending(self, value: Any = None) -> bool:
+        """Resolve unless already done; returns whether it resolved now."""
+        if self._done:
+            return False
+        self.resolve(value)
+        return True
+
+    def fail_if_pending(self, exc: BaseException) -> bool:
+        """Fail unless already done; returns whether it failed now."""
+        if self._done:
+            return False
+        self.fail(exc)
+        return True
+
+    def add_done_callback(self, fn: Callable[["Future"], None]) -> None:
+        """Run ``fn(self)`` at resolution (immediately if already done)."""
+        if self._done:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _fire(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._done else "pending"
+        return f"<Future {self.name!r} {state}>"
+
+
+def wait(fut: Future) -> Generator[Future, Any, Any]:
+    """Composite form of blocking on a future (``yield from wait(f)``)."""
+    value = yield fut
+    return value
+
+
+def all_of(sim: "Simulator", futures: Iterable[Future]) -> Future:
+    """A future resolved (with the list of values) when all inputs are.
+
+    Fails with the first failure among the inputs.
+    """
+    futures = list(futures)
+    out = Future(sim, name="all_of")
+    remaining = len(futures)
+    if remaining == 0:
+        out.resolve([])
+        return out
+
+    state = {"left": remaining}
+
+    def on_done(f: Future) -> None:
+        if out.done:
+            return
+        if f.exception is not None:
+            out.fail(f.exception)
+            return
+        state["left"] -= 1
+        if state["left"] == 0:
+            out.resolve([fut.value for fut in futures])
+
+    for f in futures:
+        f.add_done_callback(on_done)
+    return out
+
+
+def any_of(sim: "Simulator", futures: Iterable[Future]) -> Future:
+    """A future resolved with ``(index, value)`` of the first completion."""
+    futures = list(futures)
+    out = Future(sim, name="any_of")
+    if not futures:
+        raise ValueError("any_of() requires at least one future")
+
+    def make_cb(i: int) -> Callable[[Future], None]:
+        def on_done(f: Future) -> None:
+            if out.done:
+                return
+            if f.exception is not None:
+                out.fail(f.exception)
+            else:
+                out.resolve((i, f.value))
+
+        return on_done
+
+    for i, f in enumerate(futures):
+        f.add_done_callback(make_cb(i))
+    return out
+
+
+class Process:
+    """Drives a generator as a simulated process.
+
+    The generator may ``yield`` futures (blocking) and ``return`` a final
+    value, which resolves :attr:`done`.  Unhandled exceptions fail
+    :attr:`done`; unless the process was spawned with ``supervised=True``
+    the simulator records it as a crash and re-raises at the end of
+    :meth:`Simulator.run`.
+    """
+
+    __slots__ = ("sim", "gen", "name", "alive", "done", "supervised", "_waiting_on")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        gen: Generator[Future, Any, Any],
+        name: str,
+        supervised: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.alive = True
+        self.supervised = supervised
+        self.done = Future(sim, name=f"{name}.done")
+        self._waiting_on: Optional[Future] = None
+        sim._processes.append(self)
+        sim.after(0.0, lambda: self._step(None, None))
+
+    def kill(self) -> None:
+        """Abruptly terminate the process (models a crash).
+
+        The generator is closed, the completion future fails with
+        :class:`Killed` and the process is never resumed again.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self._waiting_on = None
+        try:
+            self.gen.close()
+        except Exception:  # pragma: no cover - close() misbehaving apps
+            pass
+        self.done.fail_if_pending(Killed(self.name))
+
+    # -- stepping --------------------------------------------------------
+    def _resume(self, fut: Future) -> None:
+        if not self.alive or self.sim._stopped:
+            return
+        if fut.exception is not None:
+            self._step(None, fut.exception)
+        else:
+            self._step(fut._value, None)
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        if not self.alive:
+            return
+        self._waiting_on = None
+        try:
+            if exc is not None:
+                yielded = self.gen.throw(exc)
+            else:
+                yielded = self.gen.send(value)
+        except StopIteration as stop:
+            self.alive = False
+            self.done.resolve_if_pending(stop.value)
+            return
+        except Killed as killed:
+            self.alive = False
+            self.done.fail_if_pending(killed)
+            return
+        except BaseException as err:
+            self.alive = False
+            self.done.fail_if_pending(err)
+            if not self.supervised:
+                self.sim._crashes.append((self, err))
+            return
+        if not isinstance(yielded, Future):
+            err2 = SimError(
+                f"process {self.name!r} yielded {type(yielded).__name__}, "
+                "expected a Future"
+            )
+            self.alive = False
+            self.done.fail_if_pending(err2)
+            self.sim._crashes.append((self, err2))
+            return
+        self._waiting_on = yielded
+        yielded.add_done_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "dead"
+        return f"<Process {self.name!r} {state}>"
+
+
+class Simulator:
+    """The event loop: a heap of ``(time, seq, callback)`` entries."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._processes: list[Process] = []
+        self._crashes: list[tuple[Process, BaseException]] = []
+        self._stopped = False
+
+    # -- scheduling ------------------------------------------------------
+    def at(self, time: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimError(f"cannot schedule in the past ({time} < {self.now})")
+        heapq.heappush(self._heap, (time, self._seq, fn))
+        self._seq += 1
+
+    def after(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimError(f"negative delay {delay}")
+        self.at(self.now + delay, fn)
+
+    def timeout(self, delay: float, value: Any = None) -> Future:
+        """A future that resolves ``delay`` seconds from now."""
+        fut = Future(self, name=f"timeout({delay:g})")
+        self.after(delay, lambda: fut.resolve_if_pending(value))
+        return fut
+
+    def future(self, name: str = "") -> Future:
+        """Allocate an unresolved future."""
+        return Future(self, name=name)
+
+    def spawn(
+        self,
+        gen: Generator[Future, Any, Any],
+        name: str = "proc",
+        supervised: bool = False,
+    ) -> Process:
+        """Start a new simulated process from a generator."""
+        return Process(self, gen, name=name, supervised=supervised)
+
+    def sleep(self, delay: float) -> Generator[Future, Any, None]:
+        """Composite sleep: ``yield from sim.sleep(dt)``."""
+        yield self.timeout(delay)
+
+    # -- running ---------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the event queue drains or simulated ``until`` passes.
+
+        Re-raises the first unsupervised process crash, if any.
+        """
+        while self._heap and not self._stopped:
+            time, _, fn = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                break
+            heapq.heappop(self._heap)
+            self.now = time
+            fn()
+            if self._crashes:
+                proc, err = self._crashes[0]
+                raise SimError(f"process {proc.name!r} crashed") from err
+        if until is not None and not self._stopped and self.now < until:
+            self.now = until
+
+    def run_until(self, fut: Future, limit: Optional[float] = None) -> Any:
+        """Run until ``fut`` resolves; raise :class:`DeadlockError` if the
+        event queue drains first, or :class:`SimError` if ``limit`` simulated
+        seconds pass first."""
+        while not fut.done and self._heap and not self._stopped:
+            time, _, fn = heapq.heappop(self._heap)
+            if limit is not None and time > limit:
+                raise SimError(
+                    f"simulated time limit {limit} exceeded waiting for "
+                    f"{fut.name!r} (now={time})"
+                )
+            self.now = time
+            fn()
+            if self._crashes:
+                proc, err = self._crashes[0]
+                raise SimError(f"process {proc.name!r} crashed") from err
+        if not fut.done:
+            raise DeadlockError(
+                f"event queue drained; {fut.name!r} never resolved; "
+                f"blocked: {self.blocked_processes()}"
+            )
+        return fut.value
+
+    def stop(self) -> None:
+        """Stop the event loop at the current time."""
+        self._stopped = True
+
+    # -- diagnostics -----------------------------------------------------
+    def blocked_processes(self) -> list[str]:
+        """Human-readable list of alive processes and their waits."""
+        out = []
+        for p in self._processes:
+            if p.alive and p._waiting_on is not None:
+                out.append(f"{p.name} on {p._waiting_on.name or '<future>'}")
+        return out
+
+
+class Queue:
+    """An unbounded FIFO mailbox usable by simulated processes.
+
+    ``put`` is immediate; ``get`` blocks until an item is available.
+    A queue can be *broken* (e.g. the peer crashed): pending and future
+    ``get`` calls then fail with the supplied exception.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "queue") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: list[Any] = []
+        self._getters: list[Future] = []
+        self._watchers: list[Future] = []
+        self._broken: Optional[BaseException] = None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Enqueue an item (never blocks); wakes one getter."""
+        if self._broken is not None:
+            return  # messages to a broken queue are dropped
+        if self._getters:
+            self._getters.pop(0).resolve(item)
+        else:
+            self._items.append(item)
+            watchers, self._watchers = self._watchers, []
+            for fut in watchers:
+                fut.resolve_if_pending(None)
+
+    def get(self) -> Future:
+        """A future for the next item (primitive form: ``yield q.get()``)."""
+        fut = Future(self.sim, name=f"{self.name}.get")
+        if self._broken is not None:
+            fut.fail(self._broken)
+        elif self._items:
+            fut.resolve(self._items.pop(0))
+        else:
+            self._getters.append(fut)
+        return fut
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Nonblocking get: (ok, item)."""
+        if self._items:
+            return True, self._items.pop(0)
+        return False, None
+
+    def when_nonempty(self) -> Future:
+        """A future resolved once an item is available (without taking it).
+
+        After it resolves, the caller should re-check with :meth:`try_get`
+        (another consumer may have raced it in the same tick).
+        """
+        fut = Future(self.sim, name=f"{self.name}.nonempty")
+        if self._broken is not None:
+            fut.fail(self._broken)
+        elif self._items:
+            fut.resolve(None)
+        else:
+            self._watchers.append(fut)
+        return fut
+
+    def peek_all(self) -> list[Any]:
+        """Snapshot of the queued items (not consumed)."""
+        return list(self._items)
+
+    def break_(self, exc: BaseException) -> None:
+        """Fail all pending and future gets (peer disconnected/crashed)."""
+        self._broken = exc
+        getters, self._getters = self._getters, []
+        for fut in getters:
+            fut.fail_if_pending(exc)
+        watchers, self._watchers = self._watchers, []
+        for fut in watchers:
+            fut.fail_if_pending(exc)
+
+
+class Gate:
+    """A level-triggered condition: processes wait until the gate opens."""
+
+    def __init__(self, sim: Simulator, opened: bool = False, name: str = "gate") -> None:
+        self.sim = sim
+        self.name = name
+        self._open = opened
+        self._waiters: list[Future] = []
+
+    @property
+    def is_open(self) -> bool:
+        """Is the gate currently open?"""
+        return self._open
+
+    def open(self) -> None:
+        """Open the gate; wakes every waiter."""
+        self._open = True
+        waiters, self._waiters = self._waiters, []
+        for fut in waiters:
+            fut.resolve_if_pending(None)
+
+    def close(self) -> None:
+        """Close the gate; future waiters block."""
+        self._open = False
+
+    def waitfor(self) -> Future:
+        """A future resolved when (or while) the gate is open."""
+        fut = Future(self.sim, name=f"{self.name}.wait")
+        if self._open:
+            fut.resolve(None)
+        else:
+            self._waiters.append(fut)
+        return fut
+
+
+class Semaphore:
+    """A counting semaphore with FIFO acquire ordering."""
+
+    def __init__(self, sim: Simulator, tokens: int, name: str = "sem") -> None:
+        if tokens < 0:
+            raise ValueError("tokens must be >= 0")
+        self.sim = sim
+        self.name = name
+        self._tokens = tokens
+        self._waiters: list[tuple[int, Future]] = []
+        self._observers: list[tuple[int, Future]] = []
+        self._broken: Optional[BaseException] = None
+
+    @property
+    def tokens(self) -> int:
+        """Currently available tokens."""
+        return self._tokens
+
+    def acquire(self, n: int = 1) -> Future:
+        """A future resolved once ``n`` tokens have been taken."""
+        fut = Future(self.sim, name=f"{self.name}.acquire({n})")
+        if self._broken is not None:
+            fut.fail(self._broken)
+        elif not self._waiters and self._tokens >= n:
+            self._tokens -= n
+            fut.resolve(None)
+        else:
+            self._waiters.append((n, fut))
+        return fut
+
+    def release(self, n: int = 1) -> None:
+        """Return ``n`` tokens; wakes waiters FIFO."""
+        self._tokens += n
+        while self._waiters and self._tokens >= self._waiters[0][0]:
+            need, fut = self._waiters.pop(0)
+            self._tokens -= need
+            fut.resolve_if_pending(None)
+        if self._observers:
+            still = []
+            for need, fut in self._observers:
+                if self._tokens >= need:
+                    fut.resolve_if_pending(None)
+                else:
+                    still.append((need, fut))
+            self._observers = still
+
+    def break_(self, exc: BaseException) -> None:
+        """Fail all pending and future acquires (resource vanished)."""
+        self._broken = exc
+        waiters, self._waiters = self._waiters, []
+        for _, fut in waiters:
+            fut.fail_if_pending(exc)
+        observers, self._observers = self._observers, []
+        for _, fut in observers:
+            fut.fail_if_pending(exc)
+
+    def when_available(self, n: int = 1) -> Future:
+        """A future resolved once ``n`` tokens exist (without taking them).
+
+        The caller must re-check (and possibly wait again): tokens may be
+        taken by another process in the same tick.
+        """
+        fut = Future(self.sim, name=f"{self.name}.avail({n})")
+        if self._broken is not None:
+            fut.fail(self._broken)
+        elif self._tokens >= n:
+            fut.resolve(None)
+        else:
+            self._observers.append((n, fut))
+        return fut

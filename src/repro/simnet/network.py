@@ -1,0 +1,138 @@
+"""The switched-Ethernet network model.
+
+The paper's testbed is a 48-port 100 Mbit/s switch: a non-blocking fabric
+where only the per-port NICs serialize traffic.  A segment transfer of
+``nbytes`` from host A to host B costs::
+
+    tx_start = when A's transmit side is free
+    duration = (nbytes + frame_overhead) / bandwidth + per_segment_gap
+    arrival  = B's receive side free after (tx_start + wire_latency),
+               plus the same duration (store-and-forward at the endpoint)
+
+plus fixed per-segment CPU costs at both endpoints (protocol stack
+traversal), which dominate small-message latency: the P4 0-byte one-way
+latency of ~77 microseconds is reproduced as
+``send_cpu + wire_latency + frame_time + recv_cpu``.
+
+Loopback (A == B) transfers move at memory-copy speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from .kernel import Simulator
+from .node import Host, HostDown
+from .trace import Tracer
+
+__all__ = ["LinkConfig", "Network"]
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Calibrated link parameters (defaults: the paper's Fast Ethernet)."""
+
+    bandwidth: float = 11.42e6  # effective payload bytes/s on the wire
+    wire_latency: float = 28e-6  # propagation + switch latency, seconds
+    frame_overhead: int = 58  # header bytes charged per segment
+    send_cpu: float = 4e-6  # per-segment NIC/DMA setup on the send side
+    recv_cpu: float = 18e-6  # per-segment receiver stack traversal
+    per_segment_gap: float = 4e-6  # interframe gap on the NIC
+    loopback_bandwidth: float = 400e6  # same-host memcpy speed
+    loopback_latency: float = 4e-6
+    # wide-area parameters for Grid deployments (hosts on different sites):
+    # a 2003-era inter-site path — a few ms one way, shared capacity below
+    # the cluster's Fast Ethernet
+    wan_latency: float = 2.5e-3
+    wan_bandwidth: float = 6e6
+
+
+class Network:
+    """Schedules segment transfers between hosts."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Optional[LinkConfig] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.sim = sim
+        self.link = link or LinkConfig()
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.hosts: dict[str, Host] = {}
+        self.bytes_moved = 0.0
+        self.segments_moved = 0
+
+    # -- topology ---------------------------------------------------------
+    def add_host(self, host: Host) -> Host:
+        """Attach a host to the switch (names must be unique)."""
+        if host.name in self.hosts:
+            raise ValueError(f"duplicate host {host.name!r}")
+        self.hosts[host.name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        """Look a host up by name."""
+        return self.hosts[name]
+
+    # -- transfers --------------------------------------------------------
+    def transfer(
+        self,
+        src: Host,
+        dst: Host,
+        nbytes: int,
+        on_arrival: Callable[[], None],
+        bulk: bool = False,
+    ) -> float:
+        """Schedule a one-way segment; returns the arrival time.
+
+        The caller is responsible for flow control (see ``streams``); the
+        network itself never queues unboundedly per-stream because writers
+        block on window credit.
+        """
+        if src.failed:
+            raise HostDown(src.name)
+        now = self.sim.now
+        if src is dst:
+            arrival = (
+                now
+                + self.link.loopback_latency
+                + nbytes / self.link.loopback_bandwidth
+            )
+            self.sim.at(arrival, on_arrival)
+            return arrival
+
+        same_site = src.site == dst.site
+        bandwidth = (
+            self.link.bandwidth
+            if same_site
+            else min(self.link.bandwidth, self.link.wan_bandwidth)
+        )
+        latency = self.link.wire_latency if same_site else self.link.wan_latency
+        duration = (
+            (nbytes + self.link.frame_overhead) / bandwidth
+            + self.link.per_segment_gap
+        )
+        coupling = nbytes if bulk else 0
+        tx_start = src.reserve_tx(now + self.link.send_cpu, duration, coupling)
+        rx_end = dst.reserve_rx(tx_start + latency, duration, coupling)
+        arrival = rx_end + self.link.recv_cpu
+
+        self.bytes_moved += nbytes
+        self.segments_moved += 1
+        self.tracer.emit(
+            now, "net.xfer", src=src.name, dst=dst.name, nbytes=nbytes, arrival=arrival
+        )
+        self.sim.at(arrival, on_arrival)
+        return arrival
+
+    def one_way_time(self, nbytes: int) -> float:
+        """Analytic unloaded one-way time for a single segment (no queueing)."""
+        return (
+            self.link.send_cpu
+            + self.link.wire_latency
+            + (nbytes + self.link.frame_overhead) / self.link.bandwidth
+            + self.link.per_segment_gap
+            + self.link.recv_cpu
+        )

@@ -1,0 +1,143 @@
+"""Simulated hosts.
+
+A :class:`Host` models one machine of the paper's testbed: a CPU with a
+sustained compute rate, RAM and swap budgets (used by the sender-based
+message log accounting), and a network interface.  The NIC is modelled by
+two scalar "free at" times — transmit and receive — which serialize
+transfers; a *half-duplex endpoint* (used for the MPICH-P4 driver, whose
+process does not service receptions while pushing a message) shares a
+single resource for both directions.
+
+Crashing a host kills every simulated process registered on it and breaks
+every attached stream; this is the fault model of the paper (fail-stop,
+detected through socket disconnection).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from .kernel import Process, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .streams import Stream
+
+__all__ = ["Host", "HostDown"]
+
+
+class HostDown(Exception):
+    """Raised by operations attempted on or against a crashed host."""
+
+
+class Host:
+    """One simulated machine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        cpu_flops: float = 3.0e8,
+        ram_bytes: int = 1 << 30,
+        swap_bytes: int = 1 << 30,
+        disk_bw: float = 10e6,
+        full_duplex: bool = True,
+        reliable: bool = False,
+        site: str = "site0",
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        #: Grid deployments span several clusters: hosts on different
+        #: sites communicate over the wide-area parameters of the link
+        self.site = site
+        self.cpu_flops = cpu_flops
+        self.ram_bytes = ram_bytes
+        self.swap_bytes = swap_bytes
+        self.disk_bw = disk_bw
+        self.full_duplex = full_duplex
+        self.reliable = reliable
+
+        self.failed = False
+        self.incarnation = 0
+        # NIC serialization state (absolute simulated times)
+        self._tx_free = 0.0
+        self._rx_free = 0.0
+        self._processes: list[Process] = []
+        self._streams: list["Stream"] = []
+        self.on_crash: list[Callable[["Host"], None]] = []
+
+    #: frames below this size never couple tx/rx on a half-duplex
+    #: endpoint: the P4 driver's read starvation only matters while it is
+    #: busy pushing bulk payload chunks, not for small control frames
+    HALF_DUPLEX_MIN_BYTES = 8192
+
+    # -- NIC resource ----------------------------------------------------
+    def _coupled(self, nbytes: int) -> bool:
+        return not self.full_duplex and nbytes >= self.HALF_DUPLEX_MIN_BYTES
+
+    def reserve_tx(self, start: float, duration: float, nbytes: int = 0) -> float:
+        """Reserve the transmit side; returns actual transmission start."""
+        coupled = self._coupled(nbytes)
+        free = max(self._tx_free, self._rx_free) if coupled else self._tx_free
+        begin = max(start, free)
+        end = begin + duration
+        self._tx_free = end
+        if coupled:
+            self._rx_free = max(self._rx_free, end)
+        return begin
+
+    def reserve_rx(self, start: float, duration: float, nbytes: int = 0) -> float:
+        """Reserve the receive side; returns the reception completion time."""
+        coupled = self._coupled(nbytes)
+        free = max(self._tx_free, self._rx_free) if coupled else self._rx_free
+        begin = max(start, free)
+        end = begin + duration
+        self._rx_free = end
+        if coupled:
+            self._tx_free = max(self._tx_free, end)
+        return end
+
+    # -- process / stream registry ---------------------------------------
+    def register(self, proc: Process) -> None:
+        """Bind a simulated process to this machine (dies with it)."""
+        if self.failed:
+            raise HostDown(self.name)
+        self._processes.append(proc)
+
+    def attach_stream(self, stream: "Stream") -> None:
+        """Track a stream so a crash can break it."""
+        self._streams.append(stream)
+
+    # -- failure ---------------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop: kill all local processes and break all streams."""
+        if self.failed:
+            return
+        if self.reliable:
+            raise HostDown(f"reliable host {self.name} cannot be crashed")
+        self.failed = True
+        procs, self._processes = self._processes, []
+        for p in procs:
+            p.kill()
+        streams, self._streams = self._streams, []
+        for s in streams:
+            s.break_both(self)
+        for cb in list(self.on_crash):
+            cb(self)
+
+    def restart(self) -> None:
+        """Bring the machine back up (empty, a fresh boot)."""
+        if not self.failed:
+            return
+        self.failed = False
+        self.incarnation += 1
+        self._tx_free = self.sim.now
+        self._rx_free = self.sim.now
+
+    # -- compute ---------------------------------------------------------
+    def compute_seconds(self, flops: float) -> float:
+        """Wall time for ``flops`` floating point operations."""
+        return flops / self.cpu_flops
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "down" if self.failed else "up"
+        return f"<Host {self.name} {state}>"

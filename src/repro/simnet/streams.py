@@ -1,0 +1,213 @@
+"""Flow-controlled, ordered byte streams (the simulated TCP connections).
+
+A :class:`Stream` joins two endpoints on two hosts.  Each direction has a
+*window* (the peer's receive buffer, default 64 KiB): a writer blocks once
+it has that many bytes outstanding that the reader has not consumed.  This
+is the mechanism behind Figure 9 of the paper — the P4 driver does not
+drain incoming segments while pushing a message, so its peer stalls on a
+full window, serializing the two directions; the V2 daemon drains after
+every chunk and keeps both directions flowing.
+
+Streams deliver segments in order and break atomically when either host
+crashes: pending and future reads/writes fail with :class:`Disconnected`
+(the paper's fault detector is exactly this socket-disconnection signal),
+and in-flight segments are dropped — matching the paper's assumption that
+"a message is always completely received or not at all".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .kernel import Future, Queue, Semaphore, Simulator
+from .network import Network
+from .node import Host
+
+__all__ = ["Disconnected", "Stream", "StreamEnd", "DEFAULT_WINDOW"]
+
+DEFAULT_WINDOW = 64 * 1024
+
+
+class Disconnected(Exception):
+    """The peer endpoint vanished (host crash or explicit close)."""
+
+    def __init__(self, stream_name: str, cause: Any = None) -> None:
+        super().__init__(f"stream {stream_name} disconnected ({cause})")
+        self.stream_name = stream_name
+        self.cause = cause
+
+
+class StreamEnd:
+    """One side of a stream."""
+
+    def __init__(self, stream: "Stream", host: Host, label: str) -> None:
+        self.stream = stream
+        self.host = host
+        self.label = label
+        self.peer: "StreamEnd" = None  # type: ignore[assignment]  # set by Stream
+        # credit tokens = free bytes in the *peer's* receive buffer
+        self._wcredit = Semaphore(
+            stream.net.sim, stream.window, name=f"{stream.name}.{label}.credit"
+        )
+        self._rx: Queue = Queue(stream.net.sim, name=f"{stream.name}.{label}.rx")
+        self.broken: Optional[Disconnected] = None
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # -- writing ----------------------------------------------------------
+    def write(
+        self, nbytes: int, payload: Any = None, bulk: bool = False
+    ) -> Generator[Future, Any, None]:
+        """Send one segment; blocks while the peer's window is full.
+
+        ``nbytes`` drives the timing model; ``payload`` is an opaque object
+        delivered to the reader (protocol headers, message chunks, ...).
+        ``bulk`` marks a payload push made by a driver that starves its
+        receive side meanwhile (the P4 eager path) — on a half-duplex
+        endpoint such segments serialize against reception.
+        Returns once the segment has been handed to the network.
+        """
+        charge = max(1, min(nbytes, self.stream.window))
+        if self.broken is not None:
+            raise self.broken
+        yield self._wcredit.acquire(charge)
+        if self.broken is not None:
+            raise self.broken
+        net = self.stream.net
+        peer = self.peer
+        segment = (nbytes, charge, payload)
+
+        def arrive() -> None:
+            if self.stream.dead or peer.broken is not None:
+                return  # dropped on the floor: crash during transfer
+            peer._rx.put(segment)
+
+        net.transfer(self.host, peer.host, nbytes, arrive, bulk=bulk)
+        self.bytes_written += nbytes
+
+    def write_nowait(self, nbytes: int, payload: Any = None, bulk: bool = False) -> bool:
+        """Non-blocking write; returns False if the window is full/broken."""
+        charge = max(1, min(nbytes, self.stream.window))
+        if self.broken is not None or self._wcredit.tokens < charge:
+            return False
+        # acquire resolves synchronously when tokens suffice
+        self._wcredit.acquire(charge)
+        net = self.stream.net
+        peer = self.peer
+        segment = (nbytes, charge, payload)
+
+        def arrive() -> None:
+            if self.stream.dead or peer.broken is not None:
+                return
+            peer._rx.put(segment)
+
+        net.transfer(self.host, peer.host, nbytes, arrive, bulk=bulk)
+        self.bytes_written += nbytes
+        return True
+
+    @property
+    def writable(self) -> bool:
+        """Window credit available and connection alive?"""
+        return self.broken is None and self._wcredit.tokens > 0
+
+    # -- reading ----------------------------------------------------------
+    def read(self) -> Future:
+        """A future for the next segment ``(nbytes, payload)``.
+
+        Reading releases window credit back to the peer writer — a device
+        that delays reads (P4 while sending) therefore stalls its peer.
+        """
+        fut = Future(self.stream.net.sim, name=f"{self.stream.name}.{self.label}.read")
+        raw = self._rx.get()
+
+        def done(f: Future) -> None:
+            if f.exception is not None:
+                fut.fail_if_pending(f.exception)
+                return
+            nbytes, charge, payload = f.value
+            self.bytes_read += nbytes
+            if self.peer.broken is None:
+                self.peer._wcredit.release(charge)
+            fut.resolve_if_pending((nbytes, payload))
+
+        raw.add_done_callback(done)
+        return fut
+
+    def try_read(self) -> tuple[bool, int, Any]:
+        """Non-blocking read: ``(ok, nbytes, payload)``."""
+        ok, segment = self._rx.try_get()
+        if not ok:
+            return False, 0, None
+        nbytes, charge, payload = segment
+        self.bytes_read += nbytes
+        if self.peer.broken is None:
+            self.peer._wcredit.release(charge)
+        return True, nbytes, payload
+
+    @property
+    def readable(self) -> bool:
+        """Is a segment waiting to be read?"""
+        return len(self._rx) > 0
+
+    def when_readable(self) -> Future:
+        """A future resolved when a segment is (or becomes) available."""
+        return self._rx.when_nonempty()
+
+    def when_writable(self, nbytes: int) -> Future:
+        """A future resolved when window credit for ``nbytes`` exists."""
+        charge = max(1, min(nbytes, self.stream.window))
+        return self._wcredit.when_available(charge)
+
+    # -- teardown ---------------------------------------------------------
+    def _break(self, cause: Any) -> None:
+        if self.broken is not None:
+            return
+        exc = Disconnected(self.stream.name, cause)
+        self.broken = exc
+        self._rx.break_(exc)
+        self._wcredit.break_(exc)
+
+
+class Stream:
+    """A bidirectional connection between two hosts."""
+
+    _counter = 0
+
+    def __init__(
+        self,
+        net: Network,
+        host_a: Host,
+        host_b: Host,
+        window: int = DEFAULT_WINDOW,
+        name: Optional[str] = None,
+    ) -> None:
+        self.net = net
+        self.window = window
+        if name is None:
+            Stream._counter += 1
+            name = f"s{Stream._counter}:{host_a.name}<->{host_b.name}"
+        self.name = name
+        self.dead = False
+        self.a = StreamEnd(self, host_a, "a")
+        self.b = StreamEnd(self, host_b, "b")
+        self.a.peer = self.b
+        self.b.peer = self.a
+        host_a.attach_stream(self)
+        if host_b is not host_a:
+            host_b.attach_stream(self)
+
+    def end_for(self, host: Host) -> StreamEnd:
+        """The endpoint attached to ``host``."""
+        if host is self.a.host:
+            return self.a
+        if host is self.b.host:
+            return self.b
+        raise ValueError(f"{host.name} is not an endpoint of {self.name}")
+
+    def break_both(self, cause: Any) -> None:
+        """Tear the connection down (both directions)."""
+        if self.dead:
+            return
+        self.dead = True
+        self.a._break(cause)
+        self.b._break(cause)

@@ -1,0 +1,15 @@
+"""Workloads: NPB 2.3 proxies and the paper's microbenchmarks."""
+
+from . import nas
+from .collect import collective_bench
+from .pingpong import pingpong
+from .synthetic import burst_pingpong
+from .token_ring import token_ring
+
+__all__ = [
+    "nas",
+    "collective_bench",
+    "pingpong",
+    "burst_pingpong",
+    "token_ring",
+]

@@ -1,0 +1,51 @@
+"""Collective-operation microbenchmarks (ablation support).
+
+Times one collective across the whole job: the paper's NAS analysis
+attributes CG/MG's V2 penalty to small-message latency amplified through
+reduction trees; this workload isolates that effect per collective.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+__all__ = ["collective_bench"]
+
+
+def collective_bench(
+    mpi,
+    op: str = "allreduce",
+    nbytes: int = 8,
+    reps: int = 20,
+    warmup: int = 2,
+    fenced: bool = False,
+) -> Generator[Any, Any, float]:
+    """Returns mean seconds per collective invocation.
+
+    With ``fenced=True`` a barrier separates repetitions, so rooted
+    collectives (bcast/scatter) measure completion latency rather than
+    pipelined throughput; subtract a separately measured barrier time.
+    """
+    async_ops = {
+        "barrier": lambda: mpi.barrier(),
+        "bcast": lambda: mpi.bcast(root=0, nbytes=nbytes, data=0.0),
+        "reduce": lambda: mpi.reduce(root=0, value=1.0, nbytes=nbytes),
+        "allreduce": lambda: mpi.allreduce(value=1.0, nbytes=nbytes),
+        "allgather": lambda: mpi.allgather(value=1.0, nbytes=nbytes),
+        "alltoall": lambda: mpi.alltoall(
+            [None] * mpi.size, nbytes_each=nbytes
+        ),
+    }
+    if op not in async_ops:
+        raise ValueError(f"unknown collective {op!r}")
+    run = async_ops[op]
+    for _ in range(warmup):
+        yield from run()
+        if fenced:
+            yield from mpi.barrier()
+    t0 = mpi.sim.now
+    for _ in range(reps):
+        yield from run()
+        if fenced:
+            yield from mpi.barrier()
+    return (mpi.sim.now - t0) / reps

@@ -1,0 +1,18 @@
+"""NAS Parallel Benchmark 2.3 proxies (CG, MG, FT, LU, BT, SP)."""
+
+from . import bt, cg, ft, lu, mg, sp
+from .common import KernelSpec, NasResult
+
+KERNELS = {
+    "cg": cg,
+    "mg": mg,
+    "ft": ft,
+    "lu": lu,
+    "bt": bt,
+    "sp": sp,
+}
+
+#: kernels restricted to square process counts (multi-partition scheme)
+SQUARE_ONLY = ("bt", "sp")
+
+__all__ = ["KERNELS", "SQUARE_ONLY", "KernelSpec", "NasResult"]

@@ -1,0 +1,97 @@
+"""NPB LU proxy: SSOR wavefront sweeps, thousands of tiny messages.
+
+Pattern (NPB 2.3): a 2-D process grid; the lower- and upper-triangular
+sweeps pipeline over the k planes, each step sending small boundary
+pencils (a few KB) to the south and east (resp. north and west)
+neighbours.  LU emits by far the highest message *count* of the suite,
+which on MPICH-V2 means one event-log round-trip worth of gating per
+message plus daemon CPU stolen from the application — the paper singles
+LU out: "the message logging daemon becomes a competitor of the MPI
+process for CPU resources" and the payload log pushed the node into
+disk storage (Figure 7's worst case for V2).
+
+For simulation tractability the per-plane pipeline is coarsened into
+``_PIPELINE_STEPS`` stages per sweep, with message sizes scaled to keep
+the sweep's byte volume exact; the paper's effects (count-dominated
+overhead, log growth) are preserved.  Class T carries real pencil data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from .common import KernelSpec, NasResult, grid_2d
+
+__all__ = ["SPECS", "program", "spec"]
+
+SPECS = {
+    "T": KernelSpec("lu", "T", 1.0e6, 3, 1 << 20),
+    "S": KernelSpec("lu", "S", 1.0e9, 50, 15 << 20),
+    "A": KernelSpec("lu", "A", 6.457e10, 250, 45 << 20),
+    "B": KernelSpec("lu", "B", 3.196e11, 250, 180 << 20),
+    "C": KernelSpec("lu", "C", 1.2275e12, 250, 720 << 20),
+}
+
+_DIM = {"T": 8, "S": 32, "A": 64, "B": 102, "C": 162}
+_PIPELINE_STEPS = 63  # wavefront stages per sweep (per k-plane for class A)
+
+
+def spec(klass: str) -> KernelSpec:
+    """The per-class constants of this kernel."""
+    return SPECS[klass]
+
+
+def program(mpi, klass: str = "A") -> Generator[Any, Any, NasResult]:
+    """The LU proxy program."""
+    sp = SPECS[klass]
+    dim = _DIM[klass]
+    p = mpi.size
+    row, col, nrows, ncols = grid_2d(mpi.rank, p)
+    mpi.set_footprint(sp.footprint_per_proc(p))
+    verify = klass == "T"
+
+    steps = min(_PIPELINE_STEPS, dim - 1)
+    # boundary pencil: 5 variables x (dim/ncols) cells x 8 B, scaled by the
+    # number of real planes folded into one coarsened stage
+    pencil = max(64, int(5 * (dim / max(nrows, ncols)) * 8 * (dim / steps)))
+    flops_per_iter = sp.total_flops / sp.iters / p
+
+    south = (row + 1) * ncols + col if row + 1 < nrows else None
+    north = (row - 1) * ncols + col if row - 1 >= 0 else None
+    east = row * ncols + col + 1 if col + 1 < ncols else None
+    west = row * ncols + col - 1 if col - 1 >= 0 else None
+
+    value = float(mpi.rank + 1)
+    checksum = 0.0
+
+    for it in range(sp.iters):
+        # two triangular sweeps per SSOR iteration
+        for sweep, (recv_from, send_to) in enumerate(
+            (((north, west), (south, east)), ((south, east), (north, west)))
+        ):
+            for k in range(steps):
+                tag = sweep * 1000 + k
+                for peer in recv_from:
+                    if peer is not None:
+                        msg = yield from mpi.recv(source=peer, tag=tag)
+                        if verify and msg.data is not None:
+                            value = 0.5 * value + 0.5 * msg.data
+                yield from mpi.compute(flops=flops_per_iter / (2 * steps))
+                for peer in send_to:
+                    if peer is not None:
+                        yield from mpi.send(
+                            peer, nbytes=pencil, tag=tag,
+                            data=value if verify else None,
+                        )
+        if it % 50 == 49 or verify:
+            norm = yield from mpi.allreduce(
+                value=value if verify else 1.0, nbytes=8
+            )
+            if verify:
+                checksum += norm
+    return NasResult(
+        kernel="lu", klass=klass, nprocs=p,
+        checksum=round(checksum, 6) if verify else None,
+    )

@@ -1,0 +1,40 @@
+"""NPB SP proxy: scalar-pentadiagonal ADI solver.
+
+Same multi-partition structure as BT (square process counts, three
+pipelined directional sweeps per iteration with nonblocking exchanges),
+but twice the iterations with smaller faces and less computation per
+stage.  The paper groups SP with BT as the workloads MPICH-V2 handles as
+well as (or better than) MPICH-P4.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from .bt import adi_program
+from .common import KernelSpec, NasResult
+
+__all__ = ["SPECS", "program", "spec"]
+
+SPECS = {
+    "T": KernelSpec("sp", "T", 1.0e6, 3, 1 << 20),
+    "S": KernelSpec("sp", "S", 2.0e9, 100, 30 << 20),
+    "A": KernelSpec("sp", "A", 1.020e11, 400, 200 << 20),
+    "B": KernelSpec("sp", "B", 4.471e11, 400, 800 << 20),
+    "C": KernelSpec("sp", "C", 1.8684e12, 400, 3200 << 20),
+}
+
+_DIM = {"T": 12, "S": 36, "A": 64, "B": 102, "C": 162}
+
+
+def spec(klass: str) -> KernelSpec:
+    """The per-class constants of this kernel."""
+    return SPECS[klass]
+
+
+def program(mpi, klass: str = "A") -> Generator[Any, Any, NasResult]:
+    """The SP proxy program (square process counts)."""
+    result = yield from adi_program(
+        mpi, SPECS[klass], _DIM[klass], face_scale=2.2
+    )
+    return result

@@ -1,0 +1,47 @@
+"""Synchronous ping-pong: the raw latency/bandwidth microbenchmark.
+
+Figures 5 and 6 of the paper: two computing nodes bounce a message of a
+given size; the mean one-way time over many repetitions gives latency
+(small sizes) and bandwidth (large sizes) for each MPI implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+__all__ = ["pingpong", "measure"]
+
+
+def pingpong(
+    mpi, nbytes: int = 0, reps: int = 20, warmup: int = 2
+) -> Generator[Any, Any, float]:
+    """Returns the mean one-way time in seconds (measured on both ranks)."""
+    peer = 1 - mpi.rank
+    for phase_reps in (warmup, reps):
+        t0 = mpi.sim.now
+        for _ in range(phase_reps):
+            if mpi.rank == 0:
+                yield from mpi.send(peer, nbytes=nbytes, tag=1)
+                yield from mpi.recv(source=peer, tag=2)
+            else:
+                yield from mpi.recv(source=peer, tag=1)
+                yield from mpi.send(peer, nbytes=nbytes, tag=2)
+    return (mpi.sim.now - t0) / (2 * reps)
+
+
+def measure(device: str, nbytes: int, reps: int = 10, **job_kw) -> dict:
+    """One ping-pong measurement; returns latency and bandwidth."""
+    from ..runtime.mpirun import run_job
+
+    res = run_job(
+        pingpong, 2, device=device, params={"nbytes": nbytes, "reps": reps},
+        **job_kw,
+    )
+    one_way = res.results[0]
+    return {
+        "device": device,
+        "nbytes": nbytes,
+        "one_way_s": one_way,
+        "latency_us": one_way * 1e6,
+        "bandwidth_MBps": (nbytes / one_way / 1e6) if nbytes else 0.0,
+    }

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_pingpong_command(capsys):
+    rc = main(["pingpong", "--sizes", "0,1024", "--devices", "p4,v2",
+               "--reps", "3"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "p4 us" in out and "v2 us" in out
+    assert "1024" in out
+
+
+def test_burst_command(capsys):
+    rc = main(["burst", "--sizes", "65536", "--reps", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "V2/P4" in out
+
+
+def test_kernel_command(capsys):
+    rc = main(["kernel", "cg", "--class", "T", "-n", "4", "--device", "v2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "CG-T" in out
+    assert "Mop/s" in out
+
+
+def test_faulty_command(capsys):
+    rc = main(["faulty", "cg", "--class", "S", "-n", "4", "--faults", "1"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "restarts" in out
+
+
+def test_sched_command(capsys):
+    rc = main(["sched", "--nodes", "8"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "broadcast" in out
+    assert "RR/AD" in out
+
+
+def test_kernel_rejects_unknown():
+    with pytest.raises(SystemExit):
+        main(["kernel", "nope"])

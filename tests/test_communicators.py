@@ -1,0 +1,131 @@
+"""Tests for sub-communicators (MPI_Comm_split)."""
+
+import pytest
+
+from repro.ft.failure import ExplicitFaults
+from repro.runtime.mpirun import run_job
+
+
+def test_split_ranks_and_sizes():
+    def prog(mpi):
+        comm = yield from mpi.split(color=mpi.rank % 2)
+        return (comm.rank, comm.size, comm.ranks)
+
+    res = run_job(prog, 6, device="p4")
+    for world_rank, (r, s, members) in enumerate(res.results):
+        assert s == 3
+        assert members == ([0, 2, 4] if world_rank % 2 == 0 else [1, 3, 5])
+        assert members[r] == world_rank
+
+
+def test_split_with_key_reorders():
+    def prog(mpi):
+        comm = yield from mpi.split(color=0, key=-mpi.rank)
+        return comm.rank
+
+    res = run_job(prog, 4, device="p4")
+    assert res.results == [3, 2, 1, 0]  # reversed ordering
+
+
+def test_split_undefined_color_returns_none():
+    def prog(mpi):
+        comm = yield from mpi.split(color=None if mpi.rank == 0 else 1)
+        if comm is None:
+            return "excluded"
+        return comm.size
+
+    res = run_job(prog, 4, device="p4")
+    assert res.results == ["excluded", 3, 3, 3]
+
+
+def test_subcomm_p2p_is_isolated():
+    """Same tags in sibling communicators never cross-match."""
+
+    def prog(mpi):
+        comm = yield from mpi.split(color=mpi.rank % 2)
+        peer = (comm.rank + 1) % comm.size
+        prv = (comm.rank - 1) % comm.size
+        sreq = yield from comm.isend(peer, nbytes=64, tag=5, data=mpi.rank)
+        rreq = yield from comm.irecv(source=prv, tag=5)
+        yield from comm.waitall([sreq, rreq])
+        return rreq.message.data
+
+    res = run_job(prog, 6, device="p4")
+    # each rank receives from its group predecessor (world ranks)
+    assert res.results == [4, 5, 0, 1, 2, 3]
+
+
+def test_subcomm_collectives():
+    def prog(mpi):
+        comm = yield from mpi.split(color=mpi.rank // 2)  # pairs
+        total = yield from comm.allreduce(value=mpi.rank + 1, nbytes=8)
+        out = yield from comm.allgather(value=mpi.rank, nbytes=8)
+        bc = yield from comm.bcast(root=0, nbytes=16,
+                                   data=f"g{mpi.rank // 2}" if comm.rank == 0 else None)
+        return (total, out, bc)
+
+    res = run_job(prog, 6, device="p4")
+    for world_rank, (total, out, bc) in enumerate(res.results):
+        g = world_rank // 2
+        assert total == (2 * g + 1) + (2 * g + 2)
+        assert out == [2 * g, 2 * g + 1]
+        assert bc == f"g{g}"
+
+
+def test_concurrent_sibling_collectives_do_not_collide():
+    def prog(mpi):
+        comm = yield from mpi.split(color=mpi.rank % 2)
+        acc = float(mpi.rank)
+        for _ in range(6):
+            acc = yield from comm.allreduce(value=acc, nbytes=8)
+        return round(acc, 6)
+
+    res = run_job(prog, 8, device="p4")
+    even = [res.results[r] for r in range(0, 8, 2)]
+    odd = [res.results[r] for r in range(1, 8, 2)]
+    assert len(set(even)) == 1 and len(set(odd)) == 1
+    assert even[0] != odd[0]
+
+
+def test_nested_split():
+    def prog(mpi):
+        half = yield from mpi.split(color=mpi.rank // 4)
+        quarter = yield from half.split(color=half.rank // 2)
+        total = yield from quarter.allreduce(value=mpi.rank, nbytes=8)
+        return total
+
+    res = run_job(prog, 8, device="p4")
+    assert res.results == [1, 1, 5, 5, 9, 9, 13, 13]
+
+
+def test_subcomm_identical_across_devices():
+    def prog(mpi):
+        comm = yield from mpi.split(color=mpi.rank % 2)
+        out = yield from comm.scan(value=mpi.rank + 1, nbytes=8)
+        total = yield from mpi.allreduce(value=out, nbytes=8)
+        return total
+
+    ref = run_job(prog, 6, device="p4").results
+    assert run_job(prog, 6, device="v1").results == ref
+    assert run_job(prog, 6, device="v2").results == ref
+
+
+def test_subcomm_survives_fault():
+    def prog(mpi):
+        comm = yield from mpi.split(color=mpi.rank % 2)
+        acc = float(mpi.rank + 1)
+        for i in range(5):
+            peer = (comm.rank + 1) % comm.size
+            prv = (comm.rank - 1) % comm.size
+            msg = yield from comm.sendrecv(peer, nbytes=128, tag=i, data=acc,
+                                           source=prv, recvtag=i)
+            acc = 0.5 * (acc + msg.data)
+            yield from comm.compute(seconds=0.02)
+        total = yield from mpi.allreduce(value=round(acc, 9), nbytes=8)
+        return round(total, 6)
+
+    clean = run_job(prog, 6, device="v2")
+    faulty = run_job(prog, 6, device="v2",
+                     faults=ExplicitFaults([(0.05, 3)]), limit=600.0)
+    assert faulty.restarts == 1
+    assert faulty.results == clean.results

@@ -1,0 +1,41 @@
+"""The example scripts must keep running (they are documentation)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run_example(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    mod.main()
+
+
+def test_quickstart_example(capsys):
+    _run_example("quickstart")
+    out = capsys.readouterr().out
+    assert "identical results" in out
+
+
+def test_desktop_grid_example(capsys):
+    _run_example("desktop_grid")
+    out = capsys.readouterr().out
+    assert "Same result despite the churn" in out
+
+
+def test_grid_outage_example(capsys):
+    _run_example("grid_outage")
+    out = capsys.readouterr().out
+    assert "gamma" in out
+
+
+@pytest.mark.slow
+def test_nas_campaign_example(capsys):
+    _run_example("nas_campaign")
+    out = capsys.readouterr().out
+    assert "CG-A" in out and "BT-A" in out

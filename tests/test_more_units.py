@@ -1,0 +1,234 @@
+"""Edge-case unit tests across modules."""
+
+import pytest
+
+from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG, CTX_PT2PT, Envelope
+from repro.runtime.cluster import Cluster
+from repro.runtime.mpirun import run_job
+from repro.simnet import DeadlockError, Simulator, any_of
+
+
+def test_run_job_rejects_unknown_device():
+    def prog(mpi):
+        yield mpi.sim.timeout(0.0)
+
+    with pytest.raises(ValueError, match="unknown device"):
+        run_job(prog, 2, device="mpich9")
+
+
+def test_any_of_empty_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        any_of(sim, [])
+
+
+def test_envelope_matching_semantics():
+    env = Envelope(src=3, dst=0, tag=7, context=CTX_PT2PT, nbytes=10)
+    assert env.matches(3, 7, CTX_PT2PT)
+    assert env.matches(ANY_SOURCE, 7, CTX_PT2PT)
+    assert env.matches(3, ANY_TAG, CTX_PT2PT)
+    assert not env.matches(4, 7, CTX_PT2PT)
+    assert not env.matches(3, 8, CTX_PT2PT)
+    assert not env.matches(3, 7, CTX_PT2PT + 1)
+    assert env.msgid == (3, 0)
+
+
+def test_cluster_hosts_have_testbed_parameters():
+    cluster = Cluster()
+    cn = cluster.add_cn("cn0")
+    aux = cluster.add_aux("aux0")
+    assert cn.cpu_flops == cluster.cfg.cn_flops
+    assert aux.cpu_flops == cluster.cfg.aux_flops
+    assert aux.reliable and not cn.reliable
+
+
+def test_deadlocked_program_is_diagnosed():
+    """A program that receives a message nobody sends deadlocks visibly."""
+
+    def prog(mpi):
+        if mpi.rank == 1:
+            yield from mpi.recv(source=0, tag=99)
+        else:
+            yield from mpi.compute(seconds=0.01)
+        return None
+
+    with pytest.raises(DeadlockError, match="never resolved"):
+        run_job(prog, 2, device="p4")
+
+
+def test_program_exception_propagates_with_rank():
+    def prog(mpi):
+        yield from mpi.compute(seconds=0.01)
+        if mpi.rank == 1:
+            raise ValueError("user bug on rank 1")
+        yield from mpi.barrier()
+        return None
+
+    with pytest.raises(Exception, match="rank1"):
+        run_job(prog, 2, device="p4")
+
+
+def test_v2_program_exception_aborts_job():
+    def prog(mpi):
+        yield from mpi.compute(seconds=0.01)
+        if mpi.rank == 0:
+            raise RuntimeError("app failure")
+        yield from mpi.barrier()
+        return None
+
+    with pytest.raises(RuntimeError, match="app failure"):
+        run_job(prog, 2, device="v2")
+
+
+def test_single_rank_job_all_devices():
+    def prog(mpi):
+        yield from mpi.compute(seconds=0.1)
+        out = yield from mpi.allreduce(value=41, nbytes=8)
+        yield from mpi.send(0, nbytes=10, tag=1, data="self")
+        msg = yield from mpi.recv(source=0, tag=1)
+        return (out + 1, msg.data)
+
+    for dev in ("p4", "v1", "v2"):
+        res = run_job(prog, 1, device=dev)
+        assert res.results == [(42, "self")], dev
+
+
+def test_zero_byte_messages_roundtrip():
+    def prog(mpi):
+        peer = 1 - mpi.rank
+        if mpi.rank == 0:
+            yield from mpi.send(peer, nbytes=0, tag=1)
+            msg = yield from mpi.recv(source=peer, tag=2)
+            return msg.nbytes
+        msg = yield from mpi.recv(source=peer, tag=1)
+        yield from mpi.send(peer, nbytes=0, tag=2)
+        return msg.nbytes
+
+    for dev in ("p4", "v1", "v2"):
+        assert run_job(prog, 2, device=dev).results == [0, 0], dev
+
+
+def test_many_outstanding_requests():
+    """Request bookkeeping survives hundreds of outstanding operations."""
+
+    def prog(mpi):
+        peer = 1 - mpi.rank
+        n = 150
+        sends, recvs = [], []
+        for i in range(n):
+            r = yield from mpi.isend(peer, nbytes=200, tag=i, data=i)
+            sends.append(r)
+        for i in range(n):
+            r = yield from mpi.irecv(source=peer, tag=i)
+            recvs.append(r)
+        yield from mpi.waitall(sends + recvs)
+        return sum(r.message.data for r in recvs)
+
+    res = run_job(prog, 2, device="v2")
+    assert res.results == [sum(range(150))] * 2
+
+
+def test_tags_segregate_interleaved_traffic():
+    def prog(mpi):
+        peer = 1 - mpi.rank
+        evens = []
+        odds = []
+        for i in range(10):
+            yield from mpi.send(peer, nbytes=32, tag=i % 2, data=i)
+        for _ in range(5):
+            m = yield from mpi.recv(source=peer, tag=0)
+            evens.append(m.data)
+        for _ in range(5):
+            m = yield from mpi.recv(source=peer, tag=1)
+            odds.append(m.data)
+        return (evens, odds)
+
+    res = run_job(prog, 2, device="p4")
+    assert res.results[0] == ([0, 2, 4, 6, 8], [1, 3, 5, 7, 9])
+
+
+def test_large_rank_count_barrier():
+    def prog(mpi):
+        yield from mpi.barrier()
+        out = yield from mpi.allreduce(value=1, nbytes=8)
+        return out
+
+    res = run_job(prog, 24, device="p4")
+    assert res.results == [24] * 24
+
+
+def test_stats_track_traffic():
+    def prog(mpi):
+        peer = 1 - mpi.rank
+        if mpi.rank == 0:
+            yield from mpi.send(peer, nbytes=5000, tag=1)
+        else:
+            yield from mpi.recv(source=peer, tag=1)
+        return None
+
+    res = run_job(prog, 2, device="p4")
+    assert res.stats[0]["bytes_sent"] >= 5000
+    assert res.stats[1]["bytes_received"] >= 5000
+
+
+def test_rng_streams_are_stable_and_independent():
+    from repro.simnet.rng import RngRegistry
+
+    a = RngRegistry(7)
+    b = RngRegistry(7)
+    # same seed + name -> same stream
+    assert a.stream("x").integers(0, 1000) == b.stream("x").integers(0, 1000)
+    # different names -> independent streams
+    a2 = RngRegistry(7)
+    xs = a2.stream("x").integers(0, 1000, size=5).tolist()
+    ys = a2.stream("y").integers(0, 1000, size=5).tolist()
+    assert xs != ys
+    # stream objects are cached
+    r = RngRegistry(1)
+    assert r.stream("s") is r.stream("s")
+
+
+def test_rng_fork_changes_streams():
+    from repro.simnet.rng import RngRegistry
+
+    base = RngRegistry(3)
+    fork = base.fork(1)
+    assert base.master_seed != fork.master_seed
+    assert (base.stream("z").integers(0, 10**6)
+            != fork.stream("z").integers(0, 10**6))
+
+
+def test_tracer_select_prefix():
+    from repro.simnet.trace import Tracer
+
+    t = Tracer(enabled=True)
+    t.emit(0.0, "v2.tx", x=1)
+    t.emit(0.1, "v2.restart", x=2)
+    t.emit(0.2, "net.xfer", x=3)
+    assert len(t.select("v2")) == 2
+    assert len(t.select("v2.tx")) == 1
+    assert len(t.select("net")) == 1
+    assert len(t) == 3
+    t.clear()
+    assert len(t) == 0
+
+
+def test_tracer_disabled_records_nothing():
+    from repro.simnet.trace import Tracer
+
+    t = Tracer(enabled=False)
+    t.emit(0.0, "anything")
+    assert len(t) == 0
+
+
+def test_thirty_two_ranks_on_v2():
+    """The paper's maximum deployment size: 32 computing nodes on V2."""
+
+    def prog(mpi):
+        total = yield from mpi.allreduce(value=mpi.rank, nbytes=8)
+        out = yield from mpi.allgather(value=mpi.rank % 4, nbytes=8)
+        return (total, sum(out))
+
+    res = run_job(prog, 32, device="v2")
+    assert res.results[0] == (sum(range(32)), 8 * (0 + 1 + 2 + 3))
+    assert len(set(res.results)) == 1

@@ -1,0 +1,128 @@
+"""Unit tests for the MPI matching engine."""
+
+from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG, CTX_COLL, CTX_PT2PT, Envelope
+from repro.mpi.matching import MatchEngine
+from repro.mpi.requests import RecvRequest
+from repro.simnet import Simulator
+
+
+def env(src=0, dst=1, tag=0, ctx=CTX_PT2PT, nbytes=10, sclock=0, data=None):
+    return Envelope(src, dst, tag, ctx, nbytes, sclock, data)
+
+
+def req(sim, src=ANY_SOURCE, tag=ANY_TAG, ctx=CTX_PT2PT):
+    return RecvRequest(sim, src, tag, ctx)
+
+
+def test_arrival_queues_unexpected_when_no_recv():
+    m = MatchEngine()
+    assert m.arrived(env()) is None
+    assert len(m.unexpected) == 1
+
+
+def test_post_matches_unexpected():
+    m = MatchEngine()
+    sim = Simulator()
+    e = env(src=3, tag=7)
+    m.arrived(e)
+    r = req(sim, src=3, tag=7)
+    assert m.post(r) is e
+    assert m.idle()
+
+
+def test_arrival_matches_posted():
+    m = MatchEngine()
+    sim = Simulator()
+    r = req(sim, src=3, tag=7)
+    assert m.post(r) is None
+    e = env(src=3, tag=7)
+    assert m.arrived(e) is r
+
+
+def test_wildcard_source_matches_any():
+    m = MatchEngine()
+    sim = Simulator()
+    r = req(sim, src=ANY_SOURCE, tag=5)
+    m.post(r)
+    assert m.arrived(env(src=9, tag=5)) is r
+
+
+def test_wildcard_tag_matches_any():
+    m = MatchEngine()
+    sim = Simulator()
+    r = req(sim, src=2, tag=ANY_TAG)
+    m.post(r)
+    assert m.arrived(env(src=2, tag=42)) is r
+
+
+def test_tag_mismatch_does_not_match():
+    m = MatchEngine()
+    sim = Simulator()
+    r = req(sim, src=2, tag=1)
+    m.post(r)
+    assert m.arrived(env(src=2, tag=2)) is None
+    assert len(m.posted) == 1
+    assert len(m.unexpected) == 1
+
+
+def test_context_separation():
+    """Collective-context traffic never matches point-to-point receives."""
+    m = MatchEngine()
+    sim = Simulator()
+    r = req(sim, src=ANY_SOURCE, tag=ANY_TAG, ctx=CTX_PT2PT)
+    m.post(r)
+    assert m.arrived(env(ctx=CTX_COLL)) is None
+
+
+def test_posted_receives_match_in_post_order():
+    m = MatchEngine()
+    sim = Simulator()
+    r1 = req(sim, src=ANY_SOURCE, tag=ANY_TAG)
+    r2 = req(sim, src=ANY_SOURCE, tag=ANY_TAG)
+    m.post(r1)
+    m.post(r2)
+    assert m.arrived(env()) is r1
+    assert m.arrived(env()) is r2
+
+
+def test_unexpected_matched_in_arrival_order():
+    m = MatchEngine()
+    sim = Simulator()
+    e1 = env(sclock=1)
+    e2 = env(sclock=2)
+    m.arrived(e1)
+    m.arrived(e2)
+    r = req(sim)
+    assert m.post(r) is e1
+
+
+def test_specific_recv_skips_nonmatching_unexpected():
+    m = MatchEngine()
+    sim = Simulator()
+    m.arrived(env(src=1, tag=10))
+    wanted = env(src=2, tag=20)
+    m.arrived(wanted)
+    r = req(sim, src=2, tag=20)
+    assert m.post(r) is wanted
+    assert len(m.unexpected) == 1  # the other one stays
+
+
+def test_probe_finds_first_match_without_consuming():
+    m = MatchEngine()
+    sim = Simulator()
+    e = env(src=4, tag=4)
+    m.arrived(e)
+    assert m.probe(4, 4, CTX_PT2PT) is e
+    assert m.probe(ANY_SOURCE, ANY_TAG, CTX_PT2PT) is e
+    assert m.probe(5, 4, CTX_PT2PT) is None
+    assert len(m.unexpected) == 1
+
+
+def test_cancel_posted_receive():
+    m = MatchEngine()
+    sim = Simulator()
+    r = req(sim)
+    m.post(r)
+    assert m.cancel(r) is True
+    assert m.cancel(r) is False
+    assert m.idle()

@@ -1,0 +1,290 @@
+"""Integration tests: real MPI programs on the MPICH-P4 baseline device."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.mpirun import run_job
+
+
+def test_two_rank_ping():
+    def prog(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(1, nbytes=100, tag=1, data="ping")
+            msg = yield from mpi.recv(source=1, tag=2)
+            return msg.data
+        msg = yield from mpi.recv(source=0, tag=1)
+        yield from mpi.send(0, nbytes=100, tag=2, data=msg.data + "/pong")
+        return "done"
+
+    res = run_job(prog, 2)
+    assert res.results[0] == "ping/pong"
+    assert res.elapsed > 0
+
+
+def test_token_ring_accumulates_ranks():
+    def prog(mpi):
+        nxt = (mpi.rank + 1) % mpi.size
+        prv = (mpi.rank - 1) % mpi.size
+        if mpi.rank == 0:
+            yield from mpi.send(nxt, nbytes=8, tag=0, data=[0])
+            msg = yield from mpi.recv(source=prv, tag=0)
+            return msg.data
+        msg = yield from mpi.recv(source=prv, tag=0)
+        yield from mpi.send(nxt, nbytes=8, tag=0, data=msg.data + [mpi.rank])
+        return None
+
+    res = run_job(prog, 5)
+    assert res.results[0] == [0, 1, 2, 3, 4]
+
+
+def test_nonblocking_exchange():
+    def prog(mpi):
+        peer = 1 - mpi.rank
+        sreq = yield from mpi.isend(peer, nbytes=2048, tag=3, data=mpi.rank * 10)
+        rreq = yield from mpi.irecv(source=peer, tag=3)
+        yield from mpi.waitall([sreq, rreq])
+        return rreq.message.data
+
+    res = run_job(prog, 2)
+    assert res.results == [10, 0]
+
+
+def test_rendezvous_large_message():
+    def prog(mpi):
+        data = np.arange(64 * 1024, dtype=np.float64)  # 512 KB > eager threshold
+        if mpi.rank == 0:
+            yield from mpi.send(1, nbytes=int(data.nbytes), tag=9, data=data)
+            return None
+        msg = yield from mpi.recv(source=0, tag=9)
+        return float(np.sum(msg.data))
+
+    res = run_job(prog, 2)
+    assert res.results[1] == pytest.approx(float(np.sum(np.arange(64 * 1024))))
+
+
+def test_rendezvous_unexpected_rts_then_recv():
+    """RTS arriving before the receive is posted still completes."""
+
+    def prog(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(1, nbytes=300_000, tag=1, data="bulk")
+            return None
+        yield from mpi.compute(seconds=0.05)  # let the RTS arrive first
+        msg = yield from mpi.recv(source=0, tag=1)
+        return msg.data
+
+    res = run_job(prog, 2)
+    assert res.results[1] == "bulk"
+
+
+def test_any_source_receive():
+    def prog(mpi):
+        if mpi.rank == 0:
+            got = []
+            for _ in range(mpi.size - 1):
+                msg = yield from mpi.recv(source=mpi.ANY_SOURCE, tag=0)
+                got.append(msg.data)
+            return sorted(got)
+        yield from mpi.compute(seconds=0.001 * mpi.rank)
+        yield from mpi.send(0, nbytes=8, tag=0, data=mpi.rank)
+        return None
+
+    res = run_job(prog, 4)
+    assert res.results[0] == [1, 2, 3]
+
+
+def test_message_order_non_overtaking():
+    def prog(mpi):
+        if mpi.rank == 0:
+            for i in range(10):
+                yield from mpi.send(1, nbytes=64, tag=7, data=i)
+            return None
+        out = []
+        for _ in range(10):
+            msg = yield from mpi.recv(source=0, tag=7)
+            out.append(msg.data)
+        return out
+
+    res = run_job(prog, 2)
+    assert res.results[1] == list(range(10))
+
+
+def test_self_send():
+    def prog(mpi):
+        yield from mpi.send(mpi.rank, nbytes=10, tag=1, data="me")
+        msg = yield from mpi.recv(source=mpi.rank, tag=1)
+        return msg.data
+
+    res = run_job(prog, 2)
+    assert res.results == ["me", "me"]
+
+
+def test_iprobe_and_probe():
+    def prog(mpi):
+        if mpi.rank == 0:
+            yield from mpi.compute(seconds=0.01)
+            yield from mpi.send(1, nbytes=128, tag=5, data="x")
+            return None
+        polls = 0
+        while True:
+            found = yield from mpi.iprobe(source=0, tag=5)
+            if found:
+                break
+            polls += 1
+            yield from mpi.compute(seconds=0.001)
+        src, tag, nbytes = yield from mpi.probe(source=0, tag=5)
+        msg = yield from mpi.recv(source=0, tag=5)
+        return (polls > 0, src, tag, nbytes, msg.data)
+
+    res = run_job(prog, 2)
+    assert res.results[1] == (True, 0, 5, 128, "x")
+
+
+def test_barrier_synchronizes():
+    def prog(mpi):
+        yield from mpi.compute(seconds=0.01 * (mpi.rank + 1))
+        yield from mpi.barrier()
+        return mpi.sim.now
+
+    res = run_job(prog, 4)
+    # everyone leaves the barrier after the slowest rank's compute
+    assert min(res.results) >= 0.04
+
+
+@pytest.mark.parametrize("nprocs", [2, 3, 4, 7, 8])
+def test_bcast_correct(nprocs):
+    def prog(mpi):
+        data = "payload" if mpi.rank == 1 else None
+        out = yield from mpi.bcast(root=1, nbytes=1000, data=data)
+        return out
+
+    res = run_job(prog, nprocs)
+    assert res.results == ["payload"] * nprocs
+
+
+@pytest.mark.parametrize("nprocs", [2, 4, 5, 8])
+def test_reduce_sum(nprocs):
+    def prog(mpi):
+        out = yield from mpi.reduce(root=0, value=mpi.rank + 1, nbytes=8)
+        return out
+
+    res = run_job(prog, nprocs)
+    assert res.results[0] == nprocs * (nprocs + 1) // 2
+    assert all(r is None for r in res.results[1:])
+
+
+@pytest.mark.parametrize("nprocs", [2, 4, 8, 3, 6])
+def test_allreduce_sum(nprocs):
+    def prog(mpi):
+        out = yield from mpi.allreduce(value=mpi.rank + 1, nbytes=8)
+        return out
+
+    res = run_job(prog, nprocs)
+    assert res.results == [nprocs * (nprocs + 1) // 2] * nprocs
+
+
+def test_allreduce_numpy_arrays():
+    def prog(mpi):
+        v = np.full(16, float(mpi.rank))
+        out = yield from mpi.allreduce(value=v, nbytes=int(v.nbytes))
+        return float(out[0])
+
+    res = run_job(prog, 4)
+    assert res.results == [6.0] * 4
+
+
+@pytest.mark.parametrize("nprocs", [2, 4, 5])
+def test_gather(nprocs):
+    def prog(mpi):
+        out = yield from mpi.gather(root=0, value=mpi.rank * 2, nbytes=8)
+        return out
+
+    res = run_job(prog, nprocs)
+    assert res.results[0] == [2 * r for r in range(nprocs)]
+
+
+@pytest.mark.parametrize("nprocs", [2, 4, 5])
+def test_allgather(nprocs):
+    def prog(mpi):
+        out = yield from mpi.allgather(value=mpi.rank, nbytes=8)
+        return out
+
+    res = run_job(prog, nprocs)
+    assert all(r == list(range(nprocs)) for r in res.results)
+
+
+def test_scatter():
+    def prog(mpi):
+        values = [f"v{i}" for i in range(mpi.size)] if mpi.rank == 2 else None
+        out = yield from mpi.scatter(root=2, values=values, nbytes=8)
+        return out
+
+    res = run_job(prog, 4)
+    assert res.results == ["v0", "v1", "v2", "v3"]
+
+
+@pytest.mark.parametrize("nprocs", [2, 4, 3, 8])
+def test_alltoall(nprocs):
+    def prog(mpi):
+        values = [(mpi.rank, dst) for dst in range(mpi.size)]
+        out = yield from mpi.alltoall(values, nbytes_each=16)
+        return out
+
+    res = run_job(prog, nprocs)
+    for r in range(nprocs):
+        assert res.results[r] == [(src, r) for src in range(nprocs)]
+
+
+def test_compute_advances_time():
+    def prog(mpi):
+        t0 = mpi.sim.now
+        yield from mpi.compute(seconds=1.5)
+        return mpi.sim.now - t0
+
+    res = run_job(prog, 1)
+    assert res.results[0] == pytest.approx(1.5)
+
+
+def test_compute_flops_uses_host_rate():
+    def prog(mpi):
+        t0 = mpi.sim.now
+        yield from mpi.compute(flops=2.6e8)  # cfg.cn_flops
+        return mpi.sim.now - t0
+
+    res = run_job(prog, 1)
+    assert res.results[0] == pytest.approx(1.0, rel=0.01)
+
+
+def test_timer_attribution_categories():
+    def prog(mpi):
+        if mpi.rank == 0:
+            req = yield from mpi.isend(1, nbytes=50_000, tag=0)
+            yield from mpi.wait(req)
+        else:
+            req = yield from mpi.irecv(source=0, tag=0)
+            yield from mpi.wait(req)
+        yield from mpi.compute(seconds=0.5)
+        return dict(mpi.timer.totals)
+
+    res = run_job(prog, 2)
+    t0, t1 = res.results
+    assert t0["isend"] > 0
+    assert t1["wait"] > 0
+    assert t0["compute"] == pytest.approx(0.5, abs=0.01)
+
+
+def test_deterministic_elapsed_time():
+    def prog(mpi):
+        peer = 1 - mpi.rank
+        for _ in range(5):
+            if mpi.rank == 0:
+                yield from mpi.send(peer, nbytes=10_000)
+                yield from mpi.recv(source=peer)
+            else:
+                yield from mpi.recv(source=peer)
+                yield from mpi.send(peer, nbytes=10_000)
+        return None
+
+    r1 = run_job(prog, 2)
+    r2 = run_job(prog, 2)
+    assert r1.elapsed == r2.elapsed

@@ -1,0 +1,95 @@
+"""Tests for the §4.7 program-file deployment machinery."""
+
+import pytest
+
+from repro.runtime.mpirun import run_job
+from repro.runtime.progfile import DeploymentPlan, parse_progfile
+
+PROGFILE = """
+# paper-style machine description
+node01  CN
+node02  CN
+node03  CN
+node04  CN  speed=fast
+spareA  SPARE
+frontend  EL
+frontend  SC
+frontend  DISPATCHER
+storage   CS
+"""
+
+
+def test_parse_roles_and_options():
+    plan = parse_progfile(PROGFILE)
+    assert plan.cns == ["node01", "node02", "node03", "node04"]
+    assert plan.spares == ["spareA"]
+    assert plan.els == ["frontend"]
+    assert plan.cs == "storage"
+    assert plan.scheduler == "frontend"
+    assert plan.dispatcher == "frontend"
+    assert plan.options["node04"] == {"speed": "fast"}
+    assert plan.nprocs == 4
+
+
+def test_sc_and_dispatcher_default_to_el_machine():
+    plan = parse_progfile("n1 CN\nel1 EL\nst CS\n")
+    assert plan.scheduler == "el1"
+    assert plan.dispatcher == "el1"
+
+
+def test_parse_rejects_unknown_role():
+    with pytest.raises(ValueError, match="unknown role"):
+        parse_progfile("n1 WORKER\n")
+
+
+def test_parse_rejects_missing_services():
+    with pytest.raises(ValueError, match="no event logger"):
+        parse_progfile("n1 CN\nst CS\n")
+    with pytest.raises(ValueError, match="no checkpoint server"):
+        parse_progfile("n1 CN\nel EL\n")
+    with pytest.raises(ValueError, match="no computing nodes"):
+        parse_progfile("el EL\nst CS\n")
+
+
+def test_parse_rejects_volatile_reliable_overlap():
+    with pytest.raises(ValueError, match="volatile"):
+        parse_progfile("n1 CN\nn1 EL\nst CS\n")
+
+
+def test_parse_rejects_duplicate_cs():
+    with pytest.raises(ValueError, match="duplicate"):
+        parse_progfile("n1 CN\nel EL\ns1 CS\ns2 CS\n")
+
+
+def test_run_job_with_plan():
+    from repro.ft.failure import ExplicitFaults
+
+    plan = parse_progfile(PROGFILE)
+
+    def prog(mpi):
+        out = yield from mpi.allreduce(value=mpi.rank + 1, nbytes=8)
+        yield from mpi.compute(seconds=0.05)
+        return out
+
+    clean = run_job(prog, 4, device="v2", plan=plan)
+    assert clean.results == [10, 10, 10, 10]
+    disp = clean.extras["dispatcher"]
+    assert disp.states[0].host.name == "node01"
+
+    plan2 = parse_progfile(PROGFILE)
+    faulty = run_job(prog, 4, device="v2", plan=plan2,
+                     faults=ExplicitFaults([(0.02, 1)]), limit=600.0)
+    assert faulty.restarts == 1
+    assert faulty.results == clean.results
+    # the restart took the declared spare machine
+    assert faulty.extras["dispatcher"].states[1].host.name == "spareA"
+
+
+def test_plan_nprocs_mismatch_rejected():
+    plan = parse_progfile(PROGFILE)
+
+    def prog(mpi):
+        yield mpi.sim.timeout(0.0)
+
+    with pytest.raises(ValueError, match="4 computing nodes"):
+        run_job(prog, 8, device="v2", plan=plan)

@@ -1,0 +1,240 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.clocks import ClockState
+from repro.core.sender_log import SenderLog
+from repro.ft.failure import ExplicitFaults
+from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG, CTX_PT2PT, Envelope
+from repro.mpi.matching import MatchEngine
+from repro.mpi.requests import RecvRequest
+from repro.runtime.mpirun import run_job
+from repro.sched import scheme, simulate
+from repro.simnet import Host, Network, Simulator, Stream
+
+slow = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# -- kernel -------------------------------------------------------------------
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_events_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.after(d, lambda d=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+# -- streams: FIFO delivery ------------------------------------------------------
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=200_000), min_size=1, max_size=30)
+)
+@settings(max_examples=30, deadline=None)
+def test_stream_fifo_for_any_segment_sizes(sizes):
+    sim = Simulator()
+    net = Network(sim)
+    a = net.add_host(Host(sim, "a"))
+    b = net.add_host(Host(sim, "b"))
+    stream = Stream(net, a, b)
+    got = []
+
+    def writer():
+        for i, n in enumerate(sizes):
+            yield from stream.a.write(n, payload=i)
+
+    def reader():
+        for _ in sizes:
+            _, payload = yield stream.b.read()
+            got.append(payload)
+
+    sim.spawn(writer(), "w")
+    p = sim.spawn(reader(), "r")
+    sim.run_until(p.done)
+    assert got == list(range(len(sizes)))
+
+
+# -- matching ---------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.booleans(),  # True: arrival, False: post a receive
+            st.integers(min_value=0, max_value=3),  # src (or wildcard if 3)
+            st.integers(min_value=0, max_value=2),  # tag (or wildcard if 2)
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_matching_delivers_every_message_exactly_once(ops):
+    sim = Simulator()
+    m = MatchEngine()
+    seq = 0
+    delivered = []
+    for is_arrival, src, tag in ops:
+        if is_arrival:
+            seq += 1
+            env = Envelope(
+                src=min(src, 2), dst=9, tag=tag, context=CTX_PT2PT,
+                nbytes=8, sclock=seq,
+            )
+            req = m.arrived(env)
+            if req is not None:
+                delivered.append((env.sclock, req))
+        else:
+            rsrc = ANY_SOURCE if src == 3 else src
+            rtag = ANY_TAG if tag == 2 else tag
+            req = RecvRequest(sim, rsrc, rtag, CTX_PT2PT)
+            env = m.post(req)
+            if env is not None:
+                delivered.append((env.sclock, req))
+    # no message delivered twice, no request fulfilled twice
+    sclocks = [s for s, _ in delivered]
+    reqs = [id(r) for _, r in delivered]
+    assert len(set(sclocks)) == len(sclocks)
+    assert len(set(reqs)) == len(reqs)
+    # conservation: arrivals = delivered + still unexpected
+    arrivals = sum(1 for a, _, _ in ops if a)
+    assert arrivals == len(delivered) + len(m.unexpected)
+
+
+# -- clocks --------------------------------------------------------------------------
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_clock_sequences_monotonic_and_disjoint(ticks):
+    c = ClockState()
+    sends, recvs = [], []
+    for is_send in ticks:
+        if is_send:
+            sends.append(c.tick_send())
+        else:
+            recvs.append(c.tick_recv(0, len(recvs) + 1))
+    assert sends == list(range(1, len(sends) + 1))
+    assert recvs == list(range(1, len(recvs) + 1))
+    assert c.h == len(ticks)
+
+
+# -- sender log -----------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),  # dst
+            st.integers(min_value=1, max_value=50_000),  # nbytes
+        ),
+        min_size=1,
+        max_size=50,
+    ),
+    st.integers(min_value=0, max_value=40),
+)
+@settings(max_examples=50, deadline=None)
+def test_sender_log_accounting_invariants(messages, collect_at):
+    log = SenderLog(ram_budget=10 << 20, disk_budget=10 << 20)
+    sclock = 0
+    for dst, nbytes in messages:
+        sclock += 1
+        log.append(dst, sclock, Envelope(0, dst, 0, 0, nbytes, sclock))
+    total = sum(n for _, n in messages)
+    assert log.bytes_total == total
+    # collect a prefix for destination 0
+    freed = log.collect(0, upto_sclock=collect_at)
+    remaining = sum(m.env.nbytes for m in log)
+    assert freed + remaining == total
+    assert log.bytes_total == remaining
+    # collected messages are no longer served
+    assert all(m.sclock > collect_at for m in log.messages_for(0))
+
+
+# -- replay determinism -------------------------------------------------------------------
+
+
+def _ring(mpi, rounds=5):
+    nxt = (mpi.rank + 1) % mpi.size
+    prv = (mpi.rank - 1) % mpi.size
+    token = float(mpi.rank)
+    for r in range(rounds):
+        sreq = yield from mpi.isend(nxt, nbytes=512, tag=r, data=token)
+        rreq = yield from mpi.irecv(source=prv, tag=r)
+        yield from mpi.waitall([sreq, rreq])
+        token = 0.5 * token + 0.5 * rreq.message.data + 1.0
+        yield from mpi.compute(seconds=0.01)
+    total = yield from mpi.allreduce(value=token, nbytes=8)
+    return round(total, 9)
+
+
+_RING_BASELINE = {}
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.005, max_value=0.5),
+            st.integers(min_value=0, max_value=3),
+        ),
+        min_size=1,
+        max_size=3,
+    )
+)
+@slow
+def test_replay_determinism_under_random_faults(fault_spec):
+    """Theorem 1/2: any fault schedule yields the fault-free result."""
+    if "ref" not in _RING_BASELINE:
+        _RING_BASELINE["ref"] = run_job(_ring, 4, device="v2").results
+    faults = ExplicitFaults([(t, r) for t, r in fault_spec])
+    res = run_job(_ring, 4, device="v2", faults=faults, limit=3600.0)
+    assert res.results == _RING_BASELINE["ref"]
+
+
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.floats(min_value=0.05, max_value=1.0),
+)
+@slow
+def test_replay_determinism_with_checkpoints(seed, interval):
+    if "ck" not in _RING_BASELINE:
+        _RING_BASELINE["ck"] = run_job(
+            _ring, 4, device="v2", params={"rounds": 12}
+        ).results
+    from repro.ft.failure import RandomFaults
+
+    res = run_job(
+        _ring, 4, device="v2", params={"rounds": 12},
+        checkpointing=True, ckpt_interval=interval,
+        faults=RandomFaults(interval=0.25, count=2, seed=seed),
+        limit=3600.0,
+    )
+    assert res.results == _RING_BASELINE["ck"]
+
+
+# -- scheduling policies -----------------------------------------------------------------
+
+
+@given(
+    st.sampled_from(["point_to_point", "all_to_all", "broadcast", "reduce"]),
+    st.integers(min_value=4, max_value=24),
+    st.floats(min_value=5e5, max_value=5e6),
+)
+@settings(max_examples=30, deadline=None)
+def test_adaptive_never_worse_property(name, n, rate):
+    sc = scheme(name, n, rate=rate)
+    rr = simulate(sc, "round_robin", horizon=200.0, footprint=4e6)
+    ad = simulate(sc, "adaptive", horizon=200.0, footprint=4e6)
+    assert ad.ckpt_bandwidth <= rr.ckpt_bandwidth * 1.001

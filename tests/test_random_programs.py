@@ -1,0 +1,125 @@
+"""Randomized program equivalence (hypothesis).
+
+Generates arbitrary (deadlock-free) MPI programs — mixes of blocking and
+nonblocking point-to-point with data-dependent payloads, collectives,
+compute, wildcard receives — and checks the two load-bearing properties:
+
+1. **device independence**: P4, V1 and V2 produce identical results (the
+   MPI stack above the channel is the same code; the devices may not
+   change semantics);
+2. **failure transparency**: V2 with injected faults produces the exact
+   fault-free results (Theorems 1-2).
+
+The program generator emits a *schedule* of global steps; every rank
+derives its actions deterministically from the schedule and its rank, so
+any generated program is valid and terminating by construction.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ft.failure import ExplicitFaults
+from repro.runtime.mpirun import run_job
+
+NPROCS = 4
+
+# one step of the global schedule
+step_st = st.one_of(
+    st.tuples(st.just("shift"), st.integers(1, NPROCS - 1),
+              st.integers(16, 4000)),  # ring shift by k, nbytes
+    st.tuples(st.just("pair"), st.integers(0, 1), st.integers(16, 2000)),
+    st.tuples(st.just("allreduce"), st.just(0), st.just(8)),
+    st.tuples(st.just("bcast"), st.integers(0, NPROCS - 1), st.integers(8, 1000)),
+    st.tuples(st.just("gather_any"), st.integers(0, NPROCS - 1), st.just(8)),
+    st.tuples(st.just("compute"), st.integers(1, 30), st.just(0)),
+    st.tuples(st.just("scan"), st.just(0), st.just(8)),
+)
+
+
+def make_program(schedule):
+    def program(mpi):
+        acc = float(mpi.rank + 1)
+        for idx, (kind, a, b) in enumerate(schedule):
+            tag = 100 + idx
+            if kind == "shift":
+                dst = (mpi.rank + a) % mpi.size
+                src = (mpi.rank - a) % mpi.size
+                sreq = yield from mpi.isend(dst, nbytes=b, tag=tag, data=acc)
+                rreq = yield from mpi.irecv(source=src, tag=tag)
+                yield from mpi.waitall([sreq, rreq])
+                acc = 0.5 * acc + 0.5 * rreq.message.data + 0.25
+            elif kind == "pair":
+                peer = mpi.rank ^ (1 + a)
+                if peer < mpi.size:
+                    msg = yield from mpi.sendrecv(
+                        peer, nbytes=b, tag=tag, data=acc,
+                        source=peer, recvtag=tag,
+                    )
+                    acc = 0.5 * (acc + msg.data)
+            elif kind == "allreduce":
+                acc = yield from mpi.allreduce(value=round(acc, 9), nbytes=8)
+            elif kind == "bcast":
+                out = yield from mpi.bcast(
+                    root=a, nbytes=b, data=round(acc, 9) if mpi.rank == a else None
+                )
+                acc = 0.5 * acc + 0.5 * out
+            elif kind == "gather_any":
+                got = yield from mpi.gather(root=a, value=round(acc, 9), nbytes=8)
+                if mpi.rank == a:
+                    acc += sum(got) * 0.125
+            elif kind == "compute":
+                yield from mpi.compute(seconds=a / 1000.0)
+            elif kind == "scan":
+                acc = yield from mpi.scan(value=round(acc, 9), nbytes=8)
+            acc = acc % 1000.0  # keep numbers bounded
+        total = yield from mpi.allreduce(value=round(acc, 9), nbytes=8)
+        return round(total, 6)
+
+    return program
+
+
+@given(st.lists(step_st, min_size=2, max_size=10))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_devices_agree_on_random_programs(schedule):
+    prog = make_program(schedule)
+    ref = run_job(prog, NPROCS, device="p4", limit=3600.0).results
+    assert run_job(prog, NPROCS, device="v1", limit=3600.0).results == ref
+    assert run_job(prog, NPROCS, device="v2", limit=3600.0).results == ref
+
+
+@given(
+    st.lists(step_st, min_size=3, max_size=10),
+    st.floats(min_value=0.001, max_value=0.2),
+    st.integers(0, NPROCS - 1),
+)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_v2_faults_transparent_on_random_programs(schedule, t_kill, victim):
+    prog = make_program(schedule)
+    ref = run_job(prog, NPROCS, device="v2", limit=3600.0).results
+    res = run_job(
+        prog, NPROCS, device="v2",
+        faults=ExplicitFaults([(t_kill, victim)]), limit=3600.0,
+    )
+    assert res.results == ref
+
+
+@given(
+    st.lists(step_st, min_size=3, max_size=8),
+    st.integers(0, 10_000),
+)
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_v2_checkpointed_faults_transparent_on_random_programs(schedule, seed):
+    from repro.ft.failure import RandomFaults
+
+    prog = make_program(schedule)
+    ref = run_job(prog, NPROCS, device="v2", limit=3600.0).results
+    res = run_job(
+        prog, NPROCS, device="v2",
+        checkpointing=True, ckpt_interval=0.03,
+        faults=RandomFaults(interval=0.05, count=2, seed=seed),
+        limit=3600.0,
+    )
+    assert res.results == ref

@@ -1,0 +1,100 @@
+"""Unit tests for the §4.6.2 checkpoint-scheduling study."""
+
+import numpy as np
+import pytest
+
+from repro.sched import SCHEMES, make_policy, scheme, simulate
+from repro.sched.policies import Adaptive, RoundRobin
+
+
+def test_scheme_shapes_and_diagonals():
+    for name in SCHEMES:
+        sc = scheme(name, 8)
+        assert sc.rate.shape == (8, 8)
+        assert np.all(np.diag(sc.rate) == 0)
+
+
+def test_broadcast_is_root_heavy():
+    sc = scheme("broadcast", 8)
+    send = sc.send_rate()
+    assert send[0] == pytest.approx(7e6)
+    assert np.all(send[1:] == 0)
+
+
+def test_reduce_is_root_receiving():
+    sc = scheme("reduce", 8)
+    assert sc.recv_rate()[0] == pytest.approx(7e6)
+    assert np.all(sc.recv_rate()[1:] == 0)
+
+
+def test_round_robin_cycles():
+    p = RoundRobin(4)
+    z = np.zeros(4)
+    picks = [p.pick(z, z, z) for _ in range(8)]
+    assert picks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_adaptive_prefers_high_ratio():
+    p = Adaptive(4)
+    logged = np.zeros(4)
+    sent = np.array([100.0, 1.0, 100.0, 100.0])
+    recv = np.array([1.0, 100.0, 1.0, 1.0])
+    assert p.pick(logged, sent, recv) == 1  # ratio 100, everyone else 0.01
+
+
+def test_adaptive_degenerates_to_rotation_when_symmetric():
+    p = Adaptive(4)
+    logged = np.zeros(4)
+    flat = np.full(4, 10.0)
+    picks = [p.pick(logged, flat, flat) for _ in range(8)]
+    assert picks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_adaptive_skips_pure_senders():
+    p = Adaptive(3)
+    logged = np.zeros(3)
+    sent = np.array([100.0, 0.0, 0.0])
+    recv = np.array([0.0, 50.0, 50.0])
+    picks = [p.pick(logged, sent, recv) for _ in range(4)]
+    assert 0 not in picks  # the pure sender is never checkpointed
+
+
+def test_make_policy_rejects_unknown():
+    with pytest.raises(ValueError):
+        make_policy("greedy", 4)
+
+
+def test_simulate_outcome_consistency():
+    sc = scheme("point_to_point", 8)
+    out = simulate(sc, "round_robin", horizon=100.0)
+    assert out.checkpoints > 0
+    assert out.ckpt_bytes > 0
+    assert out.ckpt_bandwidth == pytest.approx(out.ckpt_bytes / out.horizon)
+    assert out.peak_log >= out.mean_log > 0
+
+
+def test_adaptive_never_worse_bandwidth():
+    for name in SCHEMES:
+        for n in (8, 16):
+            sc = scheme(name, n, rate=2e6)
+            rr = simulate(sc, "round_robin", footprint=4e6)
+            ad = simulate(sc, "adaptive", footprint=4e6)
+            assert ad.ckpt_bandwidth <= rr.ckpt_bandwidth * 1.001, (name, n)
+
+
+def test_adaptive_beats_round_robin_on_broadcast():
+    sc = scheme("broadcast", 16, rate=2e6)
+    rr = simulate(sc, "round_robin", footprint=4e6)
+    ad = simulate(sc, "adaptive", footprint=4e6)
+    assert rr.ckpt_bandwidth / ad.ckpt_bandwidth > 1.5
+    assert ad.peak_log < rr.peak_log
+
+
+def test_broadcast_advantage_grows_with_n():
+    def ratio(n):
+        sc = scheme("broadcast", n, rate=2e6)
+        rr = simulate(sc, "round_robin", footprint=4e6)
+        ad = simulate(sc, "adaptive", footprint=4e6)
+        return rr.ckpt_bandwidth / ad.ckpt_bandwidth
+
+    assert ratio(32) > ratio(8)

@@ -1,0 +1,235 @@
+"""Unit tests for flow-controlled streams."""
+
+import pytest
+
+from repro.simnet import (
+    Disconnected,
+    Host,
+    Network,
+    Simulator,
+    Stream,
+)
+
+
+def make_pair(window=64 * 1024):
+    sim = Simulator()
+    net = Network(sim)
+    a = net.add_host(Host(sim, "a"))
+    b = net.add_host(Host(sim, "b"))
+    stream = Stream(net, a, b, window=window)
+    return sim, net, stream
+
+
+def test_write_then_read_delivers_payload():
+    sim, net, stream = make_pair()
+
+    def writer():
+        yield from stream.a.write(100, payload="hello")
+
+    def reader():
+        nbytes, payload = yield stream.b.read()
+        return (nbytes, payload)
+
+    sim.spawn(writer(), "w")
+    p = sim.spawn(reader(), "r")
+    assert sim.run_until(p.done) == (100, "hello")
+
+
+def test_segments_delivered_in_order():
+    sim, net, stream = make_pair()
+    got = []
+
+    def writer():
+        for i in range(10):
+            yield from stream.a.write(50, payload=i)
+
+    def reader():
+        for _ in range(10):
+            _, payload = yield stream.b.read()
+            got.append(payload)
+
+    sim.spawn(writer(), "w")
+    p = sim.spawn(reader(), "r")
+    sim.run_until(p.done)
+    assert got == list(range(10))
+
+
+def test_window_blocks_writer_until_reader_drains():
+    sim, net, stream = make_pair(window=1000)
+    times = {}
+
+    def writer():
+        yield from stream.a.write(800, payload="first")
+        yield from stream.a.write(800, payload="second")  # must wait for read
+        times["second_written"] = sim.now
+
+    def reader():
+        yield sim.timeout(5.0)
+        yield stream.b.read()
+        times["first_read"] = sim.now
+        yield stream.b.read()
+
+    sim.spawn(writer(), "w")
+    p = sim.spawn(reader(), "r")
+    sim.run_until(p.done)
+    assert times["second_written"] >= times["first_read"]
+
+
+def test_write_nowait_respects_window():
+    sim, net, stream = make_pair(window=1000)
+    assert stream.a.write_nowait(900, payload=1) is True
+    assert stream.a.write_nowait(900, payload=2) is False  # window full
+
+
+def test_try_read_and_readable():
+    sim, net, stream = make_pair()
+    assert stream.b.try_read() == (False, 0, None)
+    assert not stream.b.readable
+
+    def writer():
+        yield from stream.a.write(10, payload="x")
+
+    p = sim.spawn(writer(), "w")
+    sim.run_until(p.done)
+    sim.run()
+    assert stream.b.readable
+    assert stream.b.try_read() == (True, 10, "x")
+
+
+def test_read_releases_credit():
+    sim, net, stream = make_pair(window=1000)
+
+    def writer():
+        for i in range(5):
+            yield from stream.a.write(1000, payload=i)
+        return sim.now
+
+    def reader():
+        for _ in range(5):
+            yield stream.b.read()
+
+    pw = sim.spawn(writer(), "w")
+    sim.spawn(reader(), "r")
+    sim.run_until(pw.done)  # would deadlock if credit never returned
+
+
+def test_oversized_write_charged_at_window_cap():
+    """A segment larger than the window is still writable (charged capped)."""
+    sim, net, stream = make_pair(window=1000)
+
+    def writer():
+        yield from stream.a.write(5000, payload="big")
+
+    def reader():
+        nbytes, payload = yield stream.b.read()
+        return nbytes
+
+    sim.spawn(writer(), "w")
+    p = sim.spawn(reader(), "r")
+    assert sim.run_until(p.done) == 5000
+
+
+def test_break_fails_pending_read():
+    sim, net, stream = make_pair()
+
+    def reader():
+        yield stream.b.read()
+
+    p = sim.spawn(reader(), "r", supervised=True)
+    sim.after(1.0, lambda: stream.break_both("peer crash"))
+    sim.run()
+    assert isinstance(p.done.exception, Disconnected)
+
+
+def test_break_fails_blocked_writer():
+    sim, net, stream = make_pair(window=100)
+
+    def writer():
+        yield from stream.a.write(100, payload=1)
+        yield from stream.a.write(100, payload=2)  # blocked: no reader
+
+    p = sim.spawn(writer(), "w", supervised=True)
+    sim.after(1.0, lambda: stream.break_both("peer crash"))
+    sim.run()
+    assert isinstance(p.done.exception, Disconnected)
+
+
+def test_host_crash_breaks_attached_streams():
+    sim, net, stream = make_pair()
+
+    def reader():
+        yield stream.b.read()
+
+    p = sim.spawn(reader(), "r", supervised=True)
+    sim.after(1.0, stream.a.host.crash)
+    sim.run()
+    assert isinstance(p.done.exception, Disconnected)
+    assert stream.dead
+
+
+def test_in_flight_segment_dropped_on_crash():
+    """Atomicity: a segment in flight when the receiver dies is dropped."""
+    sim, net, stream = make_pair()
+
+    def writer():
+        yield from stream.a.write(60_000, payload="doomed")
+
+    sim.spawn(writer(), "w")
+    # crash the receiver while the segment is on the wire
+    sim.after(1e-6, stream.b.host.crash)
+    sim.run()
+    assert len(stream.b._rx) == 0
+
+
+def test_write_after_break_raises():
+    sim, net, stream = make_pair()
+    stream.break_both("gone")
+
+    def writer():
+        yield from stream.a.write(10, payload="x")
+
+    p = sim.spawn(writer(), "w", supervised=True)
+    sim.run()
+    assert isinstance(p.done.exception, Disconnected)
+
+
+def test_end_for_lookup():
+    sim, net, stream = make_pair()
+    assert stream.end_for(stream.a.host) is stream.a
+    assert stream.end_for(stream.b.host) is stream.b
+    other = Host(sim, "z")
+    with pytest.raises(ValueError):
+        stream.end_for(other)
+
+
+def test_byte_accounting():
+    sim, net, stream = make_pair()
+
+    def writer():
+        yield from stream.a.write(123, payload=None)
+
+    def reader():
+        yield stream.b.read()
+
+    sim.spawn(writer(), "w")
+    p = sim.spawn(reader(), "r")
+    sim.run_until(p.done)
+    assert stream.a.bytes_written == 123
+    assert stream.b.bytes_read == 123
+
+
+def test_bidirectional_streams_independent():
+    sim, net, stream = make_pair()
+
+    def ping():
+        yield from stream.a.write(10, payload="ping")
+        _, payload = yield stream.a.read()
+        return payload
+
+    def pong():
+        _, payload = yield stream.b.read()
+        yield from stream.b.write(10, payload="pong")
+
+    p = sim.spawn(ping(), "ping")
+    sim.spawn(pong(), "pong")
+    assert sim.run_until(p.done) == "pong"
