@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Optional, Sequence
 
-__all__ = ["format_table", "Report"]
+__all__ = ["format_table", "format_stats", "format_timeline", "Report"]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
@@ -29,6 +29,79 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
         if j == 0:
             lines.append("  ".join("-" * w for w in widths))
     return "\n".join(lines)
+
+
+#: the per-rank columns of ``format_stats``: the mechanism signals the
+#: paper's figures are built from, in presentation order
+RANK_STAT_COLUMNS = (
+    "dev.msgs_sent",
+    "dev.bytes_sent",
+    "el.roundtrips",
+    "gate.stall_s",
+    "senderlog.bytes",
+    "senderlog.spill_bytes",
+    "deliveries.replayed",
+    "deliveries.fresh",
+    "ckpt.bytes",
+)
+
+
+def format_stats(
+    metrics: Any, columns: Optional[Sequence[str]] = None
+) -> str:
+    """Render a metrics registry: per-rank mechanism table + totals.
+
+    ``metrics`` is a :class:`~repro.obs.registry.Metrics`; ``columns``
+    overrides the per-rank column set (default
+    :data:`RANK_STAT_COLUMNS`).  Metrics a run never touched show 0.
+    """
+    columns = list(columns if columns is not None else RANK_STAT_COLUMNS)
+    by_rank = metrics.by_label("rank")
+    blocks: list[str] = []
+    if by_rank:
+        rows = [
+            [rank] + [by_rank[rank].get(c, 0.0) for c in columns]
+            for rank in sorted(by_rank)
+        ]
+        blocks.append(format_table(["rank"] + columns, rows))
+    totals = metrics.snapshot()
+    if totals:
+        blocks.append(
+            format_table(
+                ["metric", "total"],
+                [[name, totals[name]] for name in sorted(totals)],
+            )
+        )
+    return "\n\n".join(blocks) if blocks else "(no metrics recorded)"
+
+
+def format_timeline(spans: Sequence[Any]) -> str:
+    """Render recovery spans (see :mod:`repro.obs.timeline`) as a table."""
+    if not spans:
+        return "(no restarts)"
+
+    def opt(x: Any) -> Any:
+        return "-" if x is None else x
+
+    rows = [
+        [
+            s.rank,
+            s.fault_t,
+            opt(s.detect_t),
+            opt(s.respawn_t),
+            opt(s.replay_start_t),
+            opt(s.caught_up_t),
+            opt(s.downtime_s),
+            opt(s.recovery_s),
+            opt(s.host),
+        ]
+        for s in spans
+    ]
+    return format_table(
+        ["rank", "fault s", "detect s", "respawn s", "replay s",
+         "caught-up s", "downtime s", "recovery s", "host"],
+        rows,
+    )
 
 
 class Report:

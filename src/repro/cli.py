@@ -7,19 +7,32 @@ Commands mirror the workflows of the paper's evaluation:
 * ``kernel`` — run one NPB proxy on one device;
 * ``faulty`` — run a kernel under random faults with checkpointing
   (the Figure 11 setup);
-* ``sched`` — the §4.6.2 checkpoint-scheduling policy comparison.
+* ``sched`` — the §4.6.2 checkpoint-scheduling policy comparison;
+* ``stats`` — run one kernel and print the mechanism-level metrics;
+* ``trace`` — run one kernel with tracing and export a Chrome trace.
 
-All output is plain-text tables; everything runs on simulated time.
+``kernel``, ``faulty``, ``pingpong``, ``burst`` and ``stats`` also take
+``--trace-out`` (Chrome trace-event JSON, or JSON lines when the path
+ends in ``.jsonl``) and ``--metrics-out`` (the full metrics registry as
+JSON).  All table output is plain text; everything runs on simulated
+time.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from .analysis.metrics import breakdown, mops
-from .analysis.report import format_table
+from .analysis.report import format_stats, format_table, format_timeline
+from .obs import (
+    chrome_trace,
+    merge_chrome_traces,
+    recovery_timeline,
+    trace_records,
+)
 from .runtime.mpirun import run_job
 from .workloads import nas
 from .workloads.pingpong import measure as pingpong_measure
@@ -30,31 +43,104 @@ __all__ = ["main"]
 DEVICES = ("p4", "v1", "v2")
 
 
+def _parse_devices(spec: str) -> Optional[list[str]]:
+    """Split a ``--devices`` list once and validate every entry."""
+    devices = [d.strip() for d in spec.split(",") if d.strip()]
+    unknown = [d for d in devices if d not in DEVICES]
+    if not devices or unknown:
+        what = ", ".join(unknown) if unknown else "(empty list)"
+        print(
+            f"repro: unknown device(s): {what}; "
+            f"choose from {', '.join(DEVICES)}",
+            file=sys.stderr,
+        )
+        return None
+    return devices
+
+
+def _add_obs_flags(sp: argparse.ArgumentParser) -> None:
+    sp.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the run's trace (Chrome trace-event JSON; "
+             "*.jsonl writes JSON lines)",
+    )
+    sp.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the full metrics registry as JSON",
+    )
+
+
+def _write_obs(args: argparse.Namespace, runs: list[tuple[str, Any]]) -> None:
+    """Honour ``--trace-out`` / ``--metrics-out`` for one or more runs."""
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if trace_out:
+        if trace_out.endswith(".jsonl"):
+            with open(trace_out, "w") as fh:
+                for label, res in runs:
+                    for rec in trace_records(res.tracer):
+                        if len(runs) > 1:
+                            rec = {"run": label, **rec}
+                        fh.write(json.dumps(rec) + "\n")
+        else:
+            if len(runs) == 1:
+                doc = chrome_trace(runs[0][1].tracer)
+            else:
+                doc = merge_chrome_traces(
+                    [(label, res.tracer) for label, res in runs]
+                )
+            with open(trace_out, "w") as fh:
+                json.dump(doc, fh)
+    if metrics_out:
+        payload: Any = {
+            label: res.metrics.export() if res.metrics is not None else []
+            for label, res in runs
+        }
+        if len(runs) == 1:
+            payload = next(iter(payload.values()))
+        with open(metrics_out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+
+
 def _cmd_pingpong(args: argparse.Namespace) -> int:
+    devices = _parse_devices(args.devices)
+    if devices is None:
+        return 2
     sizes = [int(s) for s in args.sizes.split(",")]
+    job_kw = {"trace": True} if args.trace_out else {}
+    runs: list[tuple[str, Any]] = []
     rows = []
     for nbytes in sizes:
-        cells = [nbytes]
-        for dev in args.devices.split(","):
-            m = pingpong_measure(dev, nbytes, reps=args.reps)
+        cells: list[Any] = [nbytes]
+        for dev in devices:
+            m = pingpong_measure(dev, nbytes, reps=args.reps, **job_kw)
+            runs.append((f"{dev}/{nbytes}B", m["result"]))
             cells.append(m["latency_us"])
             cells.append(m["bandwidth_MBps"])
         rows.append(cells)
     headers = ["bytes"]
-    for dev in args.devices.split(","):
+    for dev in devices:
         headers += [f"{dev} us", f"{dev} MB/s"]
     print(format_table(headers, rows))
+    _write_obs(args, runs)
     return 0
 
 
 def _cmd_burst(args: argparse.Namespace) -> int:
     sizes = [int(s) for s in args.sizes.split(",")]
+    job_kw = {"trace": True} if args.trace_out else {}
+    runs: list[tuple[str, Any]] = []
     rows = []
     for nbytes in sizes:
-        p4 = burst_measure("p4", nbytes, reps=args.reps)["bandwidth_MBps"]
-        v2 = burst_measure("v2", nbytes, reps=args.reps)["bandwidth_MBps"]
+        mp4 = burst_measure("p4", nbytes, reps=args.reps, **job_kw)
+        mv2 = burst_measure("v2", nbytes, reps=args.reps, **job_kw)
+        runs.append((f"p4/{nbytes}B", mp4["result"]))
+        runs.append((f"v2/{nbytes}B", mv2["result"]))
+        p4 = mp4["bandwidth_MBps"]
+        v2 = mv2["bandwidth_MBps"]
         rows.append([nbytes, p4, v2, v2 / p4])
     print(format_table(["bytes", "P4 MB/s", "V2 MB/s", "V2/P4"], rows))
+    _write_obs(args, runs)
     return 0
 
 
@@ -64,6 +150,7 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
     res = run_job(
         mod.program, args.nprocs, device=args.device,
         params={"klass": args.klass}, limit=1e8,
+        trace=bool(args.trace_out),
     )
     b = breakdown(res)
     print(
@@ -75,12 +162,20 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
               mops(spec.total_flops, res)]],
         )
     )
+    _write_obs(args, [(f"{args.name}-{args.klass}", res)])
     return 0
 
 
 def _cmd_faulty(args: argparse.Namespace) -> int:
     from .ft.failure import RandomFaults
 
+    if args.device != "v2":
+        print(
+            f"repro: faulty requires the fault-tolerant device "
+            f"(--device v2), not {args.device!r}",
+            file=sys.stderr,
+        )
+        return 2
     mod = nas.KERNELS[args.name]
     base = run_job(
         mod.program, args.nprocs, device="v2",
@@ -94,16 +189,19 @@ def _cmd_faulty(args: argparse.Namespace) -> int:
         faults=RandomFaults(interval=interval, count=args.faults,
                             seed=args.seed) if args.faults else None,
         limit=1e8,
+        trace=bool(args.trace_out),
     )
     print(
         format_table(
             ["kernel", "faults", "reference s", "elapsed s", "slowdown",
-             "restarts", "checkpoints"],
+             "restarts", "checkpoints", "replayed", "ckpt MB"],
             [[f"{args.name.upper()}-{args.klass}", args.faults, base.elapsed,
               res.elapsed, res.elapsed / base.elapsed, res.restarts,
-              res.checkpoints]],
+              res.checkpoints, int(res.stat("deliveries.replayed")),
+              res.stat("ckpt.bytes") / 1e6]],
         )
     )
+    _write_obs(args, [(f"{args.name}-{args.klass}-faulty", res)])
     return 0
 
 
@@ -123,6 +221,48 @@ def _cmd_sched(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    mod = nas.KERNELS[args.name]
+    res = run_job(
+        mod.program, args.nprocs, device=args.device,
+        params={"klass": args.klass}, limit=1e8,
+        trace=bool(args.trace_out),
+    )
+    print(format_stats(res.metrics))
+    _write_obs(args, [(f"{args.name}-{args.klass}", res)])
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .ft.failure import RandomFaults
+
+    mod = nas.KERNELS[args.name]
+    job_kw: dict[str, Any] = {}
+    if args.faults:
+        if args.device != "v2":
+            print(
+                "repro: fault injection requires --device v2",
+                file=sys.stderr,
+            )
+            return 2
+        job_kw.update(
+            checkpointing=True, ckpt_policy="random", ckpt_continuous=True,
+            faults=RandomFaults(interval=args.fault_interval,
+                                count=args.faults, seed=args.seed),
+        )
+    res = run_job(
+        mod.program, args.nprocs, device=args.device,
+        params={"klass": args.klass}, limit=1e8, trace=True, **job_kw,
+    )
+    args.trace_out = args.out  # reuse the shared writer
+    args.metrics_out = getattr(args, "metrics_out", None)
+    _write_obs(args, [(f"{args.name}-{args.klass}", res)])
+    print(f"wrote {len(res.tracer)} trace records to {args.out}")
+    if args.timeline:
+        print(format_timeline(recovery_timeline(res.tracer)))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for ``python -m repro``."""
     p = argparse.ArgumentParser(
@@ -135,11 +275,13 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--sizes", default="0,1024,65536,1048576")
     sp.add_argument("--devices", default="p4,v1,v2")
     sp.add_argument("--reps", type=int, default=8)
+    _add_obs_flags(sp)
     sp.set_defaults(fn=_cmd_pingpong)
 
     sp = sub.add_parser("burst", help="nonblocking burst bandwidth (Figure 9)")
     sp.add_argument("--sizes", default="1024,16384,65536")
     sp.add_argument("--reps", type=int, default=4)
+    _add_obs_flags(sp)
     sp.set_defaults(fn=_cmd_burst)
 
     sp = sub.add_parser("kernel", help="run one NPB proxy")
@@ -148,6 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["T", "S", "A", "B", "C"])
     sp.add_argument("-n", "--nprocs", type=int, default=4)
     sp.add_argument("--device", default="v2", choices=DEVICES)
+    _add_obs_flags(sp)
     sp.set_defaults(fn=_cmd_kernel)
 
     sp = sub.add_parser("faulty", help="kernel under faults (Figure 11 setup)")
@@ -157,11 +300,40 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("-n", "--nprocs", type=int, default=4)
     sp.add_argument("--faults", type=int, default=3)
     sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--device", default="v2", choices=DEVICES,
+                    help="must be v2 (the fault-tolerant device)")
+    _add_obs_flags(sp)
     sp.set_defaults(fn=_cmd_faulty)
 
     sp = sub.add_parser("sched", help="checkpoint-scheduling policies (§4.6.2)")
     sp.add_argument("--nodes", type=int, default=16)
     sp.set_defaults(fn=_cmd_sched)
+
+    sp = sub.add_parser("stats", help="mechanism-level metrics for one run")
+    sp.add_argument("name", choices=sorted(nas.KERNELS))
+    sp.add_argument("--class", dest="klass", default="A",
+                    choices=["T", "S", "A", "B", "C"])
+    sp.add_argument("-n", "--nprocs", type=int, default=4)
+    sp.add_argument("--device", default="v2", choices=DEVICES)
+    _add_obs_flags(sp)
+    sp.set_defaults(fn=_cmd_stats)
+
+    sp = sub.add_parser(
+        "trace", help="run one kernel with tracing; export Chrome trace"
+    )
+    sp.add_argument("name", choices=sorted(nas.KERNELS))
+    sp.add_argument("--class", dest="klass", default="A",
+                    choices=["T", "S", "A", "B", "C"])
+    sp.add_argument("-n", "--nprocs", type=int, default=4)
+    sp.add_argument("--device", default="v2", choices=DEVICES)
+    sp.add_argument("--out", default="trace.json",
+                    help="output path (*.jsonl writes JSON lines)")
+    sp.add_argument("--faults", type=int, default=0)
+    sp.add_argument("--fault-interval", type=float, default=5.0)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--timeline", action="store_true",
+                    help="print the recovery timeline (fault → caught-up)")
+    sp.set_defaults(fn=_cmd_trace)
 
     return p
 
@@ -169,7 +341,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except OSError as exc:
+        print(f"repro: cannot write output: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

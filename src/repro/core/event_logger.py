@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from ..obs.registry import Metrics
 from ..runtime.config import TestbedConfig
 from ..runtime.fabric import Acceptor, Fabric
 from ..simnet.kernel import Simulator
@@ -43,6 +44,7 @@ class EventLoggerServer:
         cfg: TestbedConfig,
         name: str = "el:0",
         tracer: Optional[Tracer] = None,
+        metrics: Optional[Metrics] = None,
     ) -> None:
         self.sim = sim
         self.host = host
@@ -50,6 +52,10 @@ class EventLoggerServer:
         self.cfg = cfg
         self.name = name
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        m = metrics if metrics is not None else Metrics()
+        self._m_stored = m.counter("el.events_stored", server=name)
+        self._m_acks = m.counter("el.acks", server=name)
+        self._m_cpu_s = m.counter("el.cpu_s", server=name)
         # rank -> {rclock -> EventRecord}; survives daemon incarnations
         self.events: dict[int, dict[int, EventRecord]] = {}
         self.acks_sent = 0
@@ -92,11 +98,16 @@ class EventLoggerServer:
                 self._cpu_free = begin + cost
                 yield self.sim.timeout(self._cpu_free - self.sim.now)
                 store = self.events.setdefault(rank, {})
+                fresh = 0
                 for rec in records:
                     if rec.rclock not in store:
                         store[rec.rclock] = rec
-                        self.events_stored += 1
+                        fresh += 1
+                self.events_stored += fresh
                 self.acks_sent += 1
+                self._m_stored.inc(fresh)
+                self._m_acks.inc()
+                self._m_cpu_s.inc(cost)
                 self.tracer.emit(
                     self.sim.now, "el.store", rank=rank, n=len(records)
                 )

@@ -23,7 +23,7 @@ protocol, driven by the event-logger records via :class:`ReplayState`.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from ..mpi.datatypes import Envelope

@@ -17,7 +17,7 @@ again. Thus all these messages can be removed on their respective sender."
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Optional
+from typing import Any, Iterator
 
 __all__ = ["SavedMessage", "SenderLog", "LogOverflow"]
 

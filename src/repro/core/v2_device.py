@@ -28,19 +28,20 @@ Protocol responsibilities implemented here:
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Generator, Optional
 
 from ..devices.base import ChannelDevice, segment_sizes
+from ..obs.registry import Metrics
 from ..mpi.datatypes import Envelope
 from ..mpi.protocol import Packet, PacketKind
 from ..runtime.config import TestbedConfig
 from ..runtime.fabric import ConnectionRefused, Fabric
-from ..simnet.kernel import Future, Gate, Killed, Queue, Simulator
+from ..simnet.kernel import Future, Gate, Queue, Simulator
 from ..simnet.node import Host, HostDown
 from ..simnet.streams import Disconnected, StreamEnd
 from ..simnet.trace import Tracer
 from .clocks import ClockState, EventRecord
-from .event_logger import EventLoggerServer
 from .replay import CheckpointImage, DeliveryRecord, ReplayState
 from .sender_log import SenderLog
 
@@ -85,6 +86,7 @@ class V2Daemon:
         dispatcher_name: Optional[str] = "dispatcher",
         app_footprint: int = 0,
         tracer: Optional[Tracer] = None,
+        metrics: Optional[Metrics] = None,
     ) -> None:
         self.sim = sim
         self.cfg = cfg
@@ -147,11 +149,36 @@ class V2Daemon:
         self.events_pushed = 0
         self.dups_dropped = 0
 
+        # metric handles, bound once (get-or-create by (name, rank): a
+        # restarted daemon's counters continue across incarnations)
+        m = self.metrics = metrics if metrics is not None else Metrics()
+        self._m_el_roundtrips = m.counter("el.roundtrips", rank=rank)
+        self._m_el_rtt = m.histogram("el.rtt_s", rank=rank)
+        self._m_gate_stalls = m.counter("gate.stalls", rank=rank)
+        self._m_gate_stall_s = m.counter("gate.stall_s", rank=rank)
+        self._m_log_bytes = m.counter("senderlog.bytes", rank=rank)
+        self._m_log_spill = m.counter("senderlog.spill_bytes", rank=rank)
+        self._m_log_gc = m.counter("senderlog.gc_bytes", rank=rank)
+        self._m_log_ram = m.gauge("senderlog.ram_bytes", rank=rank)
+        self._m_log_disk = m.gauge("senderlog.disk_bytes", rank=rank)
+        self._m_log_msgs = m.gauge("senderlog.msgs", rank=rank)
+        self._m_ckpt_bytes = m.counter("ckpt.bytes", rank=rank)
+        self._m_ckpt_images = m.counter("ckpt.images", rank=rank)
+        self._m_ckpt_push = m.histogram("ckpt.push_s", rank=rank)
+        self._m_del_replayed = m.counter("deliveries.replayed", rank=rank)
+        self._m_del_fresh = m.counter("deliveries.fresh", rank=rank)
+        self._m_replay_s = m.histogram("ft.replay_s", rank=rank)
+        # (send time, batch size) of EL batches awaiting acknowledgement
+        self._el_inflight: deque[tuple[float, int]] = deque()
+        self._start_t = 0.0
+        self._caught_up = False
+
     # ------------------------------------------------------------------
     # startup / recovery (phases A and B)
     # ------------------------------------------------------------------
     def start(self) -> Generator[Future, Any, None]:
         """Bring the daemon up; on restart, run recovery first."""
+        self._start_t = self.sim.now
         self._acceptor = self.fabric.listen(f"daemon:{self.rank}", self.host)
         # connect to the event logger and (phase A) download logged events
         self._el_end = self._connect(self.el_name)
@@ -224,6 +251,7 @@ class V2Daemon:
         if self._sched_end is not None:
             self._spawn(self._sched_loop(), "sched")
         self.ready.open()
+        self._maybe_caught_up()
 
     def _connect(self, name: str, hello: Any = None) -> StreamEnd:
         return self.fabric.connect(self.host, name, hello=hello)
@@ -356,7 +384,14 @@ class V2Daemon:
                     return
                 continue
             pkt: Packet = item
-            yield self.el_gate.waitfor()  # WAITLOGGED: the pessimistic gate
+            if self.el_gate.is_open:
+                yield self.el_gate.waitfor()  # WAITLOGGED (gate open: free)
+            else:
+                # WAITLOGGED: the pessimistic gate — measure the stall
+                self._m_gate_stalls.inc()
+                t0 = self.sim.now
+                yield self.el_gate.waitfor()
+                self._m_gate_stall_s.inc(self.sim.now - t0)
             end = link.end
             if end is None or link.epoch != epoch:
                 return  # packet dropped; SAVED + handshake recover it
@@ -434,7 +469,10 @@ class V2Daemon:
             if self.device is not None:
                 self.device.resolve_duplicate_rts(msg[1])
         elif kind == "GC":
-            self.saved.collect(q, msg[1])
+            freed = self.saved.collect(q, msg[1])
+            if freed:
+                self._m_log_gc.inc(freed)
+                self._note_log_occupancy()
         else:  # pragma: no cover
             raise RuntimeError(f"daemon got control {kind!r}")
 
@@ -467,6 +505,7 @@ class V2Daemon:
             # handshake deadlocks behind its own consumed event
             for released in self.replay.offer_packet(pkt):
                 self._release(released)
+            self._maybe_caught_up()
             return
         self._release(pkt)
 
@@ -518,12 +557,14 @@ class V2Daemon:
                 if not ok:
                     break
                 batch.append(more)
+            t0 = self.sim.now
             try:
                 yield from self._el_end.write(
                     self.cfg.event_bytes * len(batch), ("EVENT", self.rank, batch)
                 )
             except Disconnected:  # pragma: no cover - EL is reliable
                 return
+            self._el_inflight.append((t0, len(batch)))
             self.events_pushed += len(batch)
 
     def _el_reader(self):
@@ -535,6 +576,10 @@ class V2Daemon:
             kind, n = msg
             if kind == "ACK":
                 self._el_outstanding -= n
+                if self._el_inflight:
+                    t0, _batch = self._el_inflight.popleft()
+                    self._m_el_roundtrips.inc()
+                    self._m_el_rtt.observe(self.sim.now - t0)
                 if self._el_outstanding == 0 and len(self._el_q) == 0:
                     self.el_gate.open()
 
@@ -563,6 +608,7 @@ class V2Daemon:
         self._spawn(self._push_image(image), f"ckpt{image.seq}")
 
     def _push_image(self, image: CheckpointImage):
+        t0 = self.sim.now
         try:
             end = self._connect(self.cs_name)
         except ConnectionRefused:
@@ -577,6 +623,9 @@ class V2Daemon:
         except (Disconnected, HostDown):
             return  # crashed mid-push: the server discards the partial image
         self.checkpoints_done += 1
+        self._m_ckpt_images.inc()
+        self._m_ckpt_bytes.inc(total)
+        self._m_ckpt_push.observe(self.sim.now - t0)
         # garbage collection: peers drop copies we will never ask for again.
         # Thresholds come from the *image's* HR vector — the live clock has
         # already advanced past deliveries the image does not cover.
@@ -660,6 +709,31 @@ class V2Daemon:
         """Drain the daemon's accumulated CPU competition (LU effect)."""
         tax, self.cpu_tax_owed = self.cpu_tax_owed, 0.0
         return tax
+
+    def _note_log_occupancy(self) -> None:
+        """Refresh the sender-log occupancy gauges (time-weighted)."""
+        now = self.sim.now
+        on_disk = self.saved.bytes_on_disk
+        self._m_log_ram.set(self.saved.bytes_total - on_disk, now)
+        self._m_log_disk.set(on_disk, now)
+        self._m_log_msgs.set(len(self.saved), now)
+
+    def _maybe_caught_up(self) -> None:
+        """Emit ``v2.caught_up`` once this incarnation's replay drains."""
+        if self._caught_up or self.replay is None:
+            return
+        if self.replay.active(self.op_index):
+            return
+        self._caught_up = True
+        replay_s = self.sim.now - self._start_t
+        self._m_replay_s.observe(replay_s)
+        self.tracer.emit(
+            self.sim.now,
+            "v2.caught_up",
+            rank=self.rank,
+            incarnation=self.incarnation,
+            replay_s=replay_s,
+        )
 
     def _log_ram_budget(self) -> int:
         """Main memory left for the message log after the application."""
@@ -760,6 +834,10 @@ class V2Device(ChannelDevice):
             if not ff:
                 # the sender-based copy (and its RAM/disk cost)
                 disk_bytes = d.saved.append(dst, env.sclock, env)
+                d._m_log_bytes.inc(env.nbytes)
+                if disk_bytes:
+                    d._m_log_spill.inc(disk_bytes)
+                d._note_log_occupancy()
                 copy_time = env.nbytes / self.cfg.log_copy_bw
                 if disk_bytes:
                     copy_time += disk_bytes / self.host.disk_bw
@@ -820,7 +898,10 @@ class V2Device(ChannelDevice):
         d = self.daemon
         rclock = d.clock.tick_recv(env.src, env.sclock)
         if self.fast_forward():
-            return  # already in the delivery log and on the event logger
+            # fed from the recorded delivery log: already on the EL
+            d._m_del_replayed.inc()
+            self.stats.deliveries_replayed += 1
+            return
         rec = DeliveryRecord(
             src=env.src,
             sclock=env.sclock,
@@ -835,6 +916,12 @@ class V2Device(ChannelDevice):
         resume = d.replay.log_resume_clock if d.replay is not None else 0
         if rclock > resume:
             d.log_event(EventRecord(rclock, env.src, env.sclock, probes))
+            d._m_del_fresh.inc()
+            self.stats.deliveries_fresh += 1
+        else:
+            # an event the EL already holds: a forced-order re-delivery
+            d._m_del_replayed.inc()
+            self.stats.deliveries_replayed += 1
         self.stats.events_logged += 1
 
     def force_probe(self) -> Optional[bool]:
@@ -872,6 +959,8 @@ class V2Device(ChannelDevice):
         """API-boundary safe point: take an ordered checkpoint here."""
         d = self.daemon
         d.op_index += 1
+        if d.replay is not None:
+            d._maybe_caught_up()
         if (
             d.replay is not None
             and d.op_index == d.replay.ff_target_ops

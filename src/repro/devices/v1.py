@@ -22,13 +22,14 @@ from __future__ import annotations
 from typing import Any, Generator, Optional
 
 from ..mpi.api import MPI
-from ..mpi.protocol import Packet, PacketKind
+from ..mpi.protocol import Packet
+from ..obs.collect import finalize_job
 from ..runtime.cluster import Cluster
-from ..runtime.config import DEFAULT_TESTBED, TestbedConfig
+from ..runtime.config import TestbedConfig
 from ..runtime.fabric import Fabric
 from ..runtime.mpirun import rank_main
 from ..runtime.results import JobResult
-from ..simnet.kernel import Future, Killed, Simulator, all_of
+from ..simnet.kernel import Future, Killed, Simulator
 from ..simnet.node import Host
 from ..simnet.streams import Disconnected, StreamEnd
 from ..simnet.trace import Tracer
@@ -382,6 +383,14 @@ def run_v1_job(
         sim.spawn(faults.driver(ctx), name="v1.fault-injector")
 
     results = sim.run_until(done, limit=limit)
+    for cm in cms:
+        if cm.stores:
+            cluster.metrics.counter("v1.cm_stores", cm=cm.name).inc(cm.stores)
+        if cm.serves:
+            cluster.metrics.counter("v1.cm_serves", cm=cm.name).inc(cm.serves)
+    stats = finalize_job(
+        cluster, {r: slots[r].device.stats for r in range(nprocs)}, "v1"
+    )
     return JobResult(
         nprocs=nprocs,
         device="v1",
@@ -389,7 +398,8 @@ def run_v1_job(
         results=results,
         timers={r: slots[r].mpi.timer for r in range(nprocs)},
         tracer=cluster.tracer,
-        stats={r: slots[r].device.stats.snapshot() for r in range(nprocs)},
+        stats=stats,
         restarts=total_restarts[0],
+        metrics=cluster.metrics,
         extras={"channel_memories": cms},
     )

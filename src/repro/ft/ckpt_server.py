@@ -11,10 +11,11 @@ image intact.  Fetching serves the most recent complete image.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Optional
 
 from ..core.replay import CheckpointImage
 from ..devices.base import segment_sizes
+from ..obs.registry import Metrics
 from ..runtime.config import TestbedConfig
 from ..runtime.fabric import Fabric
 from ..simnet.kernel import Simulator
@@ -36,6 +37,7 @@ class CheckpointServer:
         cfg: TestbedConfig,
         name: str = "cs:0",
         tracer: Optional[Tracer] = None,
+        metrics: Optional[Metrics] = None,
     ) -> None:
         self.sim = sim
         self.host = host
@@ -43,6 +45,10 @@ class CheckpointServer:
         self.cfg = cfg
         self.name = name
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        m = metrics if metrics is not None else Metrics()
+        self._m_stores = m.counter("cs.stores", server=name)
+        self._m_fetches = m.counter("cs.fetches", server=name)
+        self._m_bytes = m.counter("cs.bytes_stored", server=name)
         self.images: dict[int, CheckpointImage] = {}  # rank -> latest image
         self.stores = 0
         self.fetches = 0
@@ -77,6 +83,8 @@ class CheckpointServer:
                 if prev is None or image.seq > prev.seq:
                     self.images[image.rank] = image
                 self.stores += 1
+                self._m_stores.inc()
+                self._m_bytes.inc(image.image_bytes)
                 self.tracer.emit(
                     self.sim.now,
                     "cs.store",
@@ -92,6 +100,7 @@ class CheckpointServer:
                 rank = msg[1]
                 image = self.images.get(rank)
                 self.fetches += 1
+                self._m_fetches.inc()
                 try:
                     if image is None:
                         yield from end.write(16, ("IMAGE", None))

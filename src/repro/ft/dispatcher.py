@@ -20,7 +20,8 @@ from typing import Any, Callable, Optional
 from ..core.v2_device import V2Daemon, V2Device
 from ..core.event_logger import EventLoggerServer
 from ..mpi.api import MPI
-from ..simnet.kernel import Future, Killed, Queue, Simulator
+from ..obs.collect import finalize_job
+from ..simnet.kernel import Future, Killed
 from ..simnet.node import Host
 from ..simnet.streams import Disconnected, StreamEnd
 from ..runtime.cluster import Cluster
@@ -90,6 +91,11 @@ class Dispatcher:
         self.total_restarts = 0
         self.global_restarts = 0
         self._global_restarting = False
+        m = cluster.metrics
+        self._m_faults = m.counter("ft.faults")
+        self._m_restarts = m.counter("ft.restarts")
+        self._m_global_restarts = m.counter("ft.global_restarts")
+        self._m_downtime = m.histogram("ft.downtime_s")
 
     # -- launch --------------------------------------------------------------
     def start(self) -> None:
@@ -132,6 +138,7 @@ class Dispatcher:
 
     def _global_restart(self):
         self.cluster.tracer.emit(self.sim.now, "ft.global_restart")
+        self._m_global_restarts.inc()
         # invalidate every per-rank monitor/restart before tearing down
         for st in self.states:
             st.incarnation += 1
@@ -177,6 +184,7 @@ class Dispatcher:
             sched_name=self.sched_name,
             dispatcher_name="dispatcher",
             tracer=self.cluster.tracer,
+            metrics=self.cluster.metrics,
         )
         device = V2Device(
             self.sim, self.cfg, rank, self.nprocs, host, daemon,
@@ -234,9 +242,11 @@ class Dispatcher:
 
     def _restart(self, rank: int, incarnation: int):
         st = self.states[rank]
+        t_crash = self.sim.now
         yield self.sim.timeout(self.cfg.restart_detect_delay)
         if self.done.done or st.incarnation != incarnation:
             return
+        self.cluster.tracer.emit(self.sim.now, "ft.detect", rank=rank)
         old_host = st.host
         if self.spare_hosts:
             host = self.spare_hosts.pop(0)
@@ -250,6 +260,8 @@ class Dispatcher:
         st.finished = False  # a finished rank can be re-executed to serve peers
         st.restarts += 1
         self.total_restarts += 1
+        self._m_restarts.inc()
+        self._m_downtime.observe(self.sim.now - t_crash)
         self.cluster.tracer.emit(
             self.sim.now, "ft.restart", rank=rank, incarnation=incarnation + 1,
             host=host.name,
@@ -271,6 +283,7 @@ class Dispatcher:
             if st.host is None or st.host.failed or self.done.done:
                 return False
             self.cluster.tracer.emit(self.sim.now, "ft.fault", rank=rank)
+            self._m_faults.inc()
             st.host.crash()
             return True
 
@@ -352,13 +365,17 @@ def run_v2_job(
     loggers = []
     for i in range(n_event_loggers):
         el = EventLoggerServer(
-            sim, el_hosts[i], fabric, cfg, name=f"el:{i}", tracer=cluster.tracer
+            sim, el_hosts[i], fabric, cfg, name=f"el:{i}",
+            tracer=cluster.tracer, metrics=cluster.metrics,
         )
         el.start()
         loggers.append(el)
         el_names.append(el.name)
 
-    cs = CheckpointServer(sim, cs_host, fabric, cfg, tracer=cluster.tracer)
+    cs = CheckpointServer(
+        sim, cs_host, fabric, cfg, tracer=cluster.tracer,
+        metrics=cluster.metrics,
+    )
     cs.start()
 
     sched_name = None
@@ -421,6 +438,11 @@ def run_v2_job(
 
     results = sim.run_until(dispatcher.done, limit=limit)
     elapsed = max(s.finish_time for s in dispatcher.states)
+    stats = finalize_job(
+        cluster,
+        {r: dispatcher.states[r].mpi.device.stats for r in range(nprocs)},
+        "v2",
+    )
     return JobResult(
         nprocs=nprocs,
         device="v2",
@@ -428,12 +450,10 @@ def run_v2_job(
         results=results,
         timers={r: dispatcher.states[r].mpi.timer for r in range(nprocs)},
         tracer=cluster.tracer,
-        stats={
-            r: dispatcher.states[r].mpi.device.stats.snapshot()
-            for r in range(nprocs)
-        },
+        stats=stats,
         restarts=dispatcher.total_restarts,
         checkpoints=cs.stores,
+        metrics=cluster.metrics,
         extras={
             "global_restarts": dispatcher.global_restarts,
             "event_loggers": loggers,

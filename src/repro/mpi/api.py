@@ -17,7 +17,7 @@ real implementation retains the bytes).
 
 from __future__ import annotations
 
-from typing import Any, Generator, Iterable, Optional, Sequence
+from typing import Any, Generator, Optional, Sequence
 
 import numpy as np
 
@@ -25,7 +25,7 @@ from ..devices.base import ChannelDevice
 from ..simnet.kernel import Future, Simulator
 from ..simnet.trace import Tracer
 from .adi import Adi
-from .datatypes import ANY_SOURCE, ANY_TAG, CTX_COLL, CTX_PT2PT, Envelope, Message
+from .datatypes import ANY_SOURCE, ANY_TAG, CTX_PT2PT, Envelope, Message
 from .requests import RecvRequest, Request, SendRequest
 from .timing import CallTimer
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Optional
 
 from ..simnet.kernel import Future, Simulator
 from .datatypes import Envelope, Message

@@ -1,0 +1,42 @@
+"""Observability: metrics registry, trace export, recovery timelines.
+
+The paper's claims are mechanism-level claims — event-logger round trips
+gating sends, sender logs spilling to disk, checkpoint/restart arcs —
+and this package measures exactly those mechanisms:
+
+* :mod:`~repro.obs.registry` — always-on counters/gauges/histograms with
+  per-rank and per-component labels (read via ``JobResult.stat(...)``);
+* :mod:`~repro.obs.trace_export` — Chrome trace-event JSON (open the
+  file at https://ui.perfetto.dev) and JSONL dumps of a run's tracer;
+* :mod:`~repro.obs.timeline` — fault → detect → respawn → replay →
+  caught-up spans per restart;
+* :mod:`~repro.obs.collect` — end-of-job folding of hot-path accounting
+  into the registry.
+"""
+
+from .collect import finalize_job
+from .registry import DEFAULT_BOUNDS, Counter, Gauge, Histogram, Metrics
+from .timeline import RestartSpan, recovery_timeline
+from .trace_export import (
+    chrome_trace,
+    merge_chrome_traces,
+    trace_records,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "DEFAULT_BOUNDS",
+    "RestartSpan",
+    "recovery_timeline",
+    "chrome_trace",
+    "merge_chrome_traces",
+    "trace_records",
+    "write_chrome_trace",
+    "write_trace_jsonl",
+    "finalize_job",
+]

@@ -1,0 +1,72 @@
+"""End-of-job folding: simnet accounting → the metrics registry.
+
+Hot-path components that move millions of segments (the network, the
+NICs, the stream flow control) keep plain float attributes instead of
+live metric handles — an attribute add is the cheapest accounting
+possible.  :func:`finalize_job` runs once when a job completes and folds
+those floats, plus the per-rank device counters, into the cluster's
+:class:`~repro.obs.registry.Metrics`, then returns the per-rank stats
+dicts that :class:`~repro.runtime.results.JobResult` exposes.
+
+The returned dicts are backward compatible: the device-stat keys
+(``bytes_sent``, ...) stay at top level, and the per-rank registry
+totals (``el.roundtrips``, ``gate.stall_s``, ``senderlog.bytes``, ...)
+are merged alongside them.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["finalize_job"]
+
+
+def finalize_job(
+    cluster: Any,
+    device_stats: dict[int, Any],
+    device: str,
+) -> dict[int, dict[str, Any]]:
+    """Fold residual accounting into ``cluster.metrics``; build rank stats."""
+    m = cluster.metrics
+    net = cluster.net
+
+    if net.bytes_moved:
+        m.counter("net.bytes").inc(net.bytes_moved)
+    if net.segments_moved:
+        m.counter("net.segments").inc(net.segments_moved)
+
+    seen_streams: set[int] = set()
+    for host in net.hosts.values():
+        if host.nic_tx_busy_s:
+            m.counter("nic.tx_busy_s", host=host.name).inc(host.nic_tx_busy_s)
+        if host.nic_rx_busy_s:
+            m.counter("nic.rx_busy_s", host=host.name).inc(host.nic_rx_busy_s)
+        for stream in host._streams:
+            if id(stream) in seen_streams:
+                continue
+            seen_streams.add(id(stream))
+            for end in (stream.a, stream.b):
+                if end.stall_s:
+                    m.counter("stream.stall_s", host=end.host.name).inc(
+                        end.stall_s
+                    )
+                    m.counter("stream.stalls", host=end.host.name).inc(
+                        end.stall_count
+                    )
+
+    stats: dict[int, dict[str, Any]] = {}
+    for rank, dev_stats in device_stats.items():
+        snap = dev_stats.snapshot() if hasattr(dev_stats, "snapshot") else dict(
+            dev_stats
+        )
+        for key, value in snap.items():
+            if value:
+                m.counter(f"dev.{key}", rank=rank, device=device).inc(value)
+        stats[rank] = dict(snap)
+
+    # merge per-rank registry totals next to the raw device counters
+    for rank, totals in m.by_label("rank").items():
+        if rank in stats:
+            for name, value in totals.items():
+                stats[rank].setdefault(name, value)
+    return stats

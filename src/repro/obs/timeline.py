@@ -1,0 +1,120 @@
+"""Recovery timelines: fault → detect → respawn → replay → caught-up.
+
+Figures 10-11 of the paper plot how long a crashed node takes to rejoin
+the computation.  This module derives that timeline from trace records:
+each :class:`RestartSpan` strings together, for one fault on one rank,
+
+* ``ft.fault``     — the injector killed the host;
+* ``ft.detect``    — the dispatcher's socket-disconnection detector fired;
+* ``ft.restart``   — the dispatcher respawned the rank (possibly on a
+  spare host);
+* ``v2.restart``   — the new daemon finished phase A (image + event
+  download) and entered replay;
+* ``v2.caught_up`` — replay drained: the rank is executing fresh work.
+
+Spans with a missing tail (e.g. the job finished before the rank caught
+up, or a second fault struck mid-recovery) keep ``None`` in the
+unreached fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..simnet.trace import Tracer
+
+__all__ = ["RestartSpan", "recovery_timeline"]
+
+
+@dataclass
+class RestartSpan:
+    """One fault-to-recovery arc for one rank (times in simulated s)."""
+
+    rank: int
+    fault_t: float
+    detect_t: Optional[float] = None
+    respawn_t: Optional[float] = None
+    replay_start_t: Optional[float] = None
+    caught_up_t: Optional[float] = None
+    incarnation: Optional[int] = None
+    host: Optional[str] = None
+    replay_events: Optional[int] = None
+
+    @property
+    def downtime_s(self) -> Optional[float]:
+        """Fault to respawn (the dispatcher's detect + spawn delays)."""
+        if self.respawn_t is None:
+            return None
+        return self.respawn_t - self.fault_t
+
+    @property
+    def recovery_s(self) -> Optional[float]:
+        """Fault to caught-up: the full rejoin latency."""
+        if self.caught_up_t is None:
+            return None
+        return self.caught_up_t - self.fault_t
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-friendly view (for ``repro trace --timeline``)."""
+        return {
+            "rank": self.rank,
+            "fault_t": self.fault_t,
+            "detect_t": self.detect_t,
+            "respawn_t": self.respawn_t,
+            "replay_start_t": self.replay_start_t,
+            "caught_up_t": self.caught_up_t,
+            "incarnation": self.incarnation,
+            "host": self.host,
+            "replay_events": self.replay_events,
+            "downtime_s": self.downtime_s,
+            "recovery_s": self.recovery_s,
+        }
+
+
+def recovery_timeline(tracer: Tracer) -> list[RestartSpan]:
+    """Pair fault/detect/restart/replay/caught-up records per rank.
+
+    Records are consumed in trace order (the tracer is append-only, so
+    that is time order); each rank fills its oldest incomplete span
+    first, which keeps overlapping recoveries of *different* ranks — and
+    repeated faults on the same rank — separated.
+    """
+    spans: list[RestartSpan] = []
+    open_spans: dict[int, list[RestartSpan]] = {}
+
+    def oldest_open(rank: int, unset: str) -> Optional[RestartSpan]:
+        for span in open_spans.get(rank, ()):
+            if getattr(span, unset) is None:
+                return span
+        return None
+
+    for rec in tracer:
+        rank = rec.fields.get("rank")
+        if rank is None:
+            continue
+        if rec.kind == "ft.fault":
+            span = RestartSpan(rank=rank, fault_t=rec.time)
+            spans.append(span)
+            open_spans.setdefault(rank, []).append(span)
+        elif rec.kind == "ft.detect":
+            span = oldest_open(rank, "detect_t")
+            if span is not None:
+                span.detect_t = rec.time
+        elif rec.kind == "ft.restart":
+            span = oldest_open(rank, "respawn_t")
+            if span is not None:
+                span.respawn_t = rec.time
+                span.incarnation = rec.fields.get("incarnation")
+                span.host = rec.fields.get("host")
+        elif rec.kind == "v2.restart":
+            span = oldest_open(rank, "replay_start_t")
+            if span is not None:
+                span.replay_start_t = rec.time
+                span.replay_events = rec.fields.get("replay_events")
+        elif rec.kind == "v2.caught_up":
+            span = oldest_open(rank, "caught_up_t")
+            if span is not None:
+                span.caught_up_t = rec.time
+                open_spans[rank].remove(span)
+    return spans

@@ -1,0 +1,158 @@
+"""Trace export: Chrome trace-event JSON (Perfetto-loadable) and JSONL.
+
+A :class:`~repro.simnet.trace.Tracer` collects typed records during a
+run; this module turns them into the Chrome trace-event format (the
+``traceEvents`` array understood by ``chrome://tracing`` and
+https://ui.perfetto.dev) with **one track per host/daemon**:
+
+* records carrying a ``rank`` (``v2.tx``, ``v2.ckpt``, ``mpi.*`` ...)
+  land on a ``rank N`` process;
+* ``net.xfer`` lands on the *sending host's* process;
+* event-logger / checkpoint-server / dispatcher records land on their
+  service's process.
+
+Simulated seconds become microsecond timestamps (the unit the format
+expects); every record is an instant event whose fields ride along in
+``args``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from ..simnet.trace import TraceRecord, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "trace_records",
+    "write_chrome_trace",
+    "write_trace_jsonl",
+]
+
+
+def _track_of(rec: TraceRecord) -> str:
+    """The process (track) a record belongs to."""
+    kind = rec.fields
+    if rec.kind.startswith("net."):
+        return f"host:{kind.get('src', 'net')}"
+    if rec.kind.startswith("el."):
+        return "event-logger"
+    if rec.kind.startswith("cs."):
+        return "ckpt-server"
+    if rec.kind.startswith("ft."):
+        return "dispatcher"
+    rank = kind.get("rank", kind.get("at"))
+    if rank is not None:
+        return f"rank{rank}"
+    return "sim"
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def chrome_trace(
+    tracer: Tracer, pid_prefix: str = "", _pid_base: int = 0
+) -> dict[str, Any]:
+    """Render a tracer as a Chrome trace-event document (a plain dict).
+
+    ``pid_prefix`` namespaces track names (used when several runs are
+    merged into one file); ``_pid_base`` offsets the numeric pids so
+    merged documents do not collide.
+    """
+    pids: dict[str, int] = {}
+    tids: dict[tuple[int, str], int] = {}
+    events: list[dict[str, Any]] = []
+    meta: list[dict[str, Any]] = []
+
+    for rec in tracer:
+        track = pid_prefix + _track_of(rec)
+        pid = pids.get(track)
+        if pid is None:
+            pid = _pid_base + len(pids) + 1
+            pids[track] = pid
+            meta.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": track},
+                }
+            )
+        tkey = (pid, rec.kind)
+        tid = tids.get(tkey)
+        if tid is None:
+            tid = sum(1 for p, _ in tids if p == pid) + 1
+            tids[tkey] = tid
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": rec.kind},
+                }
+            )
+        events.append(
+            {
+                "name": rec.kind,
+                "ph": "i",
+                "s": "t",
+                "ts": rec.time * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": {k: _json_safe(v) for k, v in rec.fields.items()},
+            }
+        )
+
+    doc: dict[str, Any] = {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+    }
+    if tracer.dropped:
+        doc["metadata"] = {"dropped_records": tracer.dropped}
+    return doc
+
+
+def merge_chrome_traces(parts: Iterable[tuple[str, Tracer]]) -> dict[str, Any]:
+    """One document from several labelled runs (tracks are namespaced)."""
+    events: list[dict[str, Any]] = []
+    dropped = 0
+    base = 0
+    for label, tracer in parts:
+        doc = chrome_trace(tracer, pid_prefix=f"{label}:", _pid_base=base)
+        events.extend(doc["traceEvents"])
+        dropped += doc.get("metadata", {}).get("dropped_records", 0)
+        base = max((e["pid"] for e in events), default=0)
+    out: dict[str, Any] = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if dropped:
+        out["metadata"] = {"dropped_records": dropped}
+    return out
+
+
+def trace_records(tracer: Tracer) -> list[dict[str, Any]]:
+    """Flat dict records (the JSONL schema): ``{time, kind, **fields}``."""
+    return [
+        {"time": rec.time, "kind": rec.kind,
+         **{k: _json_safe(v) for k, v in rec.fields.items()}}
+        for rec in tracer
+    ]
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> int:
+    """Write one run as a Chrome trace file; returns the record count."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracer), fh)
+    return len(tracer)
+
+
+def write_trace_jsonl(tracer: Tracer, path: str) -> int:
+    """Write one run as JSON-lines records; returns the record count."""
+    with open(path, "w") as fh:
+        for rec in trace_records(tracer):
+            fh.write(json.dumps(rec) + "\n")
+    return len(tracer)

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..obs.registry import Metrics
 from ..simnet.kernel import Simulator
 from ..simnet.network import Network
 from ..simnet.node import Host
@@ -27,10 +28,12 @@ class Cluster:
         cfg: TestbedConfig = DEFAULT_TESTBED,
         seed: int = 0,
         trace: bool = False,
+        trace_max_records: Optional[int] = None,
     ) -> None:
         self.cfg = cfg
         self.sim = Simulator()
-        self.tracer = Tracer(enabled=trace)
+        self.tracer = Tracer(enabled=trace, max_records=trace_max_records)
+        self.metrics = Metrics()
         self.net = Network(self.sim, cfg.link, tracer=self.tracer)
         self.rng = RngRegistry(seed)
 

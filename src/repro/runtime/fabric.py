@@ -15,7 +15,7 @@ from typing import Any, Optional
 
 from ..simnet.kernel import Queue, Simulator
 from ..simnet.node import Host, HostDown
-from ..simnet.streams import Stream, StreamEnd
+from ..simnet.streams import StreamEnd
 from .cluster import Cluster
 
 __all__ = ["Acceptor", "Fabric", "ConnectionRefused"]

@@ -23,6 +23,7 @@ from typing import Any, Callable, Generator, Optional
 
 from ..devices.p4 import P4Device
 from ..mpi.api import MPI
+from ..obs.collect import finalize_job
 from ..simnet.kernel import Future, all_of
 from .cluster import Cluster
 from .config import DEFAULT_TESTBED, TestbedConfig
@@ -111,6 +112,9 @@ def _run_p4(
     done = all_of(sim, [p.done for p in procs])
     outcome = sim.run_until(done, limit=limit)
     finish_times = [t for t, _ in outcome]
+    stats = finalize_job(
+        cluster, {r: devices[r].stats for r in range(nprocs)}, "p4"
+    )
     return JobResult(
         nprocs=nprocs,
         device="p4",
@@ -118,5 +122,6 @@ def _run_p4(
         results=[res for _, res in outcome],
         timers={r: mpis[r].timer for r in range(nprocs)},
         tracer=cluster.tracer,
-        stats={r: devices[r].stats.snapshot() for r in range(nprocs)},
+        stats=stats,
+        metrics=cluster.metrics,
     )

@@ -21,10 +21,23 @@ class JobResult:
     results: list[Any]  # per-rank return values of the program
     timers: dict[int, CallTimer]  # per-rank call-time attribution
     tracer: Optional[Tracer] = None
-    stats: dict[int, dict[str, int]] = field(default_factory=dict)
+    stats: dict[int, dict[str, Any]] = field(default_factory=dict)
     restarts: int = 0  # how many process restarts occurred
     checkpoints: int = 0  # how many checkpoints completed
+    metrics: Optional[Any] = None  # the job's obs.Metrics registry
     extras: dict[str, Any] = field(default_factory=dict)
+
+    def stat(self, name: str, rank: Optional[int] = None,
+             default: float = 0.0) -> float:
+        """One registry metric's total (optionally for a single rank).
+
+        Metrics a device never touches (e.g. ``el.roundtrips`` on a P4
+        run) fall back to ``default``, so cross-device comparisons need
+        no key juggling.
+        """
+        if self.metrics is None:
+            return default
+        return self.metrics.total(name, rank=rank, default=default)
 
     def timer_sum(self, cat: str) -> float:
         """Sum of one call category's time across all ranks."""

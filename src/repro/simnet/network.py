@@ -20,7 +20,7 @@ Loopback (A == B) transfers move at memory-copy speed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Callable, Optional
 
 from .kernel import Simulator
 from .node import Host, HostDown

@@ -15,7 +15,7 @@ detected through socket disconnection).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable
 
 from .kernel import Process, Simulator
 
@@ -61,6 +61,10 @@ class Host:
         # NIC serialization state (absolute simulated times)
         self._tx_free = 0.0
         self._rx_free = 0.0
+        # cumulative NIC busy seconds (folded into the metrics registry
+        # at job end; plain floats keep the reservation path allocation-free)
+        self.nic_tx_busy_s = 0.0
+        self.nic_rx_busy_s = 0.0
         self._processes: list[Process] = []
         self._streams: list["Stream"] = []
         self.on_crash: list[Callable[["Host"], None]] = []
@@ -81,6 +85,7 @@ class Host:
         begin = max(start, free)
         end = begin + duration
         self._tx_free = end
+        self.nic_tx_busy_s += duration
         if coupled:
             self._rx_free = max(self._rx_free, end)
         return begin
@@ -92,6 +97,7 @@ class Host:
         begin = max(start, free)
         end = begin + duration
         self._rx_free = end
+        self.nic_rx_busy_s += duration
         if coupled:
             self._tx_free = max(self._tx_free, end)
         return end

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from .kernel import Future, Queue, Semaphore, Simulator
+from .kernel import Future, Queue, Semaphore
 from .network import Network
 from .node import Host
 
@@ -53,6 +53,10 @@ class StreamEnd:
         self.broken: Optional[Disconnected] = None
         self.bytes_written = 0
         self.bytes_read = 0
+        # window-stall accounting (folded into the metrics registry at
+        # job end): time writers spent blocked on the peer's window
+        self.stall_count = 0
+        self.stall_s = 0.0
 
     # -- writing ----------------------------------------------------------
     def write(
@@ -70,7 +74,13 @@ class StreamEnd:
         charge = max(1, min(nbytes, self.stream.window))
         if self.broken is not None:
             raise self.broken
-        yield self._wcredit.acquire(charge)
+        if self._wcredit.tokens >= charge:
+            yield self._wcredit.acquire(charge)
+        else:
+            self.stall_count += 1
+            t0 = self.stream.net.sim.now
+            yield self._wcredit.acquire(charge)
+            self.stall_s += self.stream.net.sim.now - t0
         if self.broken is not None:
             raise self.broken
         net = self.stream.net

@@ -8,8 +8,9 @@ traces, so the protocol code itself stays free of assertion scaffolding.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterator, Optional
 
 __all__ = ["TraceRecord", "Tracer"]
 
@@ -35,16 +36,30 @@ class Tracer:
     """Append-only trace sink with prefix filtering.
 
     Tracing is cheap when disabled (a single branch per call); benchmarks
-    run with tracing off, tests with tracing on.
+    run with tracing off, tests with tracing on.  ``max_records`` bounds
+    memory for soak runs: the sink becomes a ring buffer that drops the
+    *oldest* record on overflow and counts the drops in ``dropped``.
     """
 
-    def __init__(self, enabled: bool = False) -> None:
+    def __init__(
+        self, enabled: bool = False, max_records: Optional[int] = None
+    ) -> None:
         self.enabled = enabled
-        self.records: list[TraceRecord] = []
+        self.max_records = max_records
+        self.dropped = 0
+        if max_records is not None:
+            self.records: Any = deque(maxlen=max_records)
+        else:
+            self.records = []
 
     def emit(self, time: float, kind: str, **fields: Any) -> None:
         """Record one event (no-op when tracing is disabled)."""
         if self.enabled:
+            if (
+                self.max_records is not None
+                and len(self.records) == self.max_records
+            ):
+                self.dropped += 1  # deque(maxlen) evicts the oldest
             self.records.append(TraceRecord(time, kind, fields))
 
     def select(self, prefix: str) -> list[TraceRecord]:
@@ -61,5 +76,6 @@ class Tracer:
         return len(self.records)
 
     def clear(self) -> None:
-        """Drop all recorded events."""
+        """Drop all recorded events (and reset the overflow count)."""
         self.records.clear()
+        self.dropped = 0

@@ -13,7 +13,7 @@ Class T carries real numpy segments and returns a checksum.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Any, Generator
 
 import numpy as np
 

@@ -19,7 +19,7 @@ Class parameters follow NPB 2.3 (Bailey et al., NAS-95-020).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Generator, Optional
+from typing import Optional
 
 import numpy as np
 

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
-import numpy as np
 
 from .common import KernelSpec, NasResult, grid_2d
 

@@ -44,4 +44,5 @@ def measure(device: str, nbytes: int, reps: int = 10, **job_kw) -> dict:
         "one_way_s": one_way,
         "latency_us": one_way * 1e6,
         "bandwidth_MBps": (nbytes / one_way / 1e6) if nbytes else 0.0,
+        "result": res,
     }

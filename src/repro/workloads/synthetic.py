@@ -51,4 +51,5 @@ def measure(device: str, nbytes: int, reps: int = 5, **job_kw) -> dict:
         "device": device,
         "nbytes": nbytes,
         "bandwidth_MBps": min(res.results) / 1e6,
+        "result": res,
     }

@@ -52,3 +52,95 @@ def test_sched_command(capsys):
 def test_kernel_rejects_unknown():
     with pytest.raises(SystemExit):
         main(["kernel", "nope"])
+
+
+def test_pingpong_rejects_unknown_device(capsys):
+    rc = main(["pingpong", "--devices", "p4,bogus", "--sizes", "0"])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "bogus" in err
+
+
+def test_faulty_rejects_non_v2_device(capsys):
+    rc = main(["faulty", "cg", "--class", "T", "--device", "p4"])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "v2" in err
+
+
+def test_faulty_reports_mechanism_stats(capsys):
+    rc = main(["faulty", "cg", "--class", "S", "-n", "4", "--faults", "1"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "replayed" in out and "ckpt MB" in out
+
+
+def test_stats_command(capsys):
+    rc = main(["stats", "cg", "--class", "T", "-n", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "el.roundtrips" in out
+    assert "senderlog.bytes" in out
+
+
+def test_kernel_trace_out_writes_chrome_trace(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "t.json"
+    rc = main(["kernel", "cg", "--class", "T", "-n", "2",
+               "--trace-out", str(path)])
+    assert rc == 0
+    doc = json.loads(path.read_text())
+    assert doc["traceEvents"]
+    assert any(e.get("ph") == "i" for e in doc["traceEvents"])
+
+
+def test_kernel_metrics_out_writes_registry(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "m.json"
+    rc = main(["kernel", "cg", "--class", "T", "-n", "2",
+               "--metrics-out", str(path)])
+    assert rc == 0
+    entries = json.loads(path.read_text())
+    assert any(e["name"] == "el.roundtrips" for e in entries)
+
+
+def test_pingpong_trace_out_merges_runs(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "t.json"
+    rc = main(["pingpong", "--sizes", "1024", "--devices", "p4,v2",
+               "--reps", "2", "--trace-out", str(path)])
+    assert rc == 0
+    doc = json.loads(path.read_text())
+    names = {
+        e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e.get("ph") == "M" and e["name"] == "process_name"
+    }
+    assert any(n.startswith("p4/1024B:") for n in names)
+    assert any(n.startswith("v2/1024B:") for n in names)
+
+
+def test_trace_command_with_timeline(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "t.json"
+    rc = main(["trace", "cg", "--class", "T", "-n", "2", "--faults", "1",
+               "--fault-interval", "0.05", "--out", str(path), "--timeline"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "wrote" in out
+    assert "downtime s" in out  # the injected fault shows up in the timeline
+    assert json.loads(path.read_text())["traceEvents"]
+
+
+def test_trace_command_jsonl(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "t.jsonl"
+    rc = main(["trace", "cg", "--class", "T", "-n", "2", "--out", str(path)])
+    assert rc == 0
+    lines = path.read_text().splitlines()
+    assert lines and all(json.loads(ln)["kind"] for ln in lines)

@@ -1,6 +1,5 @@
 """Tests for sub-communicators (MPI_Comm_split)."""
 
-import pytest
 
 from repro.ft.failure import ExplicitFaults
 from repro.runtime.mpirun import run_job

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.runtime.mpirun import run_job
-from repro.runtime.progfile import DeploymentPlan, parse_progfile
+from repro.runtime.progfile import parse_progfile
 
 PROGFILE = """
 # paper-style machine description

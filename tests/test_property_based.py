@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) on core invariants."""
 
-import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

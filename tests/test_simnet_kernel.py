@@ -4,7 +4,6 @@ import pytest
 
 from repro.simnet import (
     DeadlockError,
-    Future,
     Gate,
     Killed,
     Queue,

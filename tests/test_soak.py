@@ -5,7 +5,6 @@ one program over sub-communicators, with checkpointing and Weibull churn
 — and asserts end-to-end consistency against the calm run.
 """
 
-import pytest
 
 from repro.ft.failure import ChurnFaults
 from repro.runtime.mpirun import run_job

@@ -7,7 +7,6 @@ restart: a process re-execution is independent of the other processes of
 the system."
 """
 
-import pytest
 
 from repro.ft.failure import ExplicitFaults, RandomFaults
 from repro.runtime.mpirun import run_job

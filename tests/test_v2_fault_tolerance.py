@@ -5,7 +5,6 @@ faults, the execution is equivalent to a fault-free execution.  Every
 test here asserts *numerically identical results* to the fault-free run.
 """
 
-import pytest
 
 from repro.ft.failure import ExplicitFaults, RandomFaults
 from repro.runtime.mpirun import run_job

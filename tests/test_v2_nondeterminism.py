@@ -8,7 +8,6 @@ These tests drive those paths through crashes and assert the replayed
 execution reaches the same results.
 """
 
-import pytest
 
 from repro.ft.failure import ExplicitFaults
 from repro.runtime.mpirun import run_job

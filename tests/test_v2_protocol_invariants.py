@@ -10,7 +10,6 @@ These tests run traced executions and verify the invariants post-hoc on
 the recorded event stream.
 """
 
-import pytest
 
 from repro.ft.failure import ExplicitFaults
 from repro.runtime.mpirun import run_job
