@@ -4,7 +4,10 @@ from __future__ import annotations
 
 from typing import Any, Optional, Sequence
 
-__all__ = ["format_table", "format_stats", "format_timeline", "Report"]
+__all__ = [
+    "format_table", "format_stats", "format_timeline", "format_audit",
+    "Report",
+]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
@@ -102,6 +105,45 @@ def format_timeline(spans: Sequence[Any]) -> str:
          "caught-up s", "downtime s", "recovery s", "host"],
         rows,
     )
+
+
+def format_audit(report: Any) -> str:
+    """Render an :class:`~repro.obs.audit.AuditReport` as display text.
+
+    One header line with the verdict and stream coverage, a per-rule
+    check/violation table, and — when there are violations — one row per
+    violation with its rank, vector clock, and detail.
+    """
+    if report is None:
+        return "(no audit: run with audit=True)"
+    head = (
+        f"audit verdict: {report.verdict}  "
+        f"(events={report.events_seen}, dropped={report.dropped_records})"
+    )
+    if report.truncated:
+        head += "  [stream truncated: cannot attest a clean run]"
+    rule_rows = [
+        [rule, report.checks.get(rule, 0), report.count(rule)]
+        for rule in sorted(report.checks)
+    ]
+    blocks = [head, format_table(["rule", "checks", "violations"], rule_rows)]
+    if report.violations:
+        vrows = [
+            [
+                f"{v.time:.3f}",
+                v.rule,
+                v.rank,
+                "{" + ", ".join(
+                    f"{r}:{c}" for r, c in sorted(v.vc.items())
+                ) + "}",
+                v.detail,
+            ]
+            for v in report.violations
+        ]
+        blocks.append(
+            format_table(["time s", "rule", "rank", "vclock", "detail"], vrows)
+        )
+    return "\n\n".join(blocks)
 
 
 class Report:

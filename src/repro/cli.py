@@ -9,7 +9,9 @@ Commands mirror the workflows of the paper's evaluation:
   (the Figure 11 setup);
 * ``sched`` — the §4.6.2 checkpoint-scheduling policy comparison;
 * ``stats`` — run one kernel and print the mechanism-level metrics;
-* ``trace`` — run one kernel with tracing and export a Chrome trace.
+* ``trace`` — run one kernel with tracing and export a Chrome trace;
+* ``audit`` — run one kernel under the online protocol auditor and
+  report the V2 safety verdict (exit 1 on violations).
 
 ``kernel``, ``faulty``, ``pingpong``, ``burst`` and ``stats`` also take
 ``--trace-out`` (Chrome trace-event JSON, or JSON lines when the path
@@ -26,7 +28,12 @@ import sys
 from typing import Any, Optional, Sequence
 
 from .analysis.metrics import breakdown, mops
-from .analysis.report import format_stats, format_table, format_timeline
+from .analysis.report import (
+    format_audit,
+    format_stats,
+    format_table,
+    format_timeline,
+)
 from .obs import (
     chrome_trace,
     merge_chrome_traces,
@@ -68,6 +75,10 @@ def _add_obs_flags(sp: argparse.ArgumentParser) -> None:
         "--metrics-out", default=None, metavar="PATH",
         help="write the full metrics registry as JSON",
     )
+    sp.add_argument(
+        "--audit", action="store_true",
+        help="attach the online protocol auditor and print its verdict",
+    )
 
 
 def _write_obs(args: argparse.Namespace, runs: list[tuple[str, Any]]) -> None:
@@ -102,12 +113,24 @@ def _write_obs(args: argparse.Namespace, runs: list[tuple[str, Any]]) -> None:
             json.dump(payload, fh, indent=2)
 
 
+def _print_audits(args: argparse.Namespace, runs: list[tuple[str, Any]]) -> None:
+    """Honour ``--audit`` by printing each run's verdict."""
+    if not getattr(args, "audit", False):
+        return
+    for label, res in runs:
+        if len(runs) > 1:
+            print(f"\n[{label}]")
+        print(format_audit(res.audit))
+
+
 def _cmd_pingpong(args: argparse.Namespace) -> int:
     devices = _parse_devices(args.devices)
     if devices is None:
         return 2
     sizes = [int(s) for s in args.sizes.split(",")]
-    job_kw = {"trace": True} if args.trace_out else {}
+    job_kw: dict[str, Any] = {"trace": True} if args.trace_out else {}
+    if args.audit:
+        job_kw["audit"] = True
     runs: list[tuple[str, Any]] = []
     rows = []
     for nbytes in sizes:
@@ -122,13 +145,16 @@ def _cmd_pingpong(args: argparse.Namespace) -> int:
     for dev in devices:
         headers += [f"{dev} us", f"{dev} MB/s"]
     print(format_table(headers, rows))
+    _print_audits(args, runs)
     _write_obs(args, runs)
     return 0
 
 
 def _cmd_burst(args: argparse.Namespace) -> int:
     sizes = [int(s) for s in args.sizes.split(",")]
-    job_kw = {"trace": True} if args.trace_out else {}
+    job_kw: dict[str, Any] = {"trace": True} if args.trace_out else {}
+    if args.audit:
+        job_kw["audit"] = True
     runs: list[tuple[str, Any]] = []
     rows = []
     for nbytes in sizes:
@@ -140,6 +166,7 @@ def _cmd_burst(args: argparse.Namespace) -> int:
         v2 = mv2["bandwidth_MBps"]
         rows.append([nbytes, p4, v2, v2 / p4])
     print(format_table(["bytes", "P4 MB/s", "V2 MB/s", "V2/P4"], rows))
+    _print_audits(args, runs)
     _write_obs(args, runs)
     return 0
 
@@ -150,7 +177,7 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
     res = run_job(
         mod.program, args.nprocs, device=args.device,
         params={"klass": args.klass}, limit=1e8,
-        trace=bool(args.trace_out),
+        trace=bool(args.trace_out), audit=args.audit,
     )
     b = breakdown(res)
     print(
@@ -162,6 +189,7 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
               mops(spec.total_flops, res)]],
         )
     )
+    _print_audits(args, [(f"{args.name}-{args.klass}", res)])
     _write_obs(args, [(f"{args.name}-{args.klass}", res)])
     return 0
 
@@ -189,7 +217,7 @@ def _cmd_faulty(args: argparse.Namespace) -> int:
         faults=RandomFaults(interval=interval, count=args.faults,
                             seed=args.seed) if args.faults else None,
         limit=1e8,
-        trace=bool(args.trace_out),
+        trace=bool(args.trace_out), audit=args.audit,
     )
     print(
         format_table(
@@ -201,6 +229,7 @@ def _cmd_faulty(args: argparse.Namespace) -> int:
               res.stat("ckpt.bytes") / 1e6]],
         )
     )
+    _print_audits(args, [(f"{args.name}-{args.klass}-faulty", res)])
     _write_obs(args, [(f"{args.name}-{args.klass}-faulty", res)])
     return 0
 
@@ -226,9 +255,10 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     res = run_job(
         mod.program, args.nprocs, device=args.device,
         params={"klass": args.klass}, limit=1e8,
-        trace=bool(args.trace_out),
+        trace=bool(args.trace_out), audit=args.audit,
     )
     print(format_stats(res.metrics))
+    _print_audits(args, [(f"{args.name}-{args.klass}", res)])
     _write_obs(args, [(f"{args.name}-{args.klass}", res)])
     return 0
 
@@ -261,6 +291,37 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.timeline:
         print(format_timeline(recovery_timeline(res.tracer)))
     return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from .ft.failure import RandomFaults
+
+    mod = nas.KERNELS[args.name]
+    job_kw: dict[str, Any] = {}
+    if args.faults:
+        job_kw.update(
+            checkpointing=True, ckpt_policy="random", ckpt_continuous=True,
+            faults=RandomFaults(interval=args.fault_interval,
+                                count=args.faults, seed=args.seed),
+        )
+    res = run_job(
+        mod.program, args.nprocs, device="v2",
+        params={"klass": args.klass}, limit=1e8, seed=args.seed,
+        audit=True, audit_hb=bool(args.hb_out), **job_kw,
+    )
+    print(format_audit(res.audit))
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(res.audit.to_dict(), fh, indent=2)
+    if args.hb_out:
+        with open(args.hb_out, "w") as fh:
+            json.dump(res.audit.hb, fh)
+        print(
+            f"wrote happens-before graph "
+            f"({len(res.audit.hb['nodes'])} nodes, "
+            f"{len(res.audit.hb['edges'])} edges) to {args.hb_out}"
+        )
+    return 1 if res.audit.violations else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -334,6 +395,24 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--timeline", action="store_true",
                     help="print the recovery timeline (fault → caught-up)")
     sp.set_defaults(fn=_cmd_trace)
+
+    sp = sub.add_parser(
+        "audit",
+        help="check the V2 safety invariants live (exit 1 on violations)",
+    )
+    sp.add_argument("name", choices=sorted(nas.KERNELS))
+    sp.add_argument("--class", dest="klass", default="S",
+                    choices=["T", "S", "A", "B", "C"])
+    sp.add_argument("-n", "--nprocs", type=int, default=4)
+    sp.add_argument("--faults", type=int, default=0,
+                    help="inject this many random faults (with checkpointing)")
+    sp.add_argument("--fault-interval", type=float, default=5.0)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--json-out", default=None, metavar="PATH",
+                    help="write the full audit report as JSON")
+    sp.add_argument("--hb-out", default=None, metavar="PATH",
+                    help="write the happens-before graph as JSON")
+    sp.set_defaults(fn=_cmd_audit)
 
     return p
 

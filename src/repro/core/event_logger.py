@@ -109,7 +109,10 @@ class EventLoggerServer:
                 self._m_acks.inc()
                 self._m_cpu_s.inc(cost)
                 self.tracer.emit(
-                    self.sim.now, "el.store", rank=rank, n=len(records)
+                    self.sim.now, "el.store", rank=rank, n=len(records),
+                    ids=tuple(
+                        (rec.rclock, rec.src, rec.sclock) for rec in records
+                    ),
                 )
                 yield from end.write(
                     self.cfg.event_ack_bytes, ("ACK", len(records))

@@ -87,6 +87,7 @@ class V2Daemon:
         app_footprint: int = 0,
         tracer: Optional[Tracer] = None,
         metrics: Optional[Metrics] = None,
+        mutations: Optional[frozenset] = None,
     ) -> None:
         self.sim = sim
         self.cfg = cfg
@@ -100,6 +101,11 @@ class V2Daemon:
         self.sched_name = sched_name
         self.dispatcher_name = dispatcher_name
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        #: test-only protocol sabotage (``bypass_waitlogged``,
+        #: ``reorder_replay``, ``premature_gc``): each seeds one safety
+        #: violation the online auditor must catch — never set in production
+        self.mutations = frozenset(mutations or ())
+        self._mut_prev_replay: Optional[tuple[int, int]] = None
 
         # protocol state (restored from a checkpoint image at restart)
         self.clock = ClockState()
@@ -384,7 +390,9 @@ class V2Daemon:
                     return
                 continue
             pkt: Packet = item
-            if self.el_gate.is_open:
+            if "bypass_waitlogged" in self.mutations:
+                pass  # test-only: skip the pessimistic gate entirely
+            elif self.el_gate.is_open:
                 yield self.el_gate.waitfor()  # WAITLOGGED (gate open: free)
             else:
                 # WAITLOGGED: the pessimistic gate — measure the stall
@@ -469,6 +477,12 @@ class V2Daemon:
             if self.device is not None:
                 self.device.resolve_duplicate_rts(msg[1])
         elif kind == "GC":
+            # audited before collecting: the *threshold* is the safety
+            # fact (a too-high value discards payloads an un-checkpointed
+            # receiver may still ask to be re-sent)
+            self.tracer.emit(
+                self.sim.now, "v2.gc", rank=self.rank, peer=q, upto=msg[1]
+            )
             freed = self.saved.collect(q, msg[1])
             if freed:
                 self._m_log_gc.inc(freed)
@@ -503,6 +517,9 @@ class V2Daemon:
             # a delivery; CTS and rendezvous DATA complete an exchange the
             # event order already admitted and must pass through, or the
             # handshake deadlocks behind its own consumed event
+            if "reorder_replay" in self.mutations:
+                self._release(pkt)  # test-only: arrival order, not logged order
+                return
             for released in self.replay.offer_packet(pkt):
                 self._release(released)
             self._maybe_caught_up()
@@ -547,6 +564,14 @@ class V2Daemon:
         self._el_outstanding += 1
         self.el_gate.close()
         self._el_q.put(rec)
+        self.tracer.emit(
+            self.sim.now,
+            "v2.log_event",
+            rank=self.rank,
+            rclock=rec.rclock,
+            src=rec.src,
+            sclock=rec.sclock,
+        )
 
     def _el_writer(self):
         while True:
@@ -576,6 +601,10 @@ class V2Daemon:
             kind, n = msg
             if kind == "ACK":
                 self._el_outstanding -= n
+                self.tracer.emit(
+                    self.sim.now, "v2.el_ack", rank=self.rank, n=n,
+                    outstanding=self._el_outstanding,
+                )
                 if self._el_inflight:
                     t0, _batch = self._el_inflight.popleft()
                     self._m_el_roundtrips.inc()
@@ -626,11 +655,26 @@ class V2Daemon:
         self._m_ckpt_images.inc()
         self._m_ckpt_bytes.inc(total)
         self._m_ckpt_push.observe(self.sim.now - t0)
+        # the completion record (with the image's HR vector) must precede
+        # the GC orders it authorizes, so an online observer always sees
+        # the checkpoint's coverage before any sender acts on it
+        self.tracer.emit(
+            self.sim.now,
+            "v2.ckpt",
+            rank=self.rank,
+            seq=image.seq,
+            clock=image.clock.h,
+            nbytes=total,
+            hr=dict(image.clock.hr),
+        )
         # garbage collection: peers drop copies we will never ask for again.
         # Thresholds come from the *image's* HR vector — the live clock has
         # already advanced past deliveries the image does not cover.
         for q, link in self.links.items():
-            self._enqueue_ctrl(q, ("GC", image.clock.hr.get(q, 0)))
+            thr = image.clock.hr.get(q, 0)
+            if "premature_gc" in self.mutations:
+                thr += 5  # test-only: GC past the checkpoint's coverage
+            self._enqueue_ctrl(q, ("GC", thr))
         try:
             yield from self._el_end.write(
                 16, ("PRUNE", self.rank, image.clock.recv_seq)
@@ -644,14 +688,6 @@ class V2Daemon:
                 )
             except Disconnected:
                 pass
-        self.tracer.emit(
-            self.sim.now,
-            "v2.ckpt",
-            rank=self.rank,
-            seq=image.seq,
-            clock=image.clock.h,
-            nbytes=total,
-        )
 
     # ------------------------------------------------------------------
     # scheduler protocol
@@ -901,6 +937,10 @@ class V2Device(ChannelDevice):
             # fed from the recorded delivery log: already on the EL
             d._m_del_replayed.inc()
             self.stats.deliveries_replayed += 1
+            self.tracer.emit(
+                self.sim.now, "v2.deliver", rank=self.rank, src=env.src,
+                sclock=env.sclock, rclock=rclock, mode="ff",
+            )
             return
         rec = DeliveryRecord(
             src=env.src,
@@ -914,15 +954,30 @@ class V2Device(ChannelDevice):
         )
         d.delivery_log.append(rec)
         resume = d.replay.log_resume_clock if d.replay is not None else 0
+        src_seen, sclock_seen = env.src, env.sclock
         if rclock > resume:
             d.log_event(EventRecord(rclock, env.src, env.sclock, probes))
             d._m_del_fresh.inc()
             self.stats.deliveries_fresh += 1
+            mode = "fresh"
         else:
             # an event the EL already holds: a forced-order re-delivery
             d._m_del_replayed.inc()
             self.stats.deliveries_replayed += 1
+            mode = "replay"
+            if "reorder_replay" in d.mutations:
+                # test-only: a replay that ran in arrival order is one
+                # step out of phase with the logged order — record the
+                # previous replayed event's identity at this clock
+                prev = d._mut_prev_replay
+                d._mut_prev_replay = (env.src, env.sclock)
+                if prev is not None:
+                    src_seen, sclock_seen = prev
         self.stats.events_logged += 1
+        self.tracer.emit(
+            self.sim.now, "v2.deliver", rank=self.rank, src=src_seen,
+            sclock=sclock_seen, rclock=rclock, mode=mode,
+        )
 
     def force_probe(self) -> Optional[bool]:
         """Replay-forced iprobe outcome (None: no override)."""

@@ -265,6 +265,7 @@ def run_v1_job(
     *,
     cns_per_cm: int = 4,
     faults: Optional[Any] = None,
+    audit: bool = False,
 ) -> JobResult:
     """Run a job on MPICH-V1: one reliable CM per ``cns_per_cm`` nodes.
 
@@ -277,6 +278,11 @@ def run_v1_job(
     cluster = Cluster(cfg, seed=seed, trace=trace)
     sim = cluster.sim
     fabric = Fabric(cluster)
+    auditor = None
+    if audit:
+        from ..obs.audit import ProtocolAuditor
+
+        auditor = ProtocolAuditor().attach(cluster.tracer)
 
     n_cm = max(1, (nprocs + cns_per_cm - 1) // cns_per_cm)
     cms = []
@@ -391,6 +397,7 @@ def run_v1_job(
     stats = finalize_job(
         cluster, {r: slots[r].device.stats for r in range(nprocs)}, "v1"
     )
+    report = auditor.finish() if auditor is not None else None
     return JobResult(
         nprocs=nprocs,
         device="v1",
@@ -401,5 +408,6 @@ def run_v1_job(
         stats=stats,
         restarts=total_restarts[0],
         metrics=cluster.metrics,
+        audit=report,
         extras={"channel_memories": cms},
     )

@@ -71,6 +71,7 @@ class Dispatcher:
         sched_name: Optional[str],
         cs_name: Optional[str],
         wipe_logs: Optional[Callable[[], None]] = None,
+        mutations: Optional[frozenset] = None,
     ) -> None:
         self.cluster = cluster
         self.sim = cluster.sim
@@ -86,6 +87,7 @@ class Dispatcher:
         self.sched_name = sched_name
         self.cs_name = cs_name
         self.wipe_logs = wipe_logs
+        self.mutations = frozenset(mutations or ())  # test-only fault seeds
         self.states = [RankState(r) for r in range(nprocs)]
         self.done = Future(self.sim, name="dispatcher.done")
         self.total_restarts = 0
@@ -185,6 +187,7 @@ class Dispatcher:
             dispatcher_name="dispatcher",
             tracer=self.cluster.tracer,
             metrics=self.cluster.metrics,
+            mutations=self.mutations,
         )
         device = V2Device(
             self.sim, self.cfg, rank, self.nprocs, host, daemon,
@@ -313,6 +316,9 @@ def run_v2_job(
     spares: int = 0,
     on_ready: Optional[Callable[[dict], None]] = None,
     plan: Optional["DeploymentPlan"] = None,
+    audit: bool = False,
+    audit_hb: bool = False,
+    mutations: Optional[frozenset] = None,
 ) -> JobResult:
     """Deploy and run an MPICH-V2 job.
 
@@ -323,10 +329,22 @@ def run_v2_job(
     :class:`~repro.runtime.progfile.DeploymentPlan` (e.g. parsed from a
     §4.7 program file) overrides machine placement; its computing-node
     count must match ``nprocs``.
+
+    ``audit=True`` attaches the online protocol auditor to the live
+    trace stream (``audit_hb`` additionally collects the happens-before
+    graph); the verdict lands in ``JobResult.audit``.  ``mutations`` is
+    a test-only set of deliberate protocol violations to seed (see
+    :class:`~repro.core.v2_device.V2Daemon`) so the auditor's detectors
+    can be exercised.
     """
     cluster = Cluster(cfg, seed=seed, trace=trace)
     sim = cluster.sim
     fabric = Fabric(cluster)
+    auditor = None
+    if audit:
+        from ..obs.audit import ProtocolAuditor
+
+        auditor = ProtocolAuditor(hb_graph=audit_hb).attach(cluster.tracer)
 
     if plan is not None and plan.nprocs != nprocs:
         raise ValueError(
@@ -414,6 +432,7 @@ def run_v2_job(
         sched_name,
         "cs:0",
         wipe_logs=wipe_logs,
+        mutations=mutations,
     )
     dispatcher.start()
 
@@ -443,6 +462,7 @@ def run_v2_job(
         {r: dispatcher.states[r].mpi.device.stats for r in range(nprocs)},
         "v2",
     )
+    report = auditor.finish() if auditor is not None else None
     return JobResult(
         nprocs=nprocs,
         device="v2",
@@ -454,6 +474,7 @@ def run_v2_job(
         restarts=dispatcher.total_restarts,
         checkpoints=cs.stores,
         metrics=cluster.metrics,
+        audit=report,
         extras={
             "global_restarts": dispatcher.global_restarts,
             "event_loggers": loggers,

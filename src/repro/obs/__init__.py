@@ -11,7 +11,9 @@ and this package measures exactly those mechanisms:
 * :mod:`~repro.obs.timeline` — fault → detect → respawn → replay →
   caught-up spans per restart;
 * :mod:`~repro.obs.collect` — end-of-job folding of hot-path accounting
-  into the registry.
+  into the registry;
+* :mod:`~repro.obs.audit` — the online protocol auditor: vector-clock
+  stamping and live checking of the V2 safety invariants.
 """
 
 from .collect import finalize_job
@@ -39,4 +41,23 @@ __all__ = [
     "write_chrome_trace",
     "write_trace_jsonl",
     "finalize_job",
+    "AuditReport",
+    "ProtocolAuditor",
+    "Violation",
+    "audit_trace",
 ]
+
+# the auditor stamps protocol events with core-level clocks, so importing
+# it eagerly would close a cycle back through repro.core; resolve the
+# audit names on first access instead (PEP 562)
+_AUDIT_NAMES = frozenset(
+    {"AuditReport", "ProtocolAuditor", "Violation", "audit_trace", "RULES"}
+)
+
+
+def __getattr__(name: str):
+    if name in _AUDIT_NAMES:
+        from . import audit
+
+        return getattr(audit, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,484 @@
+"""The online protocol auditor: live safety checking with causal context.
+
+Definition 3 of the paper argues MPICH-V2 is a *pessimistic* logging
+protocol: no in-transit message may depend on an unlogged reception, and
+a crashed process must be re-executable from its sender's retained
+payloads plus the event logger's reception order.  Those are runtime
+invariants, and this module checks them **while the run executes**: a
+:class:`ProtocolAuditor` subscribes to the live trace stream (see
+:meth:`~repro.simnet.trace.Tracer.subscribe`) and evaluates every
+protocol event as it is emitted — no post-hoc trace replay, no record
+retention required.
+
+Rules checked (names appear in reports and violation records):
+
+* ``waitlogged`` — a daemon transmitted while a reception event logged
+  at a strictly earlier time was still unacknowledged by the event
+  logger (the pessimistic WAITLOGGED gate, Section 4.5);
+* ``replay-order`` — a re-executed delivery deviated from the logged
+  order (or a fresh delivery skipped an event the logger holds);
+* ``orphan`` — one incarnation of a rank delivered the same message
+  identifier twice: a duplicate the HR watermark should have discarded,
+  i.e. a delivery that could orphan its receiver after a fault;
+* ``gc-safety`` — a sender-log garbage collection discarded payloads
+  beyond the receiver's checkpointed coverage, destroying copies an
+  un-checkpointed receiver may still need re-sent.
+
+Every audited event is stamped with a Fidge–Mattern vector clock — the
+algebra of :class:`~repro.core.clocks.VectorClock`, kept as plain
+``{rank: count}`` dicts on the hot path — so each violation reports the
+offending rank's causal context; with ``hb_graph=True`` the auditor also
+accumulates the happens-before graph (per-rank program order plus
+send→deliver edges) for export alongside the Chrome trace.
+
+:func:`audit_trace` runs the same checkers post-hoc over a recorded
+tracer — the invariant *logic* lives here either way — but refuses to
+declare a truncated (ring-buffer-evicted) stream clean.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Union
+
+from ..core.clocks import VectorClock
+from ..simnet.trace import TraceRecord, Tracer
+
+__all__ = ["RULES", "Violation", "AuditReport", "ProtocolAuditor", "audit_trace"]
+
+#: the safety rules the auditor evaluates, in reporting order
+RULES = ("waitlogged", "replay-order", "orphan", "gc-safety")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected safety violation, with its causal context."""
+
+    time: float  # simulated seconds
+    rule: str  # one of RULES
+    rank: int  # the rank at which the violation was observed
+    detail: str  # human-readable one-liner (ranks and clocks named)
+    vc: dict[int, int]  # the offending rank's vector clock at the event
+    context: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-friendly view (for ``repro audit --json-out``)."""
+        return {
+            "time": self.time,
+            "rule": self.rule,
+            "rank": self.rank,
+            "detail": self.detail,
+            "vc": {str(r): c for r, c in self.vc.items()},
+            "context": dict(self.context),
+        }
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one audited run (``JobResult.audit``)."""
+
+    violations: list[Violation]
+    checks: dict[str, int]  # rule -> number of checks evaluated
+    events_seen: int  # protocol events observed by the auditor
+    truncated: bool  # the audited stream lost records (post-hoc only)
+    dropped_records: int
+    vclocks: dict[int, dict[int, int]]  # final vector clock per rank
+    hb: Optional[dict[str, Any]] = None  # happens-before graph, if built
+
+    @property
+    def clean(self) -> bool:
+        """No violations *and* a complete stream."""
+        return not self.violations and not self.truncated
+
+    @property
+    def verdict(self) -> str:
+        """``clean``, ``violations``, or ``truncated`` (cannot attest)."""
+        if self.violations:
+            return "violations"
+        if self.truncated:
+            return "truncated"
+        return "clean"
+
+    def count(self, rule: str) -> int:
+        """Number of violations of one rule."""
+        return sum(1 for v in self.violations if v.rule == rule)
+
+    def vclock(self, rank: int) -> VectorClock:
+        """One rank's final causal clock, as a comparable VectorClock."""
+        return VectorClock(self.vclocks.get(rank, {}))
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-friendly view of the whole report."""
+        out: dict[str, Any] = {
+            "verdict": self.verdict,
+            "events_seen": self.events_seen,
+            "checks": dict(self.checks),
+            "truncated": self.truncated,
+            "dropped_records": self.dropped_records,
+            "violations": [v.as_dict() for v in self.violations],
+            "vclocks": {
+                str(r): {str(q): c for q, c in vc.items()}
+                for r, vc in self.vclocks.items()
+            },
+        }
+        if self.hb is not None:
+            out["happens_before"] = self.hb
+        return out
+
+
+class ProtocolAuditor:
+    """Streaming checker of the V2 safety invariants.
+
+    Attach to a live run with :meth:`attach` (the normal path — wired by
+    ``run_job(..., audit=True)``), or feed recorded records through
+    :meth:`observe` for a post-hoc scan.  Call :meth:`finish` once the
+    run completes to obtain the :class:`AuditReport`.
+
+    The observe path is deliberately allocation-light — vector clocks
+    are plain ``{rank: count}`` dicts, per-rule counters are ints —
+    because every protocol event of the run passes through it; the ≤15%
+    wall-clock budget of ``benchmarks/bench_observability_overhead.py``
+    is the regression fence.
+    """
+
+    #: the only trace kinds the auditor asks the tracer to stream — every
+    #: other emit (per-segment network records, MPI call timing, ...)
+    #: stays on the tracer's one-branch fast path
+    INTEREST = frozenset(
+        {
+            "v2.tx",
+            "v2.deliver",
+            "v2.log_event",
+            "v2.el_ack",
+            "v2.gc",
+            "v2.ckpt",
+            "v2.restart",
+            "el.store",
+            "ft.fault",
+            "ft.global_restart",
+        }
+    )
+
+    def __init__(self, hb_graph: bool = False) -> None:
+        self.hb_graph = hb_graph
+        self.violations: list[Violation] = []
+        self.events_seen = 0
+        self._n_waitlogged = 0  # checks evaluated, per rule
+        self._n_replay = 0
+        self._n_orphan = 0
+        self._n_gc = 0
+        # causal instrumentation: per-rank vector clocks and, per message
+        # id (src, sclock), the sender's clock at transmission
+        self._vc: dict[int, dict[int, int]] = {}
+        self._msg_vc: dict[tuple[int, int], dict[int, int]] = {}
+        # waitlogged: per-rank emit times of still-unacknowledged events
+        self._pending_el: dict[int, deque[float]] = {}
+        # logged order: EL contents and per-rank delivery history by rclock
+        self._el_log: dict[int, dict[int, tuple[int, int]]] = {}
+        self._hist: dict[int, dict[int, tuple[int, int]]] = {}
+        # orphan detection: ids delivered by the rank's current incarnation
+        self._seen_ids: dict[int, set[tuple[int, int]]] = {}
+        self._incarnation: dict[int, int] = {}
+        # gc safety: each rank's last *completed* checkpoint HR vector
+        self._ckpt_hr: dict[int, dict[int, int]] = {}
+        # happens-before graph accumulation
+        self._hb_nodes: list[dict[str, Any]] = []
+        self._hb_edges: list[tuple[int, int, str]] = []
+        self._last_node: dict[int, int] = {}
+        self._tx_node: dict[tuple[int, int], int] = {}
+        self._tracer: Optional[Tracer] = None
+
+    # -- wiring ------------------------------------------------------------
+    def attach(self, tracer: Tracer) -> "ProtocolAuditor":
+        """Subscribe to a tracer's live stream; returns self."""
+        tracer.subscribe(self.observe, kinds=self.INTEREST)
+        self._tracer = tracer
+        return self
+
+    def detach(self) -> None:
+        """Stop observing the attached tracer."""
+        if self._tracer is not None:
+            self._tracer.unsubscribe(self.observe)
+            self._tracer = None
+
+    # -- the event stream --------------------------------------------------
+    def observe(self, time: float, kind: str, f: dict) -> None:
+        """Evaluate one protocol event (the subscriber callback)."""
+        if kind not in self.INTEREST:
+            return  # post-hoc feeds pass every record through
+        self.events_seen += 1
+        if kind == "v2.deliver":
+            self._on_deliver(time, f)
+        elif kind == "v2.tx":
+            self._on_tx(time, f)
+        elif kind == "v2.log_event":
+            pending = self._pending_el.get(f["rank"])
+            if pending is None:
+                pending = self._pending_el[f["rank"]] = deque()
+            pending.append(time)
+        elif kind == "v2.el_ack":
+            pending = self._pending_el.get(f["rank"])
+            if pending:
+                for _ in range(min(f["n"], len(pending))):
+                    pending.popleft()
+        elif kind == "el.store":
+            store = self._el_log.setdefault(f["rank"], {})
+            for rclock, src, sclock in f.get("ids", ()):
+                store.setdefault(rclock, (src, sclock))
+        elif kind == "v2.gc":
+            self._on_gc(time, f)
+        elif kind == "v2.ckpt":
+            self._ckpt_hr[f["rank"]] = dict(f.get("hr", {}))
+        elif kind == "v2.restart":
+            rank = f["rank"]
+            self._incarnation[rank] = f.get("incarnation", 0)
+            self._pending_el[rank] = deque()
+            self._seen_ids[rank] = set()
+        elif kind == "ft.fault":
+            # the daemon died with its queues: nothing is pending any more
+            self._pending_el[f["rank"]] = deque()
+        elif kind == "ft.global_restart":
+            # logs and images are wiped: the old history constrains nothing
+            self._el_log.clear()
+            self._hist.clear()
+            self._ckpt_hr.clear()
+            self._pending_el.clear()
+            self._seen_ids.clear()
+            self._msg_vc.clear()
+
+    # -- rules -------------------------------------------------------------
+    def _on_tx(self, time: float, f: dict) -> None:
+        rank = f["rank"]
+        vc = self._vc.get(rank)
+        if vc is None:
+            vc = self._vc[rank] = {}
+        vc[rank] = vc.get(rank, 0) + 1
+        payload = f["pkt_kind"] not in ("cts", "control")
+        if payload:
+            # the message id (sender, sclock): deliveries merge this clock
+            self._msg_vc[(rank, f["sclock"])] = vc.copy()
+        if self.hb_graph:
+            node = self._hb_add(rank, "tx", time, f, vc)
+            if payload:
+                self._tx_node[(rank, f["sclock"])] = node
+        self._n_waitlogged += 1
+        pending = self._pending_el.get(rank)
+        if pending:
+            # events logged at the same instant as the transmission
+            # decision are benign (the daemon checked its gate first);
+            # only a strictly earlier unacknowledged reception breaks
+            # Definition 3
+            stale = 0
+            for t in pending:
+                if t < time:
+                    stale += 1
+            if stale:
+                self._flag(
+                    time,
+                    "waitlogged",
+                    rank,
+                    f"rank {rank} transmitted (sclock={f.get('sclock')}, "
+                    f"dst={f.get('dst')}) with {stale} unacknowledged "
+                    f"reception event(s)",
+                    vc,
+                    dst=f.get("dst"),
+                    sclock=f.get("sclock"),
+                    unacked=stale,
+                )
+
+    def _on_deliver(self, time: float, f: dict) -> None:
+        rank, src = f["rank"], f["src"]
+        sclock, rclock = f["sclock"], f["rclock"]
+        mode = f.get("mode", "fresh")
+        vc = self._vc.get(rank)
+        if vc is None:
+            vc = self._vc[rank] = {}
+        vc[rank] = vc.get(rank, 0) + 1
+        mid = (src, sclock)
+        sent_vc = self._msg_vc.get(mid)
+        if sent_vc is not None:
+            for k, v in sent_vc.items():
+                if v > vc.get(k, 0):
+                    vc[k] = v
+        if self.hb_graph:
+            node = self._hb_add(rank, "deliver", time, f, vc)
+            tx = self._tx_node.get(mid)
+            if tx is not None:
+                self._hb_edges.append((tx, node, "message"))
+        # orphan: within one incarnation every message id is delivered once
+        self._n_orphan += 1
+        seen = self._seen_ids.get(rank)
+        if seen is None:
+            seen = self._seen_ids[rank] = set()
+        if mid in seen:
+            self._flag(
+                time,
+                "orphan",
+                rank,
+                f"rank {rank} (incarnation "
+                f"{self._incarnation.get(rank, 0)}) delivered message "
+                f"({src},{sclock}) twice at rclock {rclock}",
+                vc,
+                src=src,
+                sclock=sclock,
+                rclock=rclock,
+            )
+        seen.add(mid)
+        # replay order: re-executed deliveries must follow the logged order
+        el_store = self._el_log.get(rank)
+        expected_el = el_store.get(rclock) if el_store else None
+        if mode != "fresh":
+            self._n_replay += 1
+            expected = expected_el
+            if expected is None:
+                hist = self._hist.get(rank)
+                expected = hist.get(rclock) if hist else None
+            if expected is not None and expected != mid:
+                self._flag(
+                    time,
+                    "replay-order",
+                    rank,
+                    f"rank {rank} replayed rclock {rclock} as message "
+                    f"({src},{sclock}) but the logged order expects "
+                    f"({expected[0]},{expected[1]})",
+                    vc,
+                    src=src,
+                    sclock=sclock,
+                    rclock=rclock,
+                    expected_src=expected[0],
+                    expected_sclock=expected[1],
+                )
+        elif expected_el is not None and expected_el != mid:
+            self._n_replay += 1
+            self._flag(
+                time,
+                "replay-order",
+                rank,
+                f"rank {rank} delivered fresh message ({src},{sclock}) at "
+                f"rclock {rclock} although the event logger holds "
+                f"({expected_el[0]},{expected_el[1]}) for that clock",
+                vc,
+                src=src,
+                sclock=sclock,
+                rclock=rclock,
+                expected_src=expected_el[0],
+                expected_sclock=expected_el[1],
+            )
+        hist = self._hist.get(rank)
+        if hist is None:
+            hist = self._hist[rank] = {}
+        hist[rclock] = mid
+
+    def _on_gc(self, time: float, f: dict) -> None:
+        rank, peer, upto = f["rank"], f["peer"], f["upto"]
+        self._n_gc += 1
+        hr = self._ckpt_hr.get(peer)
+        covered = hr.get(rank, 0) if hr else 0
+        if upto > covered:
+            vc = self._vc.setdefault(rank, {})
+            self._flag(
+                time,
+                "gc-safety",
+                rank,
+                f"rank {rank} garbage-collected payloads for rank {peer} up "
+                f"to sclock {upto}, but rank {peer}'s last checkpoint only "
+                f"covers sclock {covered}",
+                vc,
+                peer=peer,
+                upto=upto,
+                covered=covered,
+            )
+
+    # -- helpers -----------------------------------------------------------
+    def _flag(
+        self,
+        time: float,
+        rule: str,
+        rank: int,
+        detail: str,
+        vc: dict[int, int],
+        **context: Any,
+    ) -> None:
+        self.violations.append(
+            Violation(
+                time=time,
+                rule=rule,
+                rank=rank,
+                detail=detail,
+                vc=dict(vc),
+                context=context,
+            )
+        )
+
+    def _hb_add(
+        self, rank: int, op: str, time: float, f: dict, vc: dict[int, int]
+    ) -> int:
+        node = len(self._hb_nodes)
+        self._hb_nodes.append(
+            {
+                "id": node,
+                "rank": rank,
+                "op": op,
+                "time": time,
+                "vc": dict(vc),
+                **{
+                    k: f[k]
+                    for k in ("src", "dst", "sclock", "rclock")
+                    if k in f
+                },
+            }
+        )
+        prev = self._last_node.get(rank)
+        if prev is not None:
+            self._hb_edges.append((prev, node, "program"))
+        self._last_node[rank] = node
+        return node
+
+    # -- reporting ---------------------------------------------------------
+    def finish(self, dropped: int = 0) -> AuditReport:
+        """Detach (if attached) and build the final report.
+
+        ``dropped`` is the audited stream's eviction count: a live
+        subscriber sees every event regardless of retention, so pass 0
+        for online audits and ``tracer.dropped`` for post-hoc scans.
+        """
+        self.detach()
+        hb: Optional[dict[str, Any]] = None
+        if self.hb_graph:
+            hb = {
+                "nodes": self._hb_nodes,
+                "edges": [
+                    {"from": a, "to": b, "kind": k}
+                    for a, b, k in self._hb_edges
+                ],
+            }
+        return AuditReport(
+            violations=list(self.violations),
+            checks={
+                "waitlogged": self._n_waitlogged,
+                "replay-order": self._n_replay,
+                "orphan": self._n_orphan,
+                "gc-safety": self._n_gc,
+            },
+            events_seen=self.events_seen,
+            truncated=dropped > 0,
+            dropped_records=dropped,
+            vclocks={r: dict(vc) for r, vc in sorted(self._vc.items())},
+            hb=hb,
+        )
+
+
+def audit_trace(
+    records: Union[Iterable[TraceRecord], Tracer], hb_graph: bool = False
+) -> AuditReport:
+    """Post-hoc audit of recorded trace records with the same checkers.
+
+    When given a :class:`~repro.simnet.trace.Tracer` whose ring buffer
+    evicted records, the report comes back ``truncated`` — a scan over a
+    partial stream proves nothing, so it is never reported clean.
+    """
+    auditor = ProtocolAuditor(hb_graph=hb_graph)
+    for rec in records:
+        auditor.observe(rec.time, rec.kind, rec.fields)
+    return auditor.finish(dropped=getattr(records, "dropped", 0))

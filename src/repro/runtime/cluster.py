@@ -34,6 +34,9 @@ class Cluster:
         self.sim = Simulator()
         self.tracer = Tracer(enabled=trace, max_records=trace_max_records)
         self.metrics = Metrics()
+        # ring-buffer evictions are data loss: surface them as a metric so
+        # nothing downstream can mistake a truncated trace for a full one
+        self.tracer.drop_counter = self.metrics.counter("trace.dropped")
         self.net = Network(self.sim, cfg.link, tracer=self.tracer)
         self.rng = RngRegistry(seed)
 

@@ -51,25 +51,38 @@ def run_job(
     trace: bool = False,
     seed: int = 0,
     limit: Optional[float] = None,
+    audit: bool = False,
     **device_kw: Any,
 ) -> JobResult:
     """Run ``program`` on ``nprocs`` simulated processes; block to completion.
 
-    ``limit`` bounds simulated seconds (raises if exceeded).  Extra keyword
-    arguments are forwarded to the device launcher (fault schedules,
-    checkpoint policies, event-logger counts, ...).
+    ``limit`` bounds simulated seconds (raises if exceeded).  ``audit``
+    attaches the online protocol auditor to the run's live trace stream
+    and reports the verdict in ``JobResult.audit`` (for p4/v1 only the
+    causal-clock stamping applies — the V2 invariant checks have nothing
+    to fire on).  Extra keyword arguments are forwarded to the device
+    launcher (fault schedules, checkpoint policies, event-logger
+    counts, ...).
     """
     params = params or {}
     if device == "p4":
-        return _run_p4(program, nprocs, cfg, params, trace, seed, limit, **device_kw)
+        return _run_p4(
+            program, nprocs, cfg, params, trace, seed, limit, audit, **device_kw
+        )
     if device == "v1":
         from ..devices.v1 import run_v1_job
 
-        return run_v1_job(program, nprocs, cfg, params, trace, seed, limit, **device_kw)
+        return run_v1_job(
+            program, nprocs, cfg, params, trace, seed, limit, audit=audit,
+            **device_kw,
+        )
     if device == "v2":
         from ..ft.dispatcher import run_v2_job
 
-        return run_v2_job(program, nprocs, cfg, params, trace, seed, limit, **device_kw)
+        return run_v2_job(
+            program, nprocs, cfg, params, trace, seed, limit, audit=audit,
+            **device_kw,
+        )
     raise ValueError(f"unknown device {device!r} (expected p4/v1/v2)")
 
 
@@ -81,9 +94,15 @@ def _run_p4(
     trace: bool,
     seed: int,
     limit: Optional[float],
+    audit: bool = False,
 ) -> JobResult:
     cluster = Cluster(cfg, seed=seed, trace=trace)
     sim = cluster.sim
+    auditor = None
+    if audit:
+        from ..obs.audit import ProtocolAuditor
+
+        auditor = ProtocolAuditor().attach(cluster.tracer)
     hosts = [cluster.add_cn(f"cn{r}", full_duplex=False) for r in range(nprocs)]
 
     devices = [
@@ -115,6 +134,7 @@ def _run_p4(
     stats = finalize_job(
         cluster, {r: devices[r].stats for r in range(nprocs)}, "p4"
     )
+    report = auditor.finish() if auditor is not None else None
     return JobResult(
         nprocs=nprocs,
         device="p4",
@@ -124,4 +144,5 @@ def _run_p4(
         tracer=cluster.tracer,
         stats=stats,
         metrics=cluster.metrics,
+        audit=report,
     )

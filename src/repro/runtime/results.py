@@ -25,6 +25,7 @@ class JobResult:
     restarts: int = 0  # how many process restarts occurred
     checkpoints: int = 0  # how many checkpoints completed
     metrics: Optional[Any] = None  # the job's obs.Metrics registry
+    audit: Optional[Any] = None  # obs.AuditReport when run with audit=True
     extras: dict[str, Any] = field(default_factory=dict)
 
     def stat(self, name: str, rank: Optional[int] = None,

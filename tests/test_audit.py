@@ -1,0 +1,271 @@
+"""The online protocol auditor: clean runs pass, seeded violations fail.
+
+Mutation-tests the auditor the only way a checker can be trusted: seed
+each protocol violation deliberately (test-only ``mutations`` hooks in
+the V2 daemon) and assert the auditor names the offending rank and its
+causal clock.  Also covers the vector-clock algebra, the happens-before
+graph, and the refusal to call a truncated stream clean.
+"""
+
+import pytest
+
+from repro.core.clocks import VectorClock
+from repro.ft.failure import ExplicitFaults
+from repro.obs.audit import ProtocolAuditor, audit_trace
+from repro.runtime.cluster import Cluster
+from repro.runtime.mpirun import run_job
+from repro.simnet.trace import Tracer
+
+
+def traffic_prog(mpi, rounds=6):
+    """A chatty all-pairs workload with compute gaps (the same shape as
+    the protocol-invariant tests use)."""
+    acc = float(mpi.rank)
+    for r in range(rounds):
+        reqs = []
+        for off in (1, 2):
+            peer = (mpi.rank + off) % mpi.size
+            src = (mpi.rank - off) % mpi.size
+            sreq = yield from mpi.isend(
+                peer, nbytes=700, tag=r * 4 + off, data=acc
+            )
+            rreq = yield from mpi.irecv(source=src, tag=r * 4 + off)
+            reqs += [sreq, rreq]
+        yield from mpi.waitall(reqs)
+        acc += sum(
+            q.message.data
+            for q in reqs
+            if getattr(q, "message", None) is not None
+        )
+        yield from mpi.compute(seconds=0.005)
+    out = yield from mpi.allreduce(value=round(acc, 6), nbytes=8)
+    return round(out, 6)
+
+
+# -- vector clocks ----------------------------------------------------------
+
+def test_vector_clock_algebra():
+    a = VectorClock().tick(0)  # {0:1}
+    b = VectorClock().tick(1)  # {1:1}
+    assert a.concurrent(b) and b.concurrent(a)
+    assert not a.happened_before(b)
+    c = b.copy().merge(a).tick(1)  # {0:1, 1:2}
+    assert a.happened_before(c)
+    assert b.happened_before(c)
+    assert not c.happened_before(a)
+    assert not a.happened_before(a)  # irreflexive
+    assert VectorClock({0: 1, 1: 2}) == c
+    assert c.as_dict() == {0: 1, 1: 2}
+
+
+def test_vector_clock_merge_is_componentwise_max():
+    a = VectorClock({0: 5, 1: 1})
+    b = VectorClock({1: 3, 2: 2})
+    a.merge(b)
+    assert a.as_dict() == {0: 5, 1: 3, 2: 2}
+
+
+# -- clean runs -------------------------------------------------------------
+
+def test_clean_fault_and_recovery_run_audits_clean():
+    """The acceptance scenario: a run with faults, checkpoints, replay
+    and GC reports zero violations, with every rule exercised."""
+    res = run_job(
+        traffic_prog, 4, device="v2", audit=True,
+        checkpointing=True, ckpt_interval=0.02,
+        faults=ExplicitFaults([(0.03, 2)]),
+    )
+    rep = res.audit
+    assert res.restarts >= 1
+    assert rep.verdict == "clean" and rep.clean
+    assert not rep.violations
+    assert rep.checks["waitlogged"] > 0
+    assert rep.checks["orphan"] > 0
+    assert rep.checks["replay-order"] > 0  # the restart actually replayed
+    assert rep.events_seen > 100
+    # every rank advanced its causal clock
+    assert sorted(rep.vclocks) == [0, 1, 2, 3]
+
+
+def test_audit_available_on_non_v2_devices():
+    """p4 emits no V2 protocol events: the audit attaches, sees nothing,
+    and reports trivially clean (the flag is device-uniform)."""
+    res = run_job(traffic_prog, 2, device="p4", audit=True)
+    assert res.audit is not None
+    assert res.audit.clean
+    assert res.audit.events_seen == 0
+
+
+def test_audit_off_by_default():
+    res = run_job(traffic_prog, 2, device="v2")
+    assert res.audit is None
+
+
+# -- seeded violations (mutation coverage) ----------------------------------
+
+def test_mutation_bypass_waitlogged_is_flagged():
+    res = run_job(
+        traffic_prog, 4, device="v2", audit=True,
+        mutations=frozenset({"bypass_waitlogged"}),
+    )
+    rep = res.audit
+    assert rep.verdict == "violations"
+    assert rep.count("waitlogged") > 0
+    v = next(x for x in rep.violations if x.rule == "waitlogged")
+    assert v.rank in range(4)
+    assert v.vc.get(v.rank, 0) > 0  # stamped with the offender's clock
+    assert f"rank {v.rank} transmitted" in v.detail
+    assert "unacknowledged" in v.detail
+    assert v.context["unacked"] >= 1
+
+
+def test_mutation_reorder_replay_is_flagged():
+    res = run_job(
+        traffic_prog, 4, device="v2", audit=True,
+        faults=ExplicitFaults([(0.01, 2)]),
+        mutations=frozenset({"reorder_replay"}),
+    )
+    rep = res.audit
+    assert res.restarts >= 1
+    assert rep.verdict == "violations"
+    assert rep.count("replay-order") > 0
+    v = next(x for x in rep.violations if x.rule == "replay-order")
+    assert v.rank == 2  # the crashed (replaying) rank
+    assert "logged order" in v.detail
+    assert "expected_src" in v.context and "rclock" in v.context
+    assert v.vc  # causal context attached
+
+
+def test_mutation_premature_gc_is_flagged():
+    res = run_job(
+        traffic_prog, 4, device="v2", params={"rounds": 40}, audit=True,
+        checkpointing=True, ckpt_interval=0.01, ckpt_continuous=True,
+        mutations=frozenset({"premature_gc"}),
+    )
+    rep = res.audit
+    assert res.checkpoints > 0
+    assert rep.verdict == "violations"
+    assert rep.count("gc-safety") > 0
+    v = next(x for x in rep.violations if x.rule == "gc-safety")
+    assert "garbage-collected" in v.detail
+    assert f"rank {v.context['peer']}'s last checkpoint" in v.detail
+    assert v.context["upto"] > v.context["covered"]
+
+
+def test_unmutated_twin_of_each_mutation_run_is_clean():
+    """The mutation runs above differ from clean runs only by the seeded
+    sabotage: the same configurations without mutations audit clean."""
+    a = run_job(traffic_prog, 4, device="v2", audit=True)
+    b = run_job(
+        traffic_prog, 4, device="v2", audit=True,
+        faults=ExplicitFaults([(0.01, 2)]),
+    )
+    c = run_job(
+        traffic_prog, 4, device="v2", params={"rounds": 40}, audit=True,
+        checkpointing=True, ckpt_interval=0.01, ckpt_continuous=True,
+    )
+    for res in (a, b, c):
+        assert res.audit.clean, res.audit.violations
+
+
+# -- truncated streams ------------------------------------------------------
+
+def test_posthoc_audit_refuses_truncated_stream():
+    """A ring-buffer tracer that evicted records cannot prove anything:
+    the post-hoc verdict is ``truncated``, never ``clean``."""
+    t = Tracer(enabled=True, max_records=4)
+    for i in range(10):
+        t.emit(float(i), "v2.log_event", rank=0, rclock=i, src=1, sclock=i)
+    assert t.dropped == 6
+    rep = audit_trace(t)
+    assert not rep.violations  # nothing wrong in what *was* seen...
+    assert rep.truncated and not rep.clean  # ...but no clean attestation
+    assert rep.verdict == "truncated"
+    assert rep.dropped_records == 6
+
+
+def test_ring_buffer_drops_counted_in_metrics():
+    """Satellite of the same fix: evictions surface in the metrics
+    registry, so truncation is visible even without an audit."""
+    cluster = Cluster(trace=True, trace_max_records=3)
+    for i in range(8):
+        cluster.tracer.emit(float(i), "net.xfer", nbytes=1)
+    assert cluster.tracer.dropped == 5
+    assert cluster.metrics.total("trace.dropped") == 5
+    assert len(cluster.tracer.records) == 3
+
+
+def test_live_subscriber_sees_full_stream_despite_ring_buffer():
+    """The online auditor is immune to retention truncation: subscribers
+    observe every emit, so a live audit over a ring-buffer tracer still
+    attests the complete run."""
+    t = Tracer(enabled=True, max_records=2)
+    auditor = ProtocolAuditor().attach(t)
+    for i in range(1, 6):
+        t.emit(float(i), "v2.log_event", rank=0, rclock=i, src=1, sclock=i)
+    rep = auditor.finish()  # live audit: dropped=0 by definition
+    assert rep.events_seen == 5
+    assert rep.clean
+
+
+# -- happens-before graph ---------------------------------------------------
+
+def test_happens_before_graph_links_sends_to_deliveries():
+    res = run_job(
+        traffic_prog, 4, device="v2", audit=True, audit_hb=True,
+    )
+    hb = res.audit.hb
+    assert hb is not None and hb["nodes"] and hb["edges"]
+    nodes = {n["id"]: n for n in hb["nodes"]}
+    msg_edges = [e for e in hb["edges"] if e["kind"] == "message"]
+    assert msg_edges
+    for e in msg_edges:
+        tx, dv = nodes[e["from"]], nodes[e["to"]]
+        assert tx["op"] == "tx" and dv["op"] == "deliver"
+        assert tx["rank"] == dv["src"]  # the edge follows the message
+        # causality: the send's clock precedes (or is merged into) the
+        # delivery's clock
+        assert VectorClock(tx["vc"]).happened_before(VectorClock(dv["vc"])) \
+            or tx["vc"] == dv["vc"]
+    # program-order edges stay within one rank
+    for e in hb["edges"]:
+        if e["kind"] == "program":
+            assert nodes[e["from"]]["rank"] == nodes[e["to"]]["rank"]
+
+
+def test_hb_graph_off_by_default():
+    res = run_job(traffic_prog, 2, device="v2", audit=True)
+    assert res.audit.hb is None
+    with pytest.raises(KeyError):
+        _ = res.audit.to_dict()["happens_before"]
+
+
+# -- report plumbing --------------------------------------------------------
+
+def test_report_to_dict_roundtrips_json():
+    import json
+
+    res = run_job(
+        traffic_prog, 4, device="v2", audit=True,
+        mutations=frozenset({"bypass_waitlogged"}),
+    )
+    doc = json.loads(json.dumps(res.audit.to_dict()))
+    assert doc["verdict"] == "violations"
+    assert doc["violations"][0]["rule"] == "waitlogged"
+    assert doc["checks"]["waitlogged"] > 0
+
+
+def test_format_audit_names_ranks_and_clocks():
+    from repro.analysis.report import format_audit
+
+    res = run_job(
+        traffic_prog, 4, device="v2", audit=True,
+        mutations=frozenset({"bypass_waitlogged"}),
+    )
+    text = format_audit(res.audit)
+    assert "audit verdict: violations" in text
+    assert "waitlogged" in text
+    v = res.audit.violations[0]
+    assert f"rank {v.rank} transmitted" in text
+    assert "vclock" in text
+    assert format_audit(None) == "(no audit: run with audit=True)"

@@ -144,3 +144,61 @@ def test_trace_command_jsonl(tmp_path, capsys):
     assert rc == 0
     lines = path.read_text().splitlines()
     assert lines and all(json.loads(ln)["kind"] for ln in lines)
+
+
+def test_audit_command_clean_run_exits_zero(capsys):
+    rc = main(["audit", "cg", "--class", "T", "-n", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "audit verdict: clean" in out
+    assert "waitlogged" in out and "gc-safety" in out
+
+
+def test_audit_command_with_faults(capsys):
+    rc = main(["audit", "cg", "--class", "T", "-n", "2", "--faults", "1",
+               "--fault-interval", "0.05"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "audit verdict: clean" in out
+
+
+def test_audit_command_writes_hb_and_json(tmp_path, capsys):
+    import json
+
+    hb_path = tmp_path / "hb.json"
+    json_path = tmp_path / "audit.json"
+    rc = main(["audit", "cg", "--class", "T", "-n", "2",
+               "--hb-out", str(hb_path), "--json-out", str(json_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    hb = json.loads(hb_path.read_text())
+    assert hb["nodes"] and hb["edges"]
+    assert "happens-before graph" in out
+    doc = json.loads(json_path.read_text())
+    assert doc["verdict"] == "clean"
+    assert doc["checks"]["waitlogged"] > 0
+
+
+def test_kernel_audit_flag_prints_verdict(capsys):
+    rc = main(["kernel", "cg", "--class", "T", "-n", "2", "--audit"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "audit verdict: clean" in out
+    assert "Mop/s" in out  # the normal output is still there
+
+
+def test_faulty_audit_flag_prints_verdict(capsys):
+    rc = main(["faulty", "cg", "--class", "S", "-n", "4", "--faults", "1",
+               "--audit"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "audit verdict: clean" in out
+
+
+def test_pingpong_audit_flag_prints_per_run_verdicts(capsys):
+    rc = main(["pingpong", "--sizes", "1024", "--devices", "p4,v2",
+               "--reps", "2", "--audit"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "[p4/1024B]" in out and "[v2/1024B]" in out
+    assert out.count("audit verdict: clean") == 2

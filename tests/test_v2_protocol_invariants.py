@@ -6,12 +6,16 @@ MPICH-V2 guarantees by never *emitting* a message while any local
 reception event is unacknowledged by the event logger, and by keeping a
 payload copy of every emitted message on the sender.
 
-These tests run traced executions and verify the invariants post-hoc on
-the recorded event stream.
+The invariant *checkers* live in :mod:`repro.obs.audit` (the online
+protocol auditor); these tests drive them — live via
+``run_job(audit=True)`` and post-hoc via :func:`audit_trace` over a
+recorded stream — plus a few direct scans of event-logger contents the
+auditor does not see (server-side state).
 """
 
 
 from repro.ft.failure import ExplicitFaults
+from repro.obs.audit import audit_trace
 from repro.runtime.mpirun import run_job
 
 
@@ -37,31 +41,26 @@ def traffic_prog(mpi, rounds=6):
 
 def test_no_send_before_preceding_events_logged():
     """The WAITLOGGED gate: at every daemon transmission by rank p, every
-    delivery p made strictly earlier is already stored on the event
+    delivery p made strictly earlier is already acknowledged by the event
     logger (Section 4.5: "this information must be sent and acknowledged
-    by the event logger before the node can... perform a send action")."""
+    by the event logger before the node can... perform a send action").
+    Checked post-hoc by the auditor over a recorded stream."""
     res = run_job(traffic_prog, 4, device="v2", trace=True)
-    t = res.tracer
-    deliveries = {}  # rank -> sorted times
-    stores = {}
-    for rec in t.records:
-        if rec.kind == "adi.deliver" and rec["src"] != rec["rank"]:
-            deliveries.setdefault(rec["rank"], []).append(rec.time)
-        elif rec.kind == "el.store":
-            stores.setdefault(rec["rank"], []).extend([rec.time] * rec["n"])
-    checked = 0
-    for rec in t.records:
-        if rec.kind != "v2.tx":
-            continue
-        p = rec["rank"]
-        delivered_before = sum(1 for x in deliveries.get(p, ()) if x < rec.time)
-        stored_before = sum(1 for x in stores.get(p, ()) if x <= rec.time)
-        assert stored_before >= delivered_before, (
-            f"rank {p} transmitted at t={rec.time} with "
-            f"{delivered_before - stored_before} unlogged reception(s)"
-        )
-        checked += 1
-    assert checked > 10  # the invariant was actually exercised
+    report = audit_trace(res.tracer)
+    assert report.count("waitlogged") == 0, report.violations
+    assert report.checks["waitlogged"] > 10  # actually exercised
+    assert report.clean
+
+
+def test_online_audit_matches_posthoc_scan():
+    """The live subscriber and the post-hoc scan run the same checkers
+    over the same stream: identical verdicts and check counts."""
+    res = run_job(traffic_prog, 4, device="v2", trace=True, audit=True)
+    posthoc = audit_trace(res.tracer)
+    assert res.audit.verdict == posthoc.verdict == "clean"
+    assert res.audit.checks == posthoc.checks
+    assert res.audit.events_seen == posthoc.events_seen
+    assert res.audit.vclocks == posthoc.vclocks
 
 
 def test_every_delivery_has_a_logged_event():
@@ -132,25 +131,17 @@ def test_replayed_execution_emits_no_duplicate_events():
 
 
 def test_duplicates_are_discarded_not_delivered():
-    """Phase C: re-sent old messages are dropped by the HR watermark."""
+    """Phase C: re-sent old messages are dropped by the HR watermark —
+    the auditor's orphan rule (no message id delivered twice within one
+    incarnation), checked live across a fault and recovery."""
     res = run_job(
-        traffic_prog, 4, device="v2", faults=ExplicitFaults([(0.01, 1)]),
-        trace=True,
+        traffic_prog, 4, device="v2", audit=True,
+        faults=ExplicitFaults([(0.01, 1)]),
     )
-    disp = res.extras["dispatcher"]
-    dropped = sum(disp.states[r].daemon.dups_dropped for r in range(4))
-    assert dropped >= 0  # bookkeeping exists; and per-rank deliveries match:
-    # every live rank must have delivered each (src, sclock) at most once
-    seen: dict[tuple, set] = {}
-    for rec in res.tracer.records:
-        if rec.kind == "adi.deliver" and rec["src"] != rec["rank"]:
-            key = (rec["rank"], rec["src"])
-            ids = seen.setdefault(key, set())
-            # rank 1 re-delivers its own history after the restart; allow
-            # re-delivery only for the crashed rank
-            if rec["rank"] != 1:
-                assert rec["sclock"] not in ids, (key, rec["sclock"])
-            ids.add(rec["sclock"])
+    assert res.restarts == 1
+    assert res.audit.count("orphan") == 0, res.audit.violations
+    assert res.audit.checks["orphan"] > 0
+    assert res.audit.clean
 
 
 def test_results_identical_under_fault(
