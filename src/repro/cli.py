@@ -194,8 +194,43 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_partitions(spec: str) -> list[tuple[float, tuple[int, ...], float]]:
+    """Parse ``AT:DUR:R0+R1[,...]`` into a PartitionFaults schedule."""
+    out = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        at_s, dur_s, ranks_s = part.split(":")
+        ranks = tuple(int(r) for r in ranks_s.split("+"))
+        out.append((float(at_s), ranks, float(dur_s)))
+    return out
+
+
+def _parse_service_faults(spec: str) -> list[tuple[float, str, float]]:
+    """Parse ``NAME@AT:DOWN[,...]`` into a ServiceFaults schedule.
+
+    Split on ``@`` first: service names themselves contain colons
+    ("el:0", "cs:0").
+    """
+    out = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, rest = part.split("@", 1)
+        at_s, down_s = rest.split(":")
+        out.append((float(at_s), name, float(down_s)))
+    return out
+
+
 def _cmd_faulty(args: argparse.Namespace) -> int:
-    from .ft.failure import RandomFaults
+    from .ft.failure import (
+        ChurnFaults,
+        PartitionFaults,
+        RandomFaults,
+        ServiceFaults,
+    )
 
     if args.device != "v2":
         print(
@@ -204,18 +239,47 @@ def _cmd_faulty(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    try:
+        partition_sched = (
+            _parse_partitions(args.partitions) if args.partitions else []
+        )
+        service_sched = (
+            _parse_service_faults(args.service_faults)
+            if args.service_faults
+            else []
+        )
+    except ValueError as exc:
+        print(f"repro: bad fault spec: {exc}", file=sys.stderr)
+        return 2
     mod = nas.KERNELS[args.name]
     base = run_job(
         mod.program, args.nprocs, device="v2",
         params={"klass": args.klass}, limit=1e8,
     )
-    interval = base.elapsed / max(1, args.faults + 1)
+    plans: list[Any] = []
+    if args.faults:
+        if args.plan == "churn":
+            plans.append(
+                ChurnFaults(
+                    mean_lifetime=args.mean_lifetime, shape=args.shape,
+                    max_faults=args.faults, seed=args.seed,
+                )
+            )
+        else:
+            interval = base.elapsed / max(1, args.faults + 1)
+            plans.append(
+                RandomFaults(interval=interval, count=args.faults,
+                             seed=args.seed)
+            )
+    if partition_sched:
+        plans.append(PartitionFaults(partition_sched))
+    if service_sched:
+        plans.append(ServiceFaults(service_sched))
     res = run_job(
         mod.program, args.nprocs, device="v2",
         params={"klass": args.klass},
         checkpointing=True, ckpt_policy="random", ckpt_continuous=True,
-        faults=RandomFaults(interval=interval, count=args.faults,
-                            seed=args.seed) if args.faults else None,
+        faults=plans or None,
         limit=1e8,
         trace=bool(args.trace_out), audit=args.audit,
     )
@@ -229,8 +293,18 @@ def _cmd_faulty(args: argparse.Namespace) -> int:
               res.stat("ckpt.bytes") / 1e6]],
         )
     )
+    if (partition_sched or service_sched) and res.metrics is not None:
+        print(
+            f"outages: retries={int(res.metrics.total('outage.retries'))} "
+            f"reconnects={int(res.metrics.total('outage.reconnects'))} "
+            f"backoff={res.metrics.total('outage.backoff_s'):.3f}s "
+            f"el_down={res.metrics.total('outage.el_down_s'):.3f}s "
+            f"ckpt_aborted={int(res.metrics.total('ckpt.aborted'))}"
+        )
     _print_audits(args, [(f"{args.name}-{args.klass}-faulty", res)])
     _write_obs(args, [(f"{args.name}-{args.klass}-faulty", res)])
+    if args.audit and res.audit is not None and not res.audit.clean:
+        return 1
     return 0
 
 
@@ -361,6 +435,20 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("-n", "--nprocs", type=int, default=4)
     sp.add_argument("--faults", type=int, default=3)
     sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--plan", default="random", choices=["random", "churn"],
+                    help="rank-kill schedule: evenly-spaced random kills, "
+                         "or Weibull desktop-grid churn")
+    sp.add_argument("--mean-lifetime", type=float, default=10.0,
+                    help="churn: mean node lifetime in simulated seconds")
+    sp.add_argument("--shape", type=float, default=0.7,
+                    help="churn: Weibull shape (<1 is heavy-tailed)")
+    sp.add_argument("--partitions", default=None, metavar="AT:DUR:R0+R1[,..]",
+                    help="cut the listed ranks off the network at time AT "
+                         "for DUR seconds (repeatable, comma separated)")
+    sp.add_argument("--service-faults", default=None,
+                    metavar="NAME@AT:DOWN[,..]",
+                    help="crash service NAME (el:0, cs:0) at time AT for "
+                         "DOWN seconds; durable state survives")
     sp.add_argument("--device", default="v2", choices=DEVICES,
                     help="must be v2 (the fault-tolerant device)")
     _add_obs_flags(sp)

@@ -56,29 +56,65 @@ class EventLoggerServer:
         self._m_stored = m.counter("el.events_stored", server=name)
         self._m_acks = m.counter("el.acks", server=name)
         self._m_cpu_s = m.counter("el.cpu_s", server=name)
+        self._m_dups = m.counter("el.dup_events", server=name)
         # rank -> {rclock -> EventRecord}; survives daemon incarnations
+        # *and* crashes of this service (durable storage)
         self.events: dict[int, dict[int, EventRecord]] = {}
         self.acks_sent = 0
         self.events_stored = 0
+        self.records_received = 0
+        self.dup_events = 0
+        # rank -> highest rclock ever stored fresh; with no restarts the
+        # invariant events_stored == sum(rclock_hw.values()) certifies that
+        # reconnect re-pushes never double-store an event
+        self.rclock_hw: dict[int, int] = {}
         self._cpu_free = 0.0  # host-CPU serialization across connections
         self._acceptor: Optional[Acceptor] = None
+        self._procs: list = []
+        self._conns: list[StreamEnd] = []
 
     def start(self) -> None:
-        """Register the listener and start accepting daemons."""
+        """Register the listener and start accepting daemons.
+
+        Callable again after :meth:`stop`: the listener re-registers and
+        the durable ``events`` store is served to reconnecting daemons.
+        """
         self._acceptor = self.fabric.listen(self.name, self.host)
         p = self.sim.spawn(self._accept_loop(), name=f"{self.name}.accept")
         self.host.register(p)
+        self._procs.append(p)
+
+    def stop(self, cause: Any = "el-crash") -> None:
+        """Service-level crash: drop the listener and every connection.
+
+        The durable event store survives — only in-flight requests and
+        unacknowledged pushes are lost, which clients must re-push.
+        """
+        if self._acceptor is not None:
+            self.fabric.unlisten(self.name, self._acceptor)
+            self._acceptor = None
+        procs, self._procs = self._procs, []
+        for p in procs:
+            p.kill()
+        conns, self._conns = self._conns, []
+        for end in conns:
+            if not end.stream.dead:
+                end.stream.break_both(cause)
+        self._cpu_free = 0.0
 
     # -- server loops ------------------------------------------------------
     def _accept_loop(self):
         assert self._acceptor is not None
+        acceptor = self._acceptor
         while True:
-            end, hello = yield self._acceptor.accept()
+            end, hello = yield acceptor.accept()
+            self._conns.append(end)
             p = self.sim.spawn(
                 self._serve(end, hello), name=f"{self.name}.serve({hello})",
                 supervised=True,
             )
             self.host.register(p)
+            self._procs.append(p)
 
     def _serve(self, end: StreamEnd, hello: Any):
         while True:
@@ -99,13 +135,20 @@ class EventLoggerServer:
                 yield self.sim.timeout(self._cpu_free - self.sim.now)
                 store = self.events.setdefault(rank, {})
                 fresh = 0
+                hw = self.rclock_hw.get(rank, 0)
                 for rec in records:
                     if rec.rclock not in store:
                         store[rec.rclock] = rec
                         fresh += 1
+                        hw = max(hw, rec.rclock)
+                self.rclock_hw[rank] = hw
+                self.records_received += len(records)
+                dups = len(records) - fresh
+                self.dup_events += dups
                 self.events_stored += fresh
                 self.acks_sent += 1
                 self._m_stored.inc(fresh)
+                self._m_dups.inc(dups)
                 self._m_acks.inc()
                 self._m_cpu_s.inc(cost)
                 self.tracer.emit(
@@ -114,9 +157,12 @@ class EventLoggerServer:
                         (rec.rclock, rec.src, rec.sclock) for rec in records
                     ),
                 )
-                yield from end.write(
-                    self.cfg.event_ack_bytes, ("ACK", len(records))
-                )
+                try:
+                    yield from end.write(
+                        self.cfg.event_ack_bytes, ("ACK", len(records))
+                    )
+                except Disconnected:
+                    return  # the daemon re-pushes the batch after reconnect
             elif kind == "DOWNLOAD":
                 _, rank, after_clock = msg
                 store = self.events.get(rank, {})
@@ -127,7 +173,10 @@ class EventLoggerServer:
                 self.tracer.emit(
                     self.sim.now, "el.download", rank=rank, n=len(records)
                 )
-                yield from end.write(nbytes, ("EVENTS", records))
+                try:
+                    yield from end.write(nbytes, ("EVENTS", records))
+                except Disconnected:
+                    return  # the restarting daemon retries its download
             elif kind == "PRUNE":
                 _, rank, upto_clock = msg
                 store = self.events.get(rank, {})

@@ -37,6 +37,7 @@ from ..mpi.datatypes import Envelope
 from ..mpi.protocol import Packet, PacketKind
 from ..runtime.config import TestbedConfig
 from ..runtime.fabric import ConnectionRefused, Fabric
+from ..runtime.retry import RetryPolicy, connect_with_retry
 from ..simnet.kernel import Future, Gate, Queue, Simulator
 from ..simnet.node import Host, HostDown
 from ..simnet.streams import Disconnected, StreamEnd
@@ -88,6 +89,7 @@ class V2Daemon:
         tracer: Optional[Tracer] = None,
         metrics: Optional[Metrics] = None,
         mutations: Optional[frozenset] = None,
+        rng: Optional[Any] = None,
     ) -> None:
         self.sim = sim
         self.cfg = cfg
@@ -106,6 +108,9 @@ class V2Daemon:
         #: violation the online auditor must catch — never set in production
         self.mutations = frozenset(mutations or ())
         self._mut_prev_replay: Optional[tuple[int, int]] = None
+        #: jitter source for reconnect backoff (a named sim RNG stream in
+        #: production runs; ``None`` disables jitter — still deterministic)
+        self._rng = rng
 
         # protocol state (restored from a checkpoint image at restart)
         self.clock = ClockState()
@@ -138,6 +143,12 @@ class V2Daemon:
         self.el_gate = Gate(sim, opened=True, name=f"d{rank}.elgate")
         self._el_outstanding = 0
         self._el_q: Queue = Queue(sim, name=f"d{rank}.elq")
+        # EL outage state: batches written but not yet acknowledged (re-pushed
+        # idempotently after a reconnect; the server dedups by rclock), and
+        # the connection-up gate the writer parks on during an outage
+        self._el_unacked: deque[list[EventRecord]] = deque()
+        self._el_up = Gate(sim, opened=False, name=f"d{rank}.elup")
+        self._el_down_since: Optional[float] = None
 
         # daemon -> MPI process forwarding (the UNIX socket, ordered)
         self._fwd_q: Queue = Queue(sim, name=f"d{rank}.fwd")
@@ -154,6 +165,7 @@ class V2Daemon:
         self.cpu_tax_owed = 0.0
         self.events_pushed = 0
         self.dups_dropped = 0
+        self.ckpt_aborts = 0
 
         # metric handles, bound once (get-or-create by (name, rank): a
         # restarted daemon's counters continue across incarnations)
@@ -174,6 +186,13 @@ class V2Daemon:
         self._m_del_replayed = m.counter("deliveries.replayed", rank=rank)
         self._m_del_fresh = m.counter("deliveries.fresh", rank=rank)
         self._m_replay_s = m.histogram("ft.replay_s", rank=rank)
+        # infrastructure-outage accounting (EL/CS/peer reconnects)
+        self._m_outage_retries = m.counter("outage.retries", rank=rank)
+        self._m_outage_backoff = m.counter("outage.backoff_s", rank=rank)
+        self._m_outage_reconnects = m.counter("outage.reconnects", rank=rank)
+        self._m_outage_el_down_s = m.counter("outage.el_down_s", rank=rank)
+        self._m_outage_stalled = m.counter("outage.stalled_send_s", rank=rank)
+        self._m_ckpt_aborted = m.counter("ckpt.aborted", rank=rank)
         # (send time, batch size) of EL batches awaiting acknowledgement
         self._el_inflight: deque[tuple[float, int]] = deque()
         self._start_t = 0.0
@@ -186,8 +205,11 @@ class V2Daemon:
         """Bring the daemon up; on restart, run recovery first."""
         self._start_t = self.sim.now
         self._acceptor = self.fabric.listen(f"daemon:{self.rank}", self.host)
-        # connect to the event logger and (phase A) download logged events
-        self._el_end = self._connect(self.el_name)
+        # connect to the event logger and (phase A) download logged events;
+        # the EL may itself be crashed or partitioned away right now, so
+        # this (like every infrastructure connection) retries with backoff
+        self._el_end = yield from self._el_connect()
+        self._el_up.open()
         image: Optional[CheckpointImage] = None
         if self.incarnation > 0:
             if self.cs_name is not None:
@@ -206,10 +228,17 @@ class V2Daemon:
                 from_recv_seq=self.restart_base_recv,
                 replay_events=len(self.replay.events),
             )
-        # control-plane connections
+        # control-plane connections (best-effort under partitions: a daemon
+        # that cannot reach the dispatcher still computes, it just cannot
+        # report UNRECOVERABLE states)
         if self.dispatcher_name is not None:
-            self._disp_end = self._connect(
-                self.dispatcher_name, hello=("HELLO", self.rank, self.incarnation)
+            self._disp_end = yield from connect_with_retry(
+                self.sim, self.fabric, self.host, self.dispatcher_name,
+                hello=("HELLO", self.rank, self.incarnation),
+                policy=RetryPolicy.from_config(
+                    self.cfg, max_tries=self.cfg.peer_retry_tries
+                ),
+                rng=self._rng, on_retry=self._note_outage_retry,
             )
         if (
             self.replay is not None
@@ -248,12 +277,20 @@ class V2Daemon:
                     window=self.cfg.stream_window,
                 )
             except ConnectionRefused:
+                if self.incarnation > 0:
+                    # the peer may be alive but partitioned away: unlike a
+                    # crashed peer (which reconnects to us on restart), it
+                    # will never initiate, so keep trying in the background
+                    link = self.links[q]
+                    self._spawn(
+                        self._peer_reconnect(q, link.epoch), f"re{q}"
+                    )
                 continue  # peer is down; it will connect to us when it returns
             self._adopt_link(q, end, initiator=self.rank)
         self._spawn(self._accept_loop(), "accept")
         self._spawn(self._forward_loop(), "fwd")
         self._spawn(self._el_writer(), "el.tx")
-        self._spawn(self._el_reader(), "el.rx")
+        self._spawn(self._el_reader(self._el_end), "el.rx")
         if self._sched_end is not None:
             self._spawn(self._sched_loop(), "sched")
         self.ready.open()
@@ -271,21 +308,39 @@ class V2Daemon:
         )
         self.host.register(p)
 
+    def _note_outage_retry(self, attempt: int, delay: float) -> None:
+        self._m_outage_retries.inc()
+        self._m_outage_backoff.inc(delay)
+
     def _fetch_image(self) -> Generator[Future, Any, Optional[CheckpointImage]]:
-        try:
-            end = self._connect(self.cs_name)
-        except ConnectionRefused:
-            return None  # checkpoint server down: restart from scratch
-        yield from end.write(32, ("FETCH", self.rank))
-        try:
-            while True:
-                _, reply = yield end.read()
-                if reply is not None:
-                    break
-        except Disconnected:
-            return None
-        kind, image = reply
-        return image
+        # a bounded retry budget: a supervisor-restarted (or briefly
+        # partitioned) checkpoint server comes back within a few backoff
+        # steps; exhausting the budget degrades to restart-from-scratch,
+        # exactly as a permanently lost server always did
+        policy = RetryPolicy.from_config(self.cfg, max_tries=self.cfg.cs_fetch_tries)
+        for attempt in range(policy.max_tries):
+            try:
+                end = self._connect(self.cs_name)
+            except ConnectionRefused:
+                delay = policy.delay(attempt, self._rng)
+                self._note_outage_retry(attempt, delay)
+                yield self.sim.timeout(delay)
+                continue
+            try:
+                yield from end.write(32, ("FETCH", self.rank))
+                while True:
+                    _, reply = yield end.read()
+                    if reply is not None:
+                        break
+            except Disconnected:
+                # mid-fetch crash: retry the whole (idempotent) fetch
+                delay = policy.delay(attempt, self._rng)
+                self._note_outage_retry(attempt, delay)
+                yield self.sim.timeout(delay)
+                continue
+            kind, image = reply
+            return image
+        return None  # checkpoint server gone: restart from scratch
 
     def _restore(self, image: CheckpointImage) -> None:
         # the sequences restart at 0: fast-forwarding the recorded history
@@ -313,12 +368,20 @@ class V2Daemon:
         # charged by the dispatcher via restart_spawn_delay; nothing here
 
     def _download_events(self) -> Generator[Future, Any, list[EventRecord]]:
-        yield from self._el_end.write(
-            16, ("DOWNLOAD", self.rank, self.restart_base_recv)
-        )
-        _, reply = yield self._el_end.read()
-        kind, records = reply
-        return list(records)
+        while True:
+            end = self._el_end
+            try:
+                yield from end.write(
+                    16, ("DOWNLOAD", self.rank, self.restart_base_recv)
+                )
+                _, reply = yield end.read()
+            except Disconnected:
+                # the EL crashed mid-download: reconnect (its event store
+                # is durable across service restarts) and re-ask
+                self._el_end = yield from self._el_connect()
+                continue
+            kind, records = reply
+            return list(records)
 
     # ------------------------------------------------------------------
     # link management
@@ -361,6 +424,44 @@ class V2Daemon:
         link.end = None
         if self.device is not None:
             self.device.notify_peer_restart_pending(q)
+        # whatever stream comes next (the peer's restart connect, a link
+        # re-establishment after a flap), both sides must resynchronize:
+        # the symmetric RESTART1 exchange re-sends each direction's saved
+        # messages past the other's delivery watermark and repairs pending
+        # rendezvous state; duplicates die on the forwarded_hw discard
+        self.needs_restart1.add(q)
+        if self.rank < q:
+            # one side must actively re-establish a flapped link (a mere
+            # link break restarts no daemon, so nobody else would connect);
+            # the canonical initiator retries, the other side listens.  If
+            # the peer actually crashed, its restarted daemon's connect
+            # simply wins the race (crossed-stream tie-break).
+            self._spawn(self._peer_reconnect(q, epoch), f"re{q}")
+
+    def _peer_reconnect(self, q: int, epoch0: int):
+        """Re-establish the link to ``q`` with backoff (flap/partition)."""
+        link = self.links[q]
+
+        def settled() -> bool:
+            return link.epoch != epoch0 or link.up()
+
+        end = yield from connect_with_retry(
+            self.sim, self.fabric, self.host, f"daemon:{q}",
+            hello=("PEER", self.rank, self.incarnation),
+            window=self.cfg.stream_window,
+            policy=RetryPolicy.from_config(
+                self.cfg, max_tries=self.cfg.peer_retry_tries
+            ),
+            rng=self._rng, on_retry=self._note_outage_retry,
+            giveup=settled,
+        )
+        if end is None:
+            return  # link already replaced, or a restarted peer will connect
+        self._m_outage_reconnects.inc()
+        self.tracer.emit(
+            self.sim.now, "v2.peer_reconnect", rank=self.rank, peer=q
+        )
+        self._adopt_link(q, end, initiator=self.rank)
 
     # ------------------------------------------------------------------
     # transmit path
@@ -398,8 +499,13 @@ class V2Daemon:
                 # WAITLOGGED: the pessimistic gate — measure the stall
                 self._m_gate_stalls.inc()
                 t0 = self.sim.now
+                down0 = self._el_down_since
                 yield self.el_gate.waitfor()
                 self._m_gate_stall_s.inc(self.sim.now - t0)
+                if down0 is not None or self._el_down_since is not None:
+                    # the stall overlapped an EL outage: the gate held
+                    # because acknowledgements could not arrive at all
+                    self._m_outage_stalled.inc(self.sim.now - t0)
             end = link.end
             if end is None or link.epoch != epoch:
                 return  # packet dropped; SAVED + handshake recover it
@@ -573,6 +679,78 @@ class V2Daemon:
             sclock=rec.sclock,
         )
 
+    def _el_connect(self) -> Generator[Future, Any, StreamEnd]:
+        """Connect to the event logger, retrying with capped backoff.
+
+        Exhausting the budget means the EL never came back within ~2
+        minutes of simulated backoff: that violates the deployment
+        contract (the supervisor restarts crashed services), so fail the
+        simulation loudly rather than deadlock silently.
+        """
+        policy = RetryPolicy.from_config(self.cfg)
+        end = yield from connect_with_retry(
+            self.sim, self.fabric, self.host, self.el_name,
+            policy=policy, rng=self._rng, on_retry=self._note_outage_retry,
+        )
+        if end is None:
+            raise RuntimeError(
+                f"rank {self.rank}: event logger {self.el_name} unreachable "
+                f"after {policy.max_tries} attempts"
+            )
+        return end
+
+    def _el_down(self, end: Optional[StreamEnd]) -> None:
+        """Mark the EL connection lost and start the reconnect process."""
+        if end is None or self._el_end is not end:
+            return  # a stale loop noticed an already-replaced stream
+        self._el_end = None
+        self._el_up.close()
+        self._el_down_since = self.sim.now
+        self.tracer.emit(
+            self.sim.now, "v2.el_down", rank=self.rank,
+            outstanding=self._el_outstanding, unacked=len(self._el_unacked),
+        )
+        self._spawn(self._el_reconnect(), "el.re")
+
+    def _el_reconnect(self):
+        """Re-establish the EL link and re-push written-but-unacked batches.
+
+        The WAITLOGGED gate stays closed throughout (``_el_outstanding``
+        still counts the lost acknowledgements), so no application
+        message escapes while its reception event is in doubt — the
+        pessimistic property holds across the outage by construction.
+        The server dedups re-pushed events by ``(rank, rclock)``, so the
+        at-least-once re-push is idempotent; it still acknowledges every
+        batch, which is what re-earns the lost acks.
+        """
+        down_since = self._el_down_since
+        end = yield from self._el_connect()
+        # acks of the old stream died with it: every unacked batch is
+        # re-pushed, in order, ahead of anything the writer sends next
+        repush = list(self._el_unacked)
+        self._el_inflight.clear()
+        self._el_end = end
+        self._spawn(self._el_reader(end), "el.rx")
+        for batch in repush:
+            t0 = self.sim.now
+            try:
+                yield from end.write(
+                    self.cfg.event_bytes * len(batch), ("EVENT", self.rank, batch)
+                )
+            except (Disconnected, HostDown):
+                self._el_down(end)  # crashed again: the next round re-pushes
+                return
+            self._el_inflight.append((t0, len(batch)))
+        outage_s = self.sim.now - down_since if down_since is not None else 0.0
+        self._m_outage_reconnects.inc()
+        self._m_outage_el_down_s.inc(outage_s)
+        self._el_down_since = None
+        self.tracer.emit(
+            self.sim.now, "v2.el_reconnect", rank=self.rank,
+            outage_s=outage_s, repushed=len(repush),
+        )
+        self._el_up.open()
+
     def _el_writer(self):
         while True:
             first = yield self._el_q.get()
@@ -582,25 +760,41 @@ class V2Daemon:
                 if not ok:
                     break
                 batch.append(more)
-            t0 = self.sim.now
-            try:
-                yield from self._el_end.write(
-                    self.cfg.event_bytes * len(batch), ("EVENT", self.rank, batch)
-                )
-            except Disconnected:  # pragma: no cover - EL is reliable
-                return
-            self._el_inflight.append((t0, len(batch)))
-            self.events_pushed += len(batch)
+            # exactly-once hand-off per stream generation: a batch joins
+            # _el_unacked only once written, so the reconnector (which
+            # re-pushes _el_unacked) and this writer never both send it
+            while True:
+                if not self._el_up.is_open:
+                    yield self._el_up.waitfor()
+                end = self._el_end
+                if end is None:
+                    continue  # raced with another disconnect; wait again
+                t0 = self.sim.now
+                try:
+                    yield from end.write(
+                        self.cfg.event_bytes * len(batch),
+                        ("EVENT", self.rank, batch),
+                    )
+                except (Disconnected, HostDown):
+                    self._el_down(end)
+                    continue  # batch not in _el_unacked: resend it here
+                self._el_unacked.append(batch)
+                self._el_inflight.append((t0, len(batch)))
+                self.events_pushed += len(batch)
+                break
 
-    def _el_reader(self):
+    def _el_reader(self, end: StreamEnd):
         while True:
             try:
-                _, msg = yield self._el_end.read()
-            except Disconnected:  # pragma: no cover - EL is reliable
+                _, msg = yield end.read()
+            except Disconnected:
+                self._el_down(end)
                 return
             kind, n = msg
             if kind == "ACK":
-                self._el_outstanding -= n
+                if self._el_unacked:
+                    self._el_unacked.popleft()
+                self._el_outstanding = max(0, self._el_outstanding - n)
                 self.tracer.emit(
                     self.sim.now, "v2.el_ack", rank=self.rank, n=n,
                     outstanding=self._el_outstanding,
@@ -638,10 +832,22 @@ class V2Daemon:
 
     def _push_image(self, image: CheckpointImage):
         t0 = self.sim.now
-        try:
-            end = self._connect(self.cs_name)
-        except ConnectionRefused:
-            return  # checkpoint server gone: degrade to restart-from-scratch
+        # a briefly-down server (supervisor restart, partition) comes back
+        # within the fetch budget; a permanently lost one degrades to
+        # restart-from-scratch exactly as before
+        policy = RetryPolicy.from_config(self.cfg, max_tries=self.cfg.cs_fetch_tries)
+        end = None
+        for attempt in range(policy.max_tries):
+            try:
+                end = self._connect(self.cs_name)
+                break
+            except ConnectionRefused:
+                delay = policy.delay(attempt, self._rng)
+                self._note_outage_retry(attempt, delay)
+                yield self.sim.timeout(delay)
+        if end is None:
+            yield from self._ckpt_failed(image, "refused")
+            return
         total = image.image_bytes
         sizes = segment_sizes(total, self.cfg.chunk_bytes)
         try:
@@ -650,7 +856,11 @@ class V2Daemon:
             yield from end.write(sizes[-1], ("STORE", image))
             _, ack = yield end.read()
         except (Disconnected, HostDown):
-            return  # crashed mid-push: the server discards the partial image
+            # crashed mid-push: the server discards the partial image (the
+            # previous complete image stays intact) and the scheduler is
+            # asked to re-order the checkpoint
+            yield from self._ckpt_failed(image, "disconnected")
+            return
         self.checkpoints_done += 1
         self._m_ckpt_images.inc()
         self._m_ckpt_bytes.inc(total)
@@ -675,12 +885,16 @@ class V2Daemon:
             if "premature_gc" in self.mutations:
                 thr += 5  # test-only: GC past the checkpoint's coverage
             self._enqueue_ctrl(q, ("GC", thr))
-        try:
-            yield from self._el_end.write(
-                16, ("PRUNE", self.rank, image.clock.recv_seq)
-            )
-        except Disconnected:  # pragma: no cover
-            pass
+        el_end = self._el_end
+        if el_end is not None:
+            try:
+                yield from el_end.write(
+                    16, ("PRUNE", self.rank, image.clock.recv_seq)
+                )
+            except Disconnected:
+                # PRUNE is a best-effort space optimization: un-pruned
+                # events only cost the (restarted) EL memory
+                self._el_down(el_end)
         if self._sched_end is not None:
             try:
                 yield from self._sched_end.write(
@@ -689,16 +903,44 @@ class V2Daemon:
             except Disconnected:
                 pass
 
+    def _ckpt_failed(self, image: CheckpointImage, why: str):
+        """Account an aborted push and ask the scheduler to retry it."""
+        self.ckpt_aborts += 1
+        self._m_ckpt_aborted.inc()
+        self.tracer.emit(
+            self.sim.now, "v2.ckpt_abort", rank=self.rank, seq=image.seq,
+            why=why,
+        )
+        if self._sched_end is not None:
+            try:
+                yield from self._sched_end.write(16, ("CKPT_FAIL", self.rank))
+            except Disconnected:
+                pass
+        else:
+            yield self.sim.timeout(0.0)
+
     # ------------------------------------------------------------------
     # scheduler protocol
     # ------------------------------------------------------------------
     def _sched_loop(self):
-        end = self._sched_end
         while True:
+            end = self._sched_end
+            if end is None:
+                return
             try:
                 _, msg = yield end.read()
             except Disconnected:
-                return
+                # a flapped control link: reconnect so checkpoint orders
+                # keep flowing (the scheduler re-registers us on accept)
+                self._sched_end = yield from connect_with_retry(
+                    self.sim, self.fabric, self.host, self.sched_name,
+                    hello=("HELLO", self.rank, self.incarnation),
+                    policy=RetryPolicy.from_config(
+                        self.cfg, max_tries=self.cfg.peer_retry_tries
+                    ),
+                    rng=self._rng, on_retry=self._note_outage_retry,
+                )
+                continue
             if msg[0] == "STATUS_REQ":
                 status = (
                     "STATUS",
@@ -716,7 +958,7 @@ class V2Daemon:
                 try:
                     yield from end.write(32, status)
                 except Disconnected:
-                    return
+                    continue  # the next read notices and reconnects
             elif msg[0] == "CKPT_ORDER":
                 self.order_checkpoint()
 

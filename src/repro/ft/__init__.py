@@ -1,10 +1,20 @@
 """The fault-tolerance runtime: dispatcher, checkpoint server and
-scheduler, failure injection."""
+scheduler, failure injection, service supervision."""
 
 from .ckpt_scheduler import POLICIES, CheckpointScheduler
 from .ckpt_server import CheckpointServer
 from .dispatcher import Dispatcher, run_v2_job
-from .failure import ExplicitFaults, FaultContext, RandomFaults
+from .failure import (
+    ChurnFaults,
+    ComposedFaults,
+    ExplicitFaults,
+    FaultContext,
+    LinkFlapFaults,
+    PartitionFaults,
+    RandomFaults,
+    ServiceFaults,
+)
+from .services import ServiceSupervisor
 
 __all__ = [
     "POLICIES",
@@ -12,7 +22,13 @@ __all__ = [
     "CheckpointServer",
     "Dispatcher",
     "run_v2_job",
+    "ChurnFaults",
+    "ComposedFaults",
     "ExplicitFaults",
     "FaultContext",
+    "LinkFlapFaults",
+    "PartitionFaults",
     "RandomFaults",
+    "ServiceFaults",
+    "ServiceSupervisor",
 ]

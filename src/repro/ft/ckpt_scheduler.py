@@ -24,6 +24,7 @@ follows the one of another node", the Figure 11 setup).
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Optional
 
 import numpy as np
@@ -75,6 +76,10 @@ class CheckpointScheduler:
         self._rr_next = 0
         self._done_q: Queue = Queue(sim, name="sched.done")
         self.orders_issued = 0
+        # ranks whose checkpoint push failed (checkpoint-server outage);
+        # they are re-ordered ahead of the policy's regular pick
+        self._retry_q: deque[int] = deque()
+        self.ckpt_retries = 0
 
     def start(self) -> None:
         """Register the listener and start the scheduling loop."""
@@ -105,6 +110,14 @@ class CheckpointScheduler:
                 self.status[msg[1]] = msg[2]
             elif msg[0] == "CKPT_DONE":
                 self._done_q.put((msg[1], msg[2]))
+            elif msg[0] == "CKPT_FAIL":
+                # the push aborted (checkpoint-server outage); queue a retry
+                # and unblock the continuous-mode wait
+                failed = msg[1]
+                self.ckpt_retries += 1
+                self._retry_q.append(failed)
+                self.tracer.emit(self.sim.now, "sched.ckpt_retry", rank=failed)
+                self._done_q.put((failed, None))
 
     # -- the scheduling loop -------------------------------------------------
     def _drive(self):
@@ -134,6 +147,13 @@ class CheckpointScheduler:
 
     def _pick(self):
         """Choose the next node to checkpoint, per policy."""
+        while self._retry_q:
+            cand = self._retry_q.popleft()
+            if cand in self.links:
+                # give the checkpoint server its supervised restart delay
+                # before re-ordering the failed push
+                yield self.sim.timeout(self.cfg.svc_restart_delay)
+                return cand
         live = sorted(self.links)
         if not live:
             yield self.sim.timeout(0.0)

@@ -52,21 +52,51 @@ class CheckpointServer:
         self.images: dict[int, CheckpointImage] = {}  # rank -> latest image
         self.stores = 0
         self.fetches = 0
+        self._acceptor = None
+        self._procs: list = []
+        self._conns: list[StreamEnd] = []
 
     def start(self) -> None:
-        """Register the listener and start serving store/fetch requests."""
+        """Register the listener and start serving store/fetch requests.
+
+        Callable again after :meth:`stop`: durable images survive the
+        outage; only pushes that were in flight are lost (and retried by
+        the checkpoint scheduler).
+        """
         acceptor = self.fabric.listen(self.name, self.host)
+        self._acceptor = acceptor
 
         def accept_loop():
             while True:
                 end, hello = yield acceptor.accept()
+                self._conns.append(end)
                 p = self.sim.spawn(
                     self._serve(end), name=f"{self.name}.serve", supervised=True
                 )
                 self.host.register(p)
+                self._procs.append(p)
 
         p = self.sim.spawn(accept_loop(), name=f"{self.name}.accept")
         self.host.register(p)
+        self._procs.append(p)
+
+    def stop(self, cause: object = "cs-crash") -> None:
+        """Service-level crash: drop the listener and every connection.
+
+        Partially received images vanish with the connection — an image is
+        only durable once its final STORE chunk arrived — so the previous
+        complete image for each rank remains intact.
+        """
+        if self._acceptor is not None:
+            self.fabric.unlisten(self.name, self._acceptor)
+            self._acceptor = None
+        procs, self._procs = self._procs, []
+        for p in procs:
+            p.kill()
+        conns, self._conns = self._conns, []
+        for end in conns:
+            if not end.stream.dead:
+                end.stream.break_both(cause)
 
     def _serve(self, end: StreamEnd):
         while True:

@@ -32,7 +32,8 @@ from ..runtime.progfile import DeploymentPlan
 from ..runtime.results import JobResult
 from .ckpt_scheduler import CheckpointScheduler
 from .ckpt_server import CheckpointServer
-from .failure import FaultContext
+from .failure import ComposedFaults, FaultContext
+from .services import ServiceSupervisor
 
 __all__ = ["Dispatcher", "run_v2_job"]
 
@@ -72,6 +73,7 @@ class Dispatcher:
         cs_name: Optional[str],
         wipe_logs: Optional[Callable[[], None]] = None,
         mutations: Optional[frozenset] = None,
+        supervisor: Optional[Any] = None,
     ) -> None:
         self.cluster = cluster
         self.sim = cluster.sim
@@ -88,6 +90,7 @@ class Dispatcher:
         self.cs_name = cs_name
         self.wipe_logs = wipe_logs
         self.mutations = frozenset(mutations or ())  # test-only fault seeds
+        self.supervisor = supervisor  # ServiceSupervisor for EL/CS crashes
         self.states = [RankState(r) for r in range(nprocs)]
         self.done = Future(self.sim, name="dispatcher.done")
         self.total_restarts = 0
@@ -188,6 +191,7 @@ class Dispatcher:
             tracer=self.cluster.tracer,
             metrics=self.cluster.metrics,
             mutations=self.mutations,
+            rng=self.cluster.rng.stream(f"reconnect:d{rank}"),
         )
         device = V2Device(
             self.sim, self.cfg, rank, self.nprocs, host, daemon,
@@ -290,11 +294,53 @@ class Dispatcher:
             st.host.crash()
             return True
 
+        def partition(ranks, duration: float):
+            """Cut the hosts of ``ranks`` off from everything else."""
+            net = self.cluster.net
+            group = {
+                self.states[r].host
+                for r in ranks
+                if self.states[r].host is not None
+            }
+            rest = [h for h in net.hosts.values() if h not in group]
+            return net.partition(group, rest, duration)
+
+        def flap_link(a: int, b: int) -> int:
+            """Break the live streams between the hosts of ranks a and b."""
+            ha, hb = self.states[a].host, self.states[b].host
+            if ha is None or hb is None or ha.failed or hb.failed:
+                return 0
+            return self.cluster.net.break_links(ha, hb, cause="link-flap")
+
+        def crash_service(name: str, downtime: float = 0.0) -> None:
+            assert self.supervisor is not None
+            self.supervisor.crash(name, downtime)
+
+        def restart_service(name: str) -> None:
+            assert self.supervisor is not None
+            self.supervisor.restart(name)
+
+        def spawn(gen, label: str):
+            p = self.sim.spawn(gen, name=label)
+            self.host.register(p)
+            return p
+
+        supervised = (
+            tuple(sorted(self.supervisor.services))
+            if self.supervisor is not None
+            else ()
+        )
         return FaultContext(
             sim=self.sim,
             alive_unfinished=alive_unfinished,
             kill=kill,
             job_running=lambda: not self.done.done,
+            partition=partition,
+            crash_service=crash_service if self.supervisor else None,
+            restart_service=restart_service if self.supervisor else None,
+            flap_link=flap_link,
+            spawn=spawn,
+            service_names=supervised,
         )
 
 
@@ -379,6 +425,10 @@ def run_v2_job(
         service = machines[plan.dispatcher]
         n_event_loggers = len(plan.els)
 
+    supervisor = ServiceSupervisor(
+        sim, cfg, tracer=cluster.tracer, metrics=cluster.metrics
+    )
+
     el_names = []
     loggers = []
     for i in range(n_event_loggers):
@@ -389,12 +439,14 @@ def run_v2_job(
         el.start()
         loggers.append(el)
         el_names.append(el.name)
+        supervisor.register(el.name, el)
 
     cs = CheckpointServer(
         sim, cs_host, fabric, cfg, tracer=cluster.tracer,
         metrics=cluster.metrics,
     )
     cs.start()
+    supervisor.register(cs.name, cs)
 
     sched_name = None
     scheduler = None
@@ -433,10 +485,13 @@ def run_v2_job(
         "cs:0",
         wipe_logs=wipe_logs,
         mutations=mutations,
+        supervisor=supervisor,
     )
     dispatcher.start()
 
     if faults is not None:
+        if isinstance(faults, (list, tuple)):
+            faults = ComposedFaults(tuple(faults))
         ctx = dispatcher.fault_context()
         service.register(sim.spawn(faults.driver(ctx), name="fault-injector"))
 
@@ -452,6 +507,8 @@ def run_v2_job(
                 "service_host": service,
                 "checkpoint_server": cs,
                 "event_loggers": loggers,
+                "supervisor": supervisor,
+                "network": cluster.net,
             }
         )
 
@@ -482,5 +539,6 @@ def run_v2_job(
             "scheduler": scheduler,
             "dispatcher": dispatcher,
             "faults": faults,
+            "supervisor": supervisor,
         },
     )

@@ -4,13 +4,25 @@
 selected MPI process. Faults may occur at any time during the execution,
 including during the checkpoint or during the re-execution." (Section 5.4)
 
-Two schedule flavours:
+Process-kill flavours:
 
 * :class:`ExplicitFaults` — a list of ``(time, rank)`` kills, for
   deterministic tests and the Figure 10 re-execution benchmark;
 * :class:`RandomFaults` — kills a random non-finished rank every
   ``interval`` seconds (the Figure 11 workload: one fault every 45 s),
-  up to ``count`` faults.
+  up to ``count`` faults;
+* :class:`ChurnFaults` — Weibull node lifetimes (desktop-grid churn).
+
+Infrastructure flavours (beyond the paper, which assumes a reliable
+network and reliable auxiliary nodes):
+
+* :class:`PartitionFaults` — transient network cuts between host groups;
+* :class:`ServiceFaults` — crash/restart of the event logger or the
+  checkpoint server (durable state survives, connections reset);
+* :class:`LinkFlapFaults` — forced stream resets between random rank
+  pairs (both endpoints alive, link-level resync required).
+
+Any combination runs in one job via :class:`ComposedFaults`.
 """
 
 from __future__ import annotations
@@ -20,7 +32,17 @@ from typing import Callable, Optional, Protocol, Sequence
 
 import numpy as np
 
-__all__ = ["ExplicitFaults", "RandomFaults", "ChurnFaults", "FaultPlan"]
+__all__ = [
+    "ExplicitFaults",
+    "RandomFaults",
+    "ChurnFaults",
+    "PartitionFaults",
+    "ServiceFaults",
+    "LinkFlapFaults",
+    "ComposedFaults",
+    "FaultPlan",
+    "FaultContext",
+]
 
 
 class FaultPlan(Protocol):
@@ -38,6 +60,13 @@ class FaultContext:
     alive_unfinished: Callable[[], list[int]]  # ranks eligible for a kill
     kill: Callable[[int], bool]  # returns False if the kill was impossible
     job_running: Callable[[], bool]
+    # infrastructure hooks (None when the runtime doesn't provide them):
+    partition: Optional[Callable] = None  # (ranks, duration) -> cut the net
+    crash_service: Optional[Callable] = None  # (name, downtime)
+    restart_service: Optional[Callable] = None  # (name)
+    flap_link: Optional[Callable] = None  # (rank_a, rank_b) -> streams broken
+    spawn: Optional[Callable] = None  # (gen, label) -> run a child driver
+    service_names: tuple = ()  # supervised services available to plans
 
 
 @dataclass
@@ -131,3 +160,117 @@ class ChurnFaults:
                     if len(self.injected) >= self.max_faults:
                         return
             yield ctx.sim.timeout(self.check_interval)
+
+
+@dataclass
+class PartitionFaults:
+    """Transient network partitions: ``(at, ranks, duration)`` windows.
+
+    At each scheduled time the hosts of ``ranks`` are cut off from the
+    rest of the fabric for ``duration`` seconds.  Hosts stay up; crossing
+    traffic is deferred until the cut heals, and connects across the cut
+    are refused.
+    """
+
+    schedule: Sequence[tuple[float, Sequence[int], float]]
+    injected: list[tuple[float, tuple, float]] = field(default_factory=list)
+
+    def driver(self, ctx: FaultContext):
+        """Run the schedule (spawned by the dispatcher)."""
+        if ctx.partition is None:
+            return
+        for when, ranks, duration in sorted(self.schedule, key=lambda s: s[0]):
+            delay = when - ctx.sim.now
+            if delay > 0:
+                yield ctx.sim.timeout(delay)
+            if not ctx.job_running():
+                return
+            ctx.partition(tuple(ranks), duration)
+            self.injected.append((ctx.sim.now, tuple(ranks), duration))
+
+
+@dataclass
+class ServiceFaults:
+    """Crash supervised services: ``(at, name, downtime)`` windows.
+
+    ``name`` is the service's fabric name ("el:0", "cs:0").  The service
+    loses its listener and every connection but keeps its durable state;
+    the supervisor relaunches it after ``downtime`` (floored by
+    ``cfg.svc_restart_delay``).
+    """
+
+    schedule: Sequence[tuple[float, str, float]]
+    injected: list[tuple[float, str, float]] = field(default_factory=list)
+
+    def driver(self, ctx: FaultContext):
+        """Run the schedule (spawned by the dispatcher)."""
+        if ctx.crash_service is None:
+            return
+        for when, name, downtime in sorted(self.schedule, key=lambda s: s[0]):
+            delay = when - ctx.sim.now
+            if delay > 0:
+                yield ctx.sim.timeout(delay)
+            if not ctx.job_running():
+                return
+            if name not in ctx.service_names:
+                continue
+            ctx.crash_service(name, downtime)
+            self.injected.append((ctx.sim.now, name, downtime))
+
+
+@dataclass
+class LinkFlapFaults:
+    """Break the streams between random live rank pairs, ``count`` times.
+
+    Both endpoints stay up: readers and writers see ``Disconnected`` and
+    must re-establish and resynchronize the link (duplicate discard via
+    the forwarded watermark, RESTART1 resync both ways).
+    """
+
+    interval: float
+    count: int
+    seed: int = 0
+    injected: list[tuple[float, int, int]] = field(default_factory=list)
+
+    def driver(self, ctx: FaultContext):
+        """Run the schedule (spawned by the dispatcher)."""
+        if ctx.flap_link is None:
+            return
+        rng = np.random.default_rng(self.seed)
+        done = 0
+        while done < self.count and ctx.job_running():
+            yield ctx.sim.timeout(self.interval)
+            if not ctx.job_running():
+                return
+            targets = ctx.alive_unfinished()
+            if len(targets) < 2:
+                continue
+            a, b = (int(r) for r in rng.choice(targets, size=2, replace=False))
+            if ctx.flap_link(a, b):
+                self.injected.append((ctx.sim.now, a, b))
+                done += 1
+
+
+@dataclass
+class ComposedFaults:
+    """Run several fault plans concurrently in one job."""
+
+    plans: Sequence[FaultPlan]
+
+    def driver(self, ctx: FaultContext):
+        """Spawn each child plan's driver as its own process."""
+        if ctx.spawn is not None:
+            for i, plan in enumerate(self.plans):
+                ctx.spawn(plan.driver(ctx), f"faults[{i}]")
+            yield ctx.sim.timeout(0.0)
+        else:  # degenerate fallback: run the plans back to back
+            for plan in self.plans:
+                yield from plan.driver(ctx)
+
+    @property
+    def injected(self) -> list:
+        """Union of the children's injections (time-ordered)."""
+        out: list = []
+        for plan in self.plans:
+            out.extend(getattr(plan, "injected", ()))
+        return sorted(out, key=lambda rec: rec[0])

@@ -34,6 +34,12 @@ def finalize_job(
         m.counter("net.bytes").inc(net.bytes_moved)
     if net.segments_moved:
         m.counter("net.segments").inc(net.segments_moved)
+    if net.partitions_injected:
+        m.counter("net.partitions").inc(net.partitions_injected)
+    if net.segments_deferred:
+        m.counter("net.deferred_segments").inc(net.segments_deferred)
+    if net.links_broken:
+        m.counter("net.links_broken").inc(net.links_broken)
 
     seen_streams: set[int] = set()
     for host in net.hosts.values():

@@ -75,6 +75,18 @@ class TestbedConfig:
     # -- failure model -------------------------------------------------------------
     reliable_aux: bool = True
 
+    # -- volatile infrastructure ---------------------------------------------------
+    # reconnect backoff shared by every client of a flaky service/link:
+    # delay(attempt) = min(cap, base * factor**attempt), +/- jitter fraction
+    reconnect_base: float = 0.05
+    reconnect_factor: float = 2.0
+    reconnect_cap: float = 2.0
+    reconnect_jitter: float = 0.25
+    reconnect_max_tries: int = 60  # EL budget: exhausting it is fatal
+    peer_retry_tries: int = 40  # peer/dispatcher/scheduler links: give up quietly
+    cs_fetch_tries: int = 6  # image fetch budget before restart-from-scratch
+    svc_restart_delay: float = 0.5  # supervisor respawn delay for EL/CS crashes
+
     def with_(self, **changes) -> "TestbedConfig":
         """A modified copy (convenience for sweeps)."""
         return replace(self, **changes)

@@ -74,6 +74,10 @@ class Fabric:
             raise ConnectionRefused(name)
         if from_host.failed:
             raise HostDown(from_host.name)
+        if self.cluster.net.partitioned(from_host, acc.host):
+            # the SYN cannot cross an active cut; unlike established
+            # streams (which ride the partition out), a connect times out
+            raise ConnectionRefused(f"{name} (partitioned)")
         stream = self.cluster.connect(from_host, acc.host, window=window)
         acc.queue.put((stream.end_for(acc.host), hello))
         return stream.end_for(from_host)

@@ -20,7 +20,7 @@ from .kernel import (
     any_of,
     wait,
 )
-from .network import LinkConfig, Network
+from .network import DegradeWindow, LinkConfig, Network, PartitionWindow
 from .node import Host, HostDown
 from .rng import RngRegistry
 from .streams import DEFAULT_WINDOW, Disconnected, Stream, StreamEnd
@@ -41,6 +41,8 @@ __all__ = [
     "wait",
     "LinkConfig",
     "Network",
+    "PartitionWindow",
+    "DegradeWindow",
     "Host",
     "HostDown",
     "RngRegistry",

@@ -19,14 +19,14 @@ Loopback (A == B) transfers move at memory-copy speed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
 
 from .kernel import Simulator
 from .node import Host, HostDown
 from .trace import Tracer
 
-__all__ = ["LinkConfig", "Network"]
+__all__ = ["LinkConfig", "Network", "PartitionWindow", "DegradeWindow"]
 
 
 @dataclass(frozen=True)
@@ -48,6 +48,51 @@ class LinkConfig:
     wan_bandwidth: float = 6e6
 
 
+@dataclass
+class PartitionWindow:
+    """A transient cut between two host groups.
+
+    While active, segments crossing the cut are *deferred*, not lost —
+    the simulated analogue of TCP retransmission riding out a switch
+    hiccup: streams stay up, writers eventually stall on window credit,
+    and the buffered traffic is released when the partition heals.
+    """
+
+    group_a: frozenset
+    group_b: frozenset
+    until: float
+    healed: bool = False
+    deferred: list = field(default_factory=list)
+
+    def separates(self, a: str, b: str) -> bool:
+        """Does the cut lie between hosts ``a`` and ``b``?"""
+        if self.healed:
+            return False
+        return (a in self.group_a and b in self.group_b) or (
+            a in self.group_b and b in self.group_a
+        )
+
+
+@dataclass
+class DegradeWindow:
+    """A transient service-degradation window on matching hosts.
+
+    ``bw_factor`` divides effective bandwidth, ``latency_factor``
+    multiplies wire latency, for any transfer touching one of ``hosts``
+    (or every non-loopback transfer, when ``hosts`` is ``None``).
+    """
+
+    hosts: Optional[frozenset]
+    bw_factor: float
+    latency_factor: float
+    until: float
+
+    def matches(self, a: str, b: str, now: float) -> bool:
+        if now >= self.until:
+            return False
+        return self.hosts is None or a in self.hosts or b in self.hosts
+
+
 class Network:
     """Schedules segment transfers between hosts."""
 
@@ -63,6 +108,13 @@ class Network:
         self.hosts: dict[str, Host] = {}
         self.bytes_moved = 0.0
         self.segments_moved = 0
+        # link-level fault state (kept off the hot path: lists empty unless
+        # a fault plan is actively degrading the fabric)
+        self._partitions: list[PartitionWindow] = []
+        self._degrades: list[DegradeWindow] = []
+        self.partitions_injected = 0
+        self.segments_deferred = 0
+        self.links_broken = 0
 
     # -- topology ---------------------------------------------------------
     def add_host(self, host: Host) -> Host:
@@ -103,6 +155,22 @@ class Network:
             self.sim.at(arrival, on_arrival)
             return arrival
 
+        if self._partitions:
+            win = self._crossing(src.name, dst.name)
+            if win is not None:
+                # hold the segment at the cut; it re-enters transfer()
+                # when the partition heals (and re-checks the remaining
+                # cuts, so overlapping partitions compose)
+                self.segments_deferred += 1
+                self.tracer.emit(
+                    now, "net.defer", src=src.name, dst=dst.name,
+                    nbytes=nbytes, until=win.until,
+                )
+                win.deferred.append(
+                    lambda: self._retry_deferred(src, dst, nbytes, on_arrival, bulk)
+                )
+                return win.until
+
         same_site = src.site == dst.site
         bandwidth = (
             self.link.bandwidth
@@ -110,6 +178,10 @@ class Network:
             else min(self.link.bandwidth, self.link.wan_bandwidth)
         )
         latency = self.link.wire_latency if same_site else self.link.wan_latency
+        if self._degrades:
+            bwf, latf = self._degradation(src.name, dst.name)
+            bandwidth /= bwf
+            latency *= latf
         duration = (
             (nbytes + self.link.frame_overhead) / bandwidth
             + self.link.per_segment_gap
@@ -126,6 +198,134 @@ class Network:
         )
         self.sim.at(arrival, on_arrival)
         return arrival
+
+    def _retry_deferred(
+        self,
+        src: Host,
+        dst: Host,
+        nbytes: int,
+        on_arrival: Callable[[], None],
+        bulk: bool,
+    ) -> None:
+        if src.failed or dst.failed:
+            return  # the crash already broke the stream; the segment dies
+        self.transfer(src, dst, nbytes, on_arrival, bulk=bulk)
+
+    # -- link-level faults -------------------------------------------------
+    def partition(
+        self,
+        group_a: Iterable[Host],
+        group_b: Iterable[Host],
+        duration: float,
+    ) -> PartitionWindow:
+        """Cut the fabric between two host groups for ``duration`` seconds.
+
+        Hosts stay alive and streams stay connected; traffic crossing the
+        cut is buffered and released at heal time.
+        """
+        names_a = frozenset(h.name for h in group_a)
+        names_b = frozenset(h.name for h in group_b) - names_a
+        win = PartitionWindow(names_a, names_b, self.sim.now + duration)
+        self._partitions.append(win)
+        self.partitions_injected += 1
+        self.tracer.emit(
+            self.sim.now, "net.partition",
+            a=tuple(sorted(names_a)), b=tuple(sorted(names_b)),
+            until=win.until,
+        )
+        self.sim.at(win.until, lambda: self._heal(win))
+        return win
+
+    def _heal(self, win: PartitionWindow) -> None:
+        if win.healed:
+            return
+        win.healed = True
+        if win in self._partitions:
+            self._partitions.remove(win)
+        self.tracer.emit(
+            self.sim.now, "net.heal",
+            a=tuple(sorted(win.group_a)), b=tuple(sorted(win.group_b)),
+            released=len(win.deferred),
+        )
+        retries, win.deferred = win.deferred, []
+        for retry in retries:
+            retry()
+
+    def _crossing(self, a: str, b: str) -> Optional[PartitionWindow]:
+        for win in self._partitions:
+            if win.separates(a, b):
+                return win
+        return None
+
+    def partitioned(self, a: Host, b: Host) -> bool:
+        """Is there an active cut between hosts ``a`` and ``b``?"""
+        return a is not b and self._crossing(a.name, b.name) is not None
+
+    def degrade(
+        self,
+        hosts: Optional[Iterable[Host]],
+        duration: float,
+        bw_factor: float = 1.0,
+        latency_factor: float = 1.0,
+    ) -> DegradeWindow:
+        """Degrade links touching ``hosts`` (or all, when ``None``)."""
+        names = None if hosts is None else frozenset(h.name for h in hosts)
+        win = DegradeWindow(
+            names, bw_factor, latency_factor, self.sim.now + duration
+        )
+        self._degrades.append(win)
+        self.tracer.emit(
+            self.sim.now, "net.degrade",
+            hosts=None if names is None else tuple(sorted(names)),
+            bw_factor=bw_factor, latency_factor=latency_factor,
+            until=win.until,
+        )
+        self.sim.at(win.until, lambda: self._expire_degrade(win))
+        return win
+
+    def _expire_degrade(self, win: DegradeWindow) -> None:
+        if win in self._degrades:
+            self._degrades.remove(win)
+
+    def _degradation(self, a: str, b: str) -> tuple[float, float]:
+        bwf, latf = 1.0, 1.0
+        now = self.sim.now
+        for win in self._degrades:
+            if win.matches(a, b, now):
+                bwf *= win.bw_factor
+                latf *= win.latency_factor
+        return bwf, latf
+
+    def break_links(
+        self, a: Host, b: Optional[Host] = None, cause: Any = "link-break"
+    ) -> int:
+        """Forcibly break live streams of ``a`` (to ``b`` only, if given).
+
+        Models a link reset: every affected reader/writer raises
+        :class:`~repro.simnet.streams.Disconnected` exactly as if the
+        peer host crashed — but both hosts stay up, so the endpoints must
+        reconnect and resynchronize.  Returns the number of streams broken.
+        """
+        broken = 0
+        for stream in list(a._streams):
+            if stream.dead:
+                continue
+            other = stream.b.host if stream.a.host is a else stream.a.host
+            if b is not None and other is not b:
+                continue
+            stream.break_both(cause)
+            broken += 1
+        a._streams = [s for s in a._streams if not s.dead]
+        if b is not None:
+            b._streams = [s for s in b._streams if not s.dead]
+        if broken:
+            self.links_broken += broken
+            self.tracer.emit(
+                self.sim.now, "net.link_break",
+                host=a.name, peer=None if b is None else b.name,
+                streams=broken, cause=str(cause),
+            )
+        return broken
 
     def one_way_time(self, nbytes: int) -> float:
         """Analytic unloaded one-way time for a single segment (no queueing)."""

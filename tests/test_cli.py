@@ -202,3 +202,39 @@ def test_pingpong_audit_flag_prints_per_run_verdicts(capsys):
     assert rc == 0
     assert "[p4/1024B]" in out and "[v2/1024B]" in out
     assert out.count("audit verdict: clean") == 2
+
+
+def test_faulty_service_faults_and_partitions(capsys):
+    rc = main(["faulty", "cg", "--class", "S", "-n", "4", "--faults", "0",
+               "--service-faults", "el:0@0.3:0.5",
+               "--partitions", "0.5:0.5:0+1", "--audit"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "audit verdict: clean" in out
+    assert "outages:" in out
+    assert "retries=" in out and "reconnects=" in out
+
+
+def test_faulty_churn_plan(capsys):
+    rc = main(["faulty", "cg", "--class", "S", "-n", "4", "--plan", "churn",
+               "--faults", "1", "--mean-lifetime", "3.0", "--seed", "7"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "restarts" in out
+
+
+def test_faulty_rejects_bad_partition_spec(capsys):
+    rc = main(["faulty", "cg", "--class", "S", "-n", "2",
+               "--partitions", "bogus"])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "bad fault spec" in err
+
+
+def test_faulty_parse_helpers():
+    from repro.cli import _parse_partitions, _parse_service_faults
+
+    assert _parse_partitions("1.5:2.0:0+3, 4:1:2") == [
+        (1.5, (0, 3), 2.0), (4.0, (2,), 1.0)]
+    assert _parse_service_faults("el:0@2.0:1.0,cs:0@3:0.5") == [
+        (2.0, "el:0", 1.0), (3.0, "cs:0", 0.5)]

@@ -1,0 +1,444 @@
+"""Volatile infrastructure: partitions, degradation, link flaps, and
+crash/restart of the event logger and checkpoint server.
+
+The paper assumes a reliable network and reliable auxiliary nodes; these
+tests cover the runtime's behaviour when neither holds: the WAITLOGGED
+gate must hold through an event-logger outage, re-pushed events must not
+double-store, an interrupted checkpoint push must leave the previous
+image intact, and every recovery path must retry with deterministic
+backoff.
+"""
+
+import pytest
+
+from repro.core.clocks import ClockState, EventRecord
+from repro.core.event_logger import EventLoggerServer
+from repro.core.replay import CheckpointImage
+from repro.devices.base import segment_sizes
+from repro.ft import (
+    ChurnFaults,
+    ExplicitFaults,
+    LinkFlapFaults,
+    PartitionFaults,
+    ServiceFaults,
+    ServiceSupervisor,
+)
+from repro.ft.ckpt_server import CheckpointServer
+from repro.runtime.cluster import Cluster
+from repro.runtime.config import DEFAULT_TESTBED
+from repro.runtime.fabric import ConnectionRefused, Fabric
+from repro.runtime.mpirun import run_job
+from repro.runtime.retry import RetryPolicy
+from repro.simnet import Host, Network, Simulator
+from repro.simnet.rng import RngRegistry
+from repro.simnet.streams import Disconnected
+
+
+def ring(mpi, rounds=6, work=0.05):
+    nxt, prv = (mpi.rank + 1) % mpi.size, (mpi.rank - 1) % mpi.size
+    token = mpi.rank
+    for r in range(rounds):
+        sreq = yield from mpi.isend(nxt, nbytes=256, tag=r, data=token)
+        rreq = yield from mpi.irecv(source=prv, tag=r)
+        yield from mpi.waitall([sreq, rreq])
+        token = rreq.message.data + 1
+        yield from mpi.compute(seconds=work)
+    return token
+
+
+# -- network-level fault primitives -----------------------------------------
+
+
+def make_net():
+    sim = Simulator()
+    net = Network(sim)
+    a = net.add_host(Host(sim, "a"))
+    b = net.add_host(Host(sim, "b"))
+    return sim, net, a, b
+
+
+def test_partition_defers_segments_until_heal():
+    sim, net, a, b = make_net()
+    net.partition([a], [b], duration=2.0)
+    arrivals = []
+    net.transfer(a, b, 1000, lambda: arrivals.append(sim.now))
+    sim.run()
+    assert net.segments_deferred == 1
+    assert len(arrivals) == 1
+    # released at heal time, then the normal transfer cost applies
+    assert arrivals[0] == pytest.approx(2.0 + net.one_way_time(1000))
+
+
+def test_partition_is_directionless_and_heals():
+    sim, net, a, b = make_net()
+    win = net.partition([a], [b], duration=1.0)
+    assert win.separates("a", "b") and win.separates("b", "a")
+    assert net.partitioned(a, b) and net.partitioned(b, a)
+    sim.run()
+    assert not net.partitioned(a, b)
+    # traffic after heal moves normally
+    t = net.transfer(a, b, 100, lambda: None)
+    assert t == pytest.approx(sim.now + net.one_way_time(100))
+
+
+def test_loopback_ignores_partitions():
+    sim, net, a, b = make_net()
+    net.partition([a], [b], duration=5.0)
+    arrivals = []
+    net.transfer(a, a, 100, lambda: arrivals.append(sim.now))
+    sim.run(until=1.0)
+    assert len(arrivals) == 1  # same-host traffic never crosses the cut
+
+
+def test_overlapping_partitions_compose():
+    sim, net, a, b = make_net()
+    net.partition([a], [b], duration=1.0)
+    net.partition([a], [b], duration=3.0)
+    arrivals = []
+    net.transfer(a, b, 100, lambda: arrivals.append(sim.now))
+    sim.run()
+    # the first heal re-queues the segment into the second window
+    assert arrivals[0] >= 3.0
+    assert net.segments_deferred == 2
+
+
+def test_degrade_window_slows_transfers():
+    sim, net, a, b = make_net()
+    t_plain = net.one_way_time(50_000)
+    net.degrade([a], duration=1.0, bw_factor=4.0)
+    t_slow = net.transfer(a, b, 50_000, lambda: None)
+    assert t_slow > 2.0 * t_plain
+    sim.run()
+    t_after = net.transfer(a, b, 50_000, lambda: None) - sim.now
+    assert t_after == pytest.approx(t_plain, rel=0.01)
+
+
+def test_connect_refused_across_partition_then_ok():
+    cluster = Cluster(DEFAULT_TESTBED, seed=0)
+    fabric = Fabric(cluster)
+    svc = cluster.add_aux("svc")
+    cn = cluster.add_cn("cn0")
+    fabric.listen("x", svc)
+    cluster.net.partition([cn], [svc], duration=1.0)
+    with pytest.raises(ConnectionRefused):
+        fabric.connect(cn, "x")
+    cluster.sim.run()
+    assert fabric.connect(cn, "x") is not None
+
+
+def test_break_links_raises_disconnected_with_hosts_up():
+    cluster = Cluster(DEFAULT_TESTBED, seed=0)
+    sim = cluster.sim
+    a = cluster.add_cn("a")
+    b = cluster.add_cn("b")
+    stream = cluster.connect(a, b)
+    seen = []
+
+    def reader():
+        try:
+            yield stream.end_for(b).read()
+        except Disconnected as exc:
+            seen.append(exc)
+
+    sim.spawn(reader())
+    sim.after(0.1, lambda: cluster.net.break_links(a, b))
+    sim.run(until=1.0)
+    assert len(seen) == 1
+    assert not a.failed and not b.failed
+    assert cluster.net.links_broken == 1
+
+
+def test_retry_policy_is_deterministic_per_stream():
+    policy = RetryPolicy(base=0.05, factor=2.0, cap=2.0, jitter=0.25)
+    d1 = [policy.delay(i, RngRegistry(7).stream("x")) for i in range(8)]
+    d2 = [policy.delay(i, RngRegistry(7).stream("x")) for i in range(8)]
+    assert d1 == d2
+    # capped, and jitter stays within the advertised band
+    for i, d in enumerate(d1):
+        nominal = min(2.0, 0.05 * 2.0**i)
+        assert 0.75 * nominal <= d <= 1.25 * nominal
+
+
+def test_retry_policy_from_config_tracks_knobs():
+    cfg = DEFAULT_TESTBED.with_(reconnect_base=0.1, reconnect_cap=0.4,
+                                reconnect_jitter=0.0)
+    policy = RetryPolicy.from_config(cfg, max_tries=3)
+    assert policy.max_tries == 3
+    assert [policy.delay(i) for i in range(4)] == [0.1, 0.2, 0.4, 0.4]
+
+
+# -- event-logger outage ------------------------------------------------------
+
+
+def test_event_logger_stop_start_keeps_durable_events():
+    cluster = Cluster(DEFAULT_TESTBED, seed=0)
+    sim = cluster.sim
+    fabric = Fabric(cluster)
+    svc = cluster.add_aux("svc")
+    cn = cluster.add_cn("cn0")
+    el = EventLoggerServer(sim, svc, fabric, cluster.cfg)
+    el.start()
+    got = {}
+
+    def client():
+        end = fabric.connect(cn, "el:0", hello=("DAEMON", 0, 0))
+        recs = [EventRecord(i, src=1, sclock=i, probes=0) for i in (1, 2, 3)]
+        yield from end.write(60, ("EVENT", 0, recs))
+        _, ack = yield end.read()
+        got["ack"] = ack
+        # crash the service; this connection dies with it
+        el.stop()
+        with pytest.raises(Disconnected):
+            yield from end.write(60, ("EVENT", 0, recs))
+        el.start()
+        end = fabric.connect(cn, "el:0", hello=("DAEMON", 0, 1))
+        yield from end.write(16, ("DOWNLOAD", 0, 0))
+        _, (tag, events) = yield end.read()
+        got["events"] = events
+
+    sim.spawn(client())
+    sim.run()
+    assert got["ack"] == ("ACK", 3)
+    assert [e.rclock for e in got["events"]] == [1, 2, 3]
+
+
+def test_event_logger_repush_is_idempotent():
+    cluster = Cluster(DEFAULT_TESTBED, seed=0)
+    sim = cluster.sim
+    fabric = Fabric(cluster)
+    svc = cluster.add_aux("svc")
+    cn = cluster.add_cn("cn0")
+    el = EventLoggerServer(sim, svc, fabric, cluster.cfg)
+    el.start()
+
+    def client():
+        end = fabric.connect(cn, "el:0", hello=("DAEMON", 0, 0))
+        recs = [EventRecord(i, src=1, sclock=i, probes=0) for i in (1, 2)]
+        for _ in range(3):  # the same batch, re-pushed after "reconnects"
+            yield from end.write(40, ("EVENT", 0, recs))
+            yield end.read()
+
+    sim.spawn(client())
+    sim.run()
+    assert el.events_stored == 2
+    assert el.dup_events == 4
+    assert el.records_received == 6
+    assert el.rclock_hw == {0: 2}
+    assert sum(len(v) for v in el.events.values()) == 2
+
+
+def test_el_outage_gate_holds_and_no_double_store():
+    """Crash the event logger mid-run: the job must finish with correct
+    results, and reconnect re-pushes must not double-store any event."""
+    expect = run_job(ring, 3, device="v2",
+                     params={"rounds": 20, "work": 0.05}).results
+    res = run_job(
+        ring, 3, device="v2", params={"rounds": 20, "work": 0.05},
+        faults=[ServiceFaults([(0.3, "el:0", 0.8)])],
+        limit=600.0, audit=True,
+    )
+    assert res.results == expect
+    assert res.audit.clean
+    assert res.restarts == 0
+    el = res.extras["event_loggers"][0]
+    sup = res.extras["supervisor"]
+    assert sup.crashes == 1 and sup.restarts == 1
+    # no rank restarts and no pruning: every stored event is fresh exactly
+    # once, so the store matches the per-rank high-water marks
+    assert el.events_stored == sum(len(v) for v in el.events.values())
+    assert el.events_stored == sum(el.rclock_hw.values())
+    assert res.metrics.total("outage.retries") > 0
+    assert res.metrics.total("outage.reconnects") >= 3  # every daemon
+    assert res.metrics.total("outage.el_down_s") > 0
+
+
+def test_el_outage_while_job_idle_is_harmless():
+    """An EL crash during a compute-only stretch stalls nothing."""
+    res = run_job(
+        ring, 2, device="v2", params={"rounds": 2, "work": 0.6},
+        faults=[ServiceFaults([(0.5, "el:0", 0.5)])],
+        limit=600.0,
+    )
+    assert res.results == [2, 3]
+
+
+# -- checkpoint-server outage -------------------------------------------------
+
+
+def _image(rank, seq, footprint=200_000):
+    return CheckpointImage(rank=rank, seq=seq, op_count=seq, clock=ClockState(),
+                           saved=[], delivery_log=[], app_footprint=footprint)
+
+
+def test_ckpt_server_mid_push_crash_keeps_previous_image():
+    """The docstring's claim, under a *service* crash: an image is durable
+    only when fully received, so a push interrupted by the crash leaves
+    the previous image intact."""
+    cluster = Cluster(DEFAULT_TESTBED, seed=0)
+    sim = cluster.sim
+    fabric = Fabric(cluster)
+    svc = cluster.add_aux("svc")
+    cn = cluster.add_cn("cn0")
+    cs = CheckpointServer(sim, svc, fabric, cluster.cfg)
+    cs.start()
+    cfg = cluster.cfg
+    got = {}
+
+    def push(end, image):
+        sizes = segment_sizes(image.image_bytes, cfg.chunk_bytes)
+        for nbytes in sizes[:-1]:
+            yield from end.write(nbytes, None)
+        yield from end.write(sizes[-1], ("STORE", image))
+        yield end.read()  # STORED
+
+    def client():
+        end = fabric.connect(cn, "cs:0")
+        yield from push(end, _image(0, seq=1))
+        # second push: crash the server after the first few chunks
+        sim.after(0.005, cs.stop)
+        with pytest.raises(Disconnected):
+            yield from push(end, _image(0, seq=2))
+        cs.start()
+        end = fabric.connect(cn, "cs:0")
+        yield from end.write(16, ("FETCH", 0))
+        msg = None
+        while msg is None:
+            _, msg = yield end.read()
+        got["fetched"] = msg[1]
+        # a clean retry of the interrupted push now supersedes it
+        yield from push(end, _image(0, seq=2))
+        got["final"] = cs.images[0].seq
+
+    sim.spawn(client())
+    sim.run()
+    assert got["fetched"].seq == 1  # previous image intact after the crash
+    assert got["final"] == 2
+
+
+def test_ckpt_push_aborts_cleanly_and_is_retried():
+    """A CS outage mid-run: the interrupted push aborts (previous image
+    intact), the scheduler re-orders it, and the retry completes."""
+    from repro.workloads import nas
+
+    mod = nas.KERNELS["cg"]
+    res = run_job(
+        mod.program, 4, device="v2", params={"klass": "S"}, seed=1,
+        checkpointing=True, ckpt_policy="round_robin", ckpt_continuous=True,
+        faults=[ServiceFaults([(0.25, "cs:0", 0.5)])],
+        limit=1e8,
+    )
+    sched = res.extras["scheduler"]
+    assert res.metrics.total("ckpt.aborted") >= 1
+    assert sched.ckpt_retries >= 1
+    assert res.checkpoints >= 1  # the retried push landed
+    assert res.extras["checkpoint_server"].images  # durable store intact
+
+
+# -- composed plans and determinism -------------------------------------------
+
+
+def test_partition_faults_ride_out_the_cut():
+    expect = run_job(ring, 4, device="v2",
+                     params={"rounds": 20, "work": 0.05}).results
+    res = run_job(
+        ring, 4, device="v2", params={"rounds": 20, "work": 0.05},
+        faults=[PartitionFaults([(0.4, (0,), 0.8)])],
+        limit=600.0, audit=True,
+    )
+    assert res.results == expect
+    assert res.audit.clean
+    assert res.restarts == 0  # nobody died: the cut only delays traffic
+    assert res.metrics.total("net.partitions") == 1
+    assert res.metrics.total("net.deferred_segments") > 0
+
+
+def test_link_flaps_resync_without_restarts():
+    expect = run_job(ring, 4, device="v2",
+                     params={"rounds": 24, "work": 0.05}).results
+    flaps = LinkFlapFaults(interval=0.4, count=2, seed=5)
+    res = run_job(
+        ring, 4, device="v2", params={"rounds": 24, "work": 0.05},
+        faults=[flaps], limit=600.0, audit=True,
+    )
+    assert res.results == expect
+    assert res.audit.clean
+    assert res.restarts == 0
+    assert len(flaps.injected) == 2
+    assert res.metrics.total("net.links_broken") >= 2
+    assert res.metrics.total("outage.reconnects") >= 1
+
+
+def test_churn_same_seed_is_deterministic():
+    def once():
+        churn = ChurnFaults(mean_lifetime=1.2, seed=3, max_faults=3,
+                            check_interval=0.1)
+        res = run_job(
+            ring, 4, device="v2", params={"rounds": 12, "work": 0.15},
+            checkpointing=True, ckpt_interval=0.2,
+            faults=churn, limit=3600.0,
+        )
+        return churn.injected, res.results, res.elapsed
+
+    inj1, results1, t1 = once()
+    inj2, results2, t2 = once()
+    assert inj1 == inj2
+    assert results1 == results2
+    assert t1 == t2
+
+
+def test_combined_plan_acceptance_cg():
+    """The issue's acceptance scenario: CG-A-4 with two rank kills, one
+    event-logger crash/restart and one 5-second partition — completes
+    with correct results and a clean audit."""
+    from repro.workloads import nas
+
+    mod = nas.KERNELS["cg"]
+    base = run_job(mod.program, 4, device="v2", params={"klass": "A"},
+                   seed=1, limit=1e9)
+    res = run_job(
+        mod.program, 4, device="v2", params={"klass": "A"}, seed=1,
+        checkpointing=True, ckpt_policy="random", ckpt_continuous=True,
+        faults=[
+            ExplicitFaults([(1.2, 1), (2.5, 3)]),
+            ServiceFaults([(0.8, "el:0", 1.0)]),
+            PartitionFaults([(1.8, (0, 2), 5.0)]),
+        ],
+        limit=1e9, audit=True,
+    )
+    assert res.results == base.results
+    assert res.audit.clean
+    assert res.restarts == 2
+    assert res.extras["supervisor"].restarts == 1
+    assert res.metrics.total("net.partitions") == 1
+    assert res.metrics.total("outage.retries") > 0
+    assert res.metrics.total("outage.backoff_s") > 0
+    injected = res.extras["faults"].injected
+    assert len(injected) == 4  # 2 kills + 1 service crash + 1 partition
+
+
+def test_service_faults_skip_unknown_services():
+    plan = ServiceFaults([(0.2, "nope:9", 0.5)])
+    res = run_job(
+        ring, 2, device="v2", params={"rounds": 4, "work": 0.05},
+        faults=[plan], limit=600.0,
+    )
+    assert res.results == [4, 5]
+    assert plan.injected == []
+
+
+def test_supervisor_ignores_replaced_or_dead_services():
+    cluster = Cluster(DEFAULT_TESTBED, seed=0)
+    fabric = Fabric(cluster)
+    svc_host = cluster.add_aux("svc")
+    el = EventLoggerServer(cluster.sim, svc_host, fabric, cluster.cfg)
+    el.start()
+    sup = ServiceSupervisor(cluster.sim, cluster.cfg)
+    sup.register(el.name, el)
+    sup.crash(el.name, downtime=0.2)
+    # replace the registration while the crashed instance is down
+    el2 = EventLoggerServer(cluster.sim, svc_host, fabric, cluster.cfg,
+                            name="el:0")
+    sup.register(el.name, el2)
+    cluster.sim.run()
+    assert sup.crashes == 1
+    assert sup.restarts == 0  # the stale relaunch was discarded
