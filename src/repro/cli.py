@@ -65,6 +65,41 @@ def _parse_devices(spec: str) -> Optional[list[str]]:
     return devices
 
 
+def _add_store_flags(sp: argparse.ArgumentParser) -> None:
+    sp.add_argument(
+        "--ckpt-servers", type=int, default=None, metavar="N",
+        help="deploy N checkpoint-store replicas (default 1)",
+    )
+    sp.add_argument(
+        "--ckpt-replicas", type=int, default=None, metavar="K",
+        help="write quorum: a checkpoint is durable once K replicas "
+             "hold it (default 1)",
+    )
+    sp.add_argument(
+        "--ckpt-incremental", action="store_true",
+        help="push only the chunks a replica is missing "
+             "(content-addressed incremental checkpoints)",
+    )
+    sp.add_argument(
+        "--ckpt-chunk-kib", type=int, default=None, metavar="KIB",
+        help="checkpoint store chunk size in KiB (default 64)",
+    )
+
+
+def _store_cfg(args: argparse.Namespace, cfg):
+    """Apply the ``--ckpt-*`` store flags to a TestbedConfig."""
+    changes: dict[str, Any] = {}
+    if getattr(args, "ckpt_servers", None) is not None:
+        changes["ckpt_servers"] = max(1, args.ckpt_servers)
+    if getattr(args, "ckpt_replicas", None) is not None:
+        changes["ckpt_replicas"] = max(1, args.ckpt_replicas)
+    if getattr(args, "ckpt_incremental", False):
+        changes["ckpt_incremental"] = True
+    if getattr(args, "ckpt_chunk_kib", None) is not None:
+        changes["ckpt_chunk_kib"] = max(1, args.ckpt_chunk_kib)
+    return cfg.with_(**changes) if changes else cfg
+
+
 def _add_obs_flags(sp: argparse.ArgumentParser) -> None:
     sp.add_argument(
         "--trace-out", default=None, metavar="PATH",
@@ -172,10 +207,13 @@ def _cmd_burst(args: argparse.Namespace) -> int:
 
 
 def _cmd_kernel(args: argparse.Namespace) -> int:
+    from .runtime.config import DEFAULT_TESTBED
+
     mod = nas.KERNELS[args.name]
     spec = mod.spec(args.klass)
     res = run_job(
         mod.program, args.nprocs, device=args.device,
+        cfg=_store_cfg(args, DEFAULT_TESTBED),
         params={"klass": args.klass}, limit=1e8,
         trace=bool(args.trace_out), audit=args.audit,
     )
@@ -251,9 +289,12 @@ def _cmd_faulty(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"repro: bad fault spec: {exc}", file=sys.stderr)
         return 2
+    from .runtime.config import DEFAULT_TESTBED
+
+    cfg = _store_cfg(args, DEFAULT_TESTBED)
     mod = nas.KERNELS[args.name]
     base = run_job(
-        mod.program, args.nprocs, device="v2",
+        mod.program, args.nprocs, device="v2", cfg=cfg,
         params={"klass": args.klass}, limit=1e8,
     )
     plans: list[Any] = []
@@ -276,7 +317,7 @@ def _cmd_faulty(args: argparse.Namespace) -> int:
     if service_sched:
         plans.append(ServiceFaults(service_sched))
     res = run_job(
-        mod.program, args.nprocs, device="v2",
+        mod.program, args.nprocs, device="v2", cfg=cfg,
         params={"klass": args.klass},
         checkpointing=True, ckpt_policy="random", ckpt_continuous=True,
         faults=plans or None,
@@ -300,6 +341,14 @@ def _cmd_faulty(args: argparse.Namespace) -> int:
             f"backoff={res.metrics.total('outage.backoff_s'):.3f}s "
             f"el_down={res.metrics.total('outage.el_down_s'):.3f}s "
             f"ckpt_aborted={int(res.metrics.total('ckpt.aborted'))}"
+        )
+    if res.metrics is not None and res.metrics.total("store.push_bytes"):
+        print(
+            f"store: pushed={res.metrics.total('store.push_bytes') / 1e6:.2f}MB "
+            f"deduped={res.metrics.total('store.dedup_bytes') / 1e6:.2f}MB "
+            f"fetched={res.metrics.total('store.fetch_bytes') / 1e6:.2f}MB "
+            f"failovers={int(res.metrics.total('store.failover'))} "
+            f"gc_reclaimed={res.metrics.total('store.gc_reclaimed_bytes') / 1e6:.2f}MB"
         )
     _print_audits(args, [(f"{args.name}-{args.klass}-faulty", res)])
     _write_obs(args, [(f"{args.name}-{args.klass}-faulty", res)])
@@ -425,6 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["T", "S", "A", "B", "C"])
     sp.add_argument("-n", "--nprocs", type=int, default=4)
     sp.add_argument("--device", default="v2", choices=DEVICES)
+    _add_store_flags(sp)
     _add_obs_flags(sp)
     sp.set_defaults(fn=_cmd_kernel)
 
@@ -451,6 +501,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "DOWN seconds; durable state survives")
     sp.add_argument("--device", default="v2", choices=DEVICES,
                     help="must be v2 (the fault-tolerant device)")
+    _add_store_flags(sp)
     _add_obs_flags(sp)
     sp.set_defaults(fn=_cmd_faulty)
 

@@ -69,6 +69,11 @@ class CheckpointImage:
     saved: list[tuple[int, int, Any]]  # SenderLog.snapshot()
     delivery_log: list[DeliveryRecord]
     app_footprint: int
+    #: per-region write versions of the deterministic dirty model: region
+    #: ``i`` covers bytes ``[i*chunk, (i+1)*chunk)`` of the application
+    #: footprint, and a version bump means the content changed since the
+    #: previous checkpoint (drives chunk-level dedup in ``repro.store``)
+    regions: tuple[int, ...] = ()
 
     @property
     def image_bytes(self) -> int:

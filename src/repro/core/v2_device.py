@@ -38,6 +38,8 @@ from ..mpi.protocol import Packet, PacketKind
 from ..runtime.config import TestbedConfig
 from ..runtime.fabric import ConnectionRefused, Fabric
 from ..runtime.retry import RetryPolicy, connect_with_retry
+from ..store.chunks import chunk_image, stable_digest
+from ..store.client import StoreClient
 from ..simnet.kernel import Future, Gate, Queue, Simulator
 from ..simnet.node import Host, HostDown
 from ..simnet.streams import Disconnected, StreamEnd
@@ -82,7 +84,7 @@ class V2Daemon:
         host: Host,
         incarnation: int = 0,
         el_name: str = "el:0",
-        cs_name: Optional[str] = "cs:0",
+        cs_names: Any = ("cs:0",),
         sched_name: Optional[str] = None,
         dispatcher_name: Optional[str] = "dispatcher",
         app_footprint: int = 0,
@@ -99,7 +101,9 @@ class V2Daemon:
         self.host = host
         self.incarnation = incarnation
         self.el_name = el_name
-        self.cs_name = cs_name
+        if isinstance(cs_names, str):
+            cs_names = (cs_names,)
+        self.cs_names: tuple[str, ...] = tuple(cs_names) if cs_names else ()
         self.sched_name = sched_name
         self.dispatcher_name = dispatcher_name
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
@@ -121,6 +125,14 @@ class V2Daemon:
             slab=cfg.log_slab_bytes,
         )
         self.delivery_log: list[DeliveryRecord] = []
+        # deterministic dirty-region model: one write-version counter per
+        # ckpt_chunk_bytes region of the application footprint.  Each
+        # API operation past the fast-forward boundary dirties the region
+        # picked by its op phase — a pure function of op_index, so a
+        # replayed execution reconverges to the same versions and
+        # successive checkpoints share every untouched region's chunks
+        self.region_versions: list[int] = []
+        self._resize_regions()
         self.replay: Optional[ReplayState] = None
         self.op_index = 0
         # sequence values at the restored checkpoint (0,0 without an image)
@@ -198,6 +210,15 @@ class V2Daemon:
         self._start_t = 0.0
         self._caught_up = False
 
+        # the replicated checkpoint store (quorum push, failover fetch)
+        self._store: Optional[StoreClient] = None
+        if self.cs_names:
+            self._store = StoreClient(
+                sim, cfg, fabric, host, self.cs_names, rank,
+                tracer=self.tracer, metrics=m, rng=rng,
+                on_retry=self._note_outage_retry,
+            )
+
     # ------------------------------------------------------------------
     # startup / recovery (phases A and B)
     # ------------------------------------------------------------------
@@ -212,11 +233,16 @@ class V2Daemon:
         self._el_up.open()
         image: Optional[CheckpointImage] = None
         if self.incarnation > 0:
-            if self.cs_name is not None:
-                image = yield from self._fetch_image()
+            # overlap the two recovery downloads: the event-log prefetch
+            # (from clock 0 — ReplayState drops what the image covers)
+            # runs while the streamed image fetch is still arriving
+            prefetch: Future = Future(self.sim, name=f"d{self.rank}.elprefetch")
+            self._spawn(self._prefetch_events(prefetch), "el.prefetch")
+            if self._store is not None:
+                image = yield from self._store.fetch()
             if image is not None:
                 self._restore(image)
-            events = yield from self._download_events()
+            events = yield prefetch
             self.replay = ReplayState(image, events)
             self.needs_restart1 = set(self.links)
             self.tracer.emit(
@@ -312,35 +338,10 @@ class V2Daemon:
         self._m_outage_retries.inc()
         self._m_outage_backoff.inc(delay)
 
-    def _fetch_image(self) -> Generator[Future, Any, Optional[CheckpointImage]]:
-        # a bounded retry budget: a supervisor-restarted (or briefly
-        # partitioned) checkpoint server comes back within a few backoff
-        # steps; exhausting the budget degrades to restart-from-scratch,
-        # exactly as a permanently lost server always did
-        policy = RetryPolicy.from_config(self.cfg, max_tries=self.cfg.cs_fetch_tries)
-        for attempt in range(policy.max_tries):
-            try:
-                end = self._connect(self.cs_name)
-            except ConnectionRefused:
-                delay = policy.delay(attempt, self._rng)
-                self._note_outage_retry(attempt, delay)
-                yield self.sim.timeout(delay)
-                continue
-            try:
-                yield from end.write(32, ("FETCH", self.rank))
-                while True:
-                    _, reply = yield end.read()
-                    if reply is not None:
-                        break
-            except Disconnected:
-                # mid-fetch crash: retry the whole (idempotent) fetch
-                delay = policy.delay(attempt, self._rng)
-                self._note_outage_retry(attempt, delay)
-                yield self.sim.timeout(delay)
-                continue
-            kind, image = reply
-            return image
-        return None  # checkpoint server gone: restart from scratch
+    def _prefetch_events(self, fut: Future):
+        """Phase-A event download, overlapped with the image fetch."""
+        events = yield from self._download_events(from_rclock=0)
+        fut.resolve(events)
 
     def _restore(self, image: CheckpointImage) -> None:
         # the sequences restart at 0: fast-forwarding the recorded history
@@ -362,17 +363,22 @@ class V2Daemon:
         self.op_index = 0
         self.ckpt_seq = image.seq
         self.app_footprint = image.app_footprint
+        self.region_versions = list(image.regions)
+        self._resize_regions()
         self.restart_base_send = image.clock.send_seq
         self.restart_base_recv = image.clock.recv_seq
         # local cost of jumping to the checkpoint (Condor restart)
         # charged by the dispatcher via restart_spawn_delay; nothing here
 
-    def _download_events(self) -> Generator[Future, Any, list[EventRecord]]:
+    def _download_events(
+        self, from_rclock: Optional[int] = None
+    ) -> Generator[Future, Any, list[EventRecord]]:
+        base = self.restart_base_recv if from_rclock is None else from_rclock
         while True:
             end = self._el_end
             try:
                 yield from end.write(
-                    16, ("DOWNLOAD", self.rank, self.restart_base_recv)
+                    16, ("DOWNLOAD", self.rank, base)
                 )
                 _, reply = yield end.read()
             except Disconnected:
@@ -813,6 +819,28 @@ class V2Daemon:
         """Request a checkpoint at the next API-boundary safe point."""
         self.ckpt_requested = True
 
+    def _resize_regions(self) -> None:
+        """Fit the dirty-region vector to the application footprint."""
+        n = -(-self.app_footprint // max(1, self.cfg.ckpt_chunk_bytes))
+        if len(self.region_versions) < n:
+            self.region_versions.extend([0] * (n - len(self.region_versions)))
+        elif len(self.region_versions) > n:
+            del self.region_versions[n:]
+
+    def touch_region(self) -> None:
+        """Dirty the memory region this operation phase writes.
+
+        Which region an op dirties depends only on ``op_index`` (hashed
+        per phase of ``ckpt_dirty_ops`` operations), never on wall time
+        or arrival order, so a replayed execution dirties exactly the
+        regions the original did and reconverges to the same versions.
+        """
+        if not self.region_versions:
+            return
+        phase = self.op_index // max(1, self.cfg.ckpt_dirty_ops)
+        idx = stable_digest("dirty", phase) % len(self.region_versions)
+        self.region_versions[idx] += 1
+
     def capture_image(self) -> CheckpointImage:
         """Snapshot the node's logical state as a checkpoint image."""
         self.ckpt_seq += 1
@@ -824,6 +852,7 @@ class V2Daemon:
             saved=self.saved.snapshot(),
             delivery_log=list(self.delivery_log),
             app_footprint=self.app_footprint,
+            regions=tuple(self.region_versions),
         )
 
     def start_image_push(self, image: CheckpointImage) -> None:
@@ -832,35 +861,19 @@ class V2Daemon:
 
     def _push_image(self, image: CheckpointImage):
         t0 = self.sim.now
-        # a briefly-down server (supervisor restart, partition) comes back
-        # within the fetch budget; a permanently lost one degrades to
-        # restart-from-scratch exactly as before
-        policy = RetryPolicy.from_config(self.cfg, max_tries=self.cfg.cs_fetch_tries)
-        end = None
-        for attempt in range(policy.max_tries):
-            try:
-                end = self._connect(self.cs_name)
-                break
-            except ConnectionRefused:
-                delay = policy.delay(attempt, self._rng)
-                self._note_outage_retry(attempt, delay)
-                yield self.sim.timeout(delay)
-        if end is None:
-            yield from self._ckpt_failed(image, "refused")
+        # decompose into content-addressed chunks and push to the replica
+        # set; durable once the write quorum committed.  A briefly-down
+        # replica (supervisor restart, partition) comes back within the
+        # client's retry budget; losing the quorum entirely degrades to a
+        # scheduler-retried abort exactly as a lost single server did
+        manifest, chunks = chunk_image(image, self.cfg.ckpt_chunk_bytes)
+        ok = yield from self._store.push(
+            manifest, chunks, self.cfg.ckpt_incremental
+        )
+        if not ok:
+            yield from self._ckpt_failed(image, self._store.last_push_why)
             return
         total = image.image_bytes
-        sizes = segment_sizes(total, self.cfg.chunk_bytes)
-        try:
-            for nbytes in sizes[:-1]:
-                yield from end.write(nbytes, None)
-            yield from end.write(sizes[-1], ("STORE", image))
-            _, ack = yield end.read()
-        except (Disconnected, HostDown):
-            # crashed mid-push: the server discards the partial image (the
-            # previous complete image stays intact) and the scheduler is
-            # asked to re-order the checkpoint
-            yield from self._ckpt_failed(image, "disconnected")
-            return
         self.checkpoints_done += 1
         self._m_ckpt_images.inc()
         self._m_ckpt_bytes.inc(total)
@@ -898,7 +911,7 @@ class V2Daemon:
         if self._sched_end is not None:
             try:
                 yield from self._sched_end.write(
-                    16, ("CKPT_DONE", self.rank, image.clock.h)
+                    16, ("CKPT_DONE", self.rank, image.clock.h, image.seq)
                 )
             except Disconnected:
                 pass
@@ -1024,6 +1037,7 @@ class V2Daemon:
         """Declare the MPI process's memory; shrinks the log's RAM budget."""
         self.app_footprint = int(nbytes)
         self.saved.ram_budget = self._log_ram_budget()
+        self._resize_regions()
 
 
 def src_of(pkt: Packet) -> int:
@@ -1256,6 +1270,10 @@ class V2Device(ChannelDevice):
         """API-boundary safe point: take an ordered checkpoint here."""
         d = self.daemon
         d.op_index += 1
+        if d.replay is None or d.op_index > d.replay.ff_target_ops:
+            # ops inside the fast-forward prefix already had their dirty
+            # effect captured by the restored image's region versions
+            d.touch_region()
         if d.replay is not None:
             d._maybe_caught_up()
         if (

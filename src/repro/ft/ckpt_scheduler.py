@@ -30,9 +30,9 @@ from typing import Any, Optional
 import numpy as np
 
 from ..runtime.config import TestbedConfig
-from ..runtime.fabric import Fabric
+from ..runtime.fabric import ConnectionRefused, Fabric
 from ..simnet.kernel import Queue, Simulator, any_of
-from ..simnet.node import Host
+from ..simnet.node import Host, HostDown
 from ..simnet.streams import Disconnected, StreamEnd
 from ..simnet.trace import Tracer
 
@@ -57,6 +57,7 @@ class CheckpointScheduler:
         name: str = "sched:0",
         rng: Optional[np.random.Generator] = None,
         tracer: Optional[Tracer] = None,
+        cs_names: tuple[str, ...] = (),
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; pick from {POLICIES}")
@@ -80,6 +81,13 @@ class CheckpointScheduler:
         # they are re-ordered ahead of the policy's regular pick
         self._retry_q: deque[int] = deque()
         self.ckpt_retries = 0
+        # manifest-aware GC: the scheduler is the only component that
+        # knows which checkpoint sequence of each rank is quorum-complete
+        # (CKPT_DONE only arrives once the write quorum committed), so it
+        # owns the GC epochs broadcast to the store replicas
+        self.cs_names = tuple(cs_names)
+        self.quorum_seq: dict[int, int] = {}
+        self._gc_q: Queue = Queue(sim, name="sched.gcq")
 
     def start(self) -> None:
         """Register the listener and start the scheduling loop."""
@@ -97,6 +105,8 @@ class CheckpointScheduler:
 
         self.host.register(self.sim.spawn(accept_loop(), name="sched.accept"))
         self.host.register(self.sim.spawn(self._drive(), name="sched.drive"))
+        if self.cs_names:
+            self.host.register(self.sim.spawn(self._gc_drive(), name="sched.gc"))
 
     def _reader(self, rank: int, end: StreamEnd):
         while True:
@@ -109,6 +119,8 @@ class CheckpointScheduler:
             if msg[0] == "STATUS":
                 self.status[msg[1]] = msg[2]
             elif msg[0] == "CKPT_DONE":
+                if len(msg) > 3:
+                    self._note_quorum(msg[1], msg[3])
                 self._done_q.put((msg[1], msg[2]))
             elif msg[0] == "CKPT_FAIL":
                 # the push aborted (checkpoint-server outage); queue a retry
@@ -118,6 +130,52 @@ class CheckpointScheduler:
                 self._retry_q.append(failed)
                 self.tracer.emit(self.sim.now, "sched.ckpt_retry", rank=failed)
                 self._done_q.put((failed, None))
+
+    # -- store garbage collection ---------------------------------------------
+    def _note_quorum(self, rank: int, seq: int) -> None:
+        """A quorum-complete checkpoint advanced a rank's GC floor."""
+        if seq is None or seq <= self.quorum_seq.get(rank, 0):
+            return
+        self.quorum_seq[rank] = seq
+        self.tracer.emit(
+            self.sim.now, "sched.gc_epoch", rank=rank, seq=seq,
+            floors=dict(self.quorum_seq),
+        )
+        self._gc_q.put(True)
+
+    def reset_store_state(self) -> None:
+        """A global restart wiped the store: forget every GC floor."""
+        self.quorum_seq.clear()
+
+    def _gc_drive(self):
+        """Broadcast GC epochs to every replica, coalescing bursts.
+
+        A replica that is down simply misses an epoch; the floors are
+        cumulative (the whole dict is re-sent each time), so the next
+        broadcast after it returns covers everything it missed.
+        """
+        conns: dict[str, StreamEnd] = {}
+        while True:
+            yield self._gc_q.get()
+            while True:
+                ok, _ = self._gc_q.try_get()
+                if not ok:
+                    break
+            epoch = dict(self.quorum_seq)
+            if not epoch:
+                continue
+            for cs in self.cs_names:
+                end = conns.get(cs)
+                if end is None or end.broken is not None:
+                    try:
+                        end = self.fabric.connect(self.host, cs)
+                    except ConnectionRefused:
+                        continue
+                    conns[cs] = end
+                try:
+                    yield from end.write(16 + 16 * len(epoch), ("GC", epoch))
+                except (Disconnected, HostDown):
+                    conns.pop(cs, None)
 
     # -- the scheduling loop -------------------------------------------------
     def _drive(self):

@@ -1,150 +1,26 @@
-"""The Checkpoint Server: reliable storage of process images.
+"""The Checkpoint Server: one replica of the checkpoint store.
 
 "The checkpoint server is a reliable repository storing the checkpoint
 images of the MPI processes and of the communication daemons."
-(Section 4.6.1.)  Images arrive as chunked stream traffic (the transfer
-competes with application communication for NIC bandwidth, exactly the
-contention the checkpoint scheduler tries to limit); an image is stored
-only when fully received, so a node crashing mid-push leaves the previous
-image intact.  Fetching serves the most recent complete image.
+(Section 4.6.1.)  The paper's server held one monolithic image per rank;
+here it is a thin name over :class:`repro.store.StoreReplica` — the
+content-addressed, replicated store — so the historic surface
+(``images``, ``stores``, ``latest``, ``start``/``stop``) keeps working
+for tests, examples and diagnostics while the wire protocol is the
+typed chunk/manifest one documented in :mod:`repro.store.replica`.
+Transfers still ride the chunked stream fabric, so an image push
+competes with application communication for NIC bandwidth — exactly the
+contention the checkpoint scheduler tries to limit — and a manifest only
+commits once every chunk it references arrived, so a node crashing
+mid-push leaves the previous image intact.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
-from ..core.replay import CheckpointImage
-from ..devices.base import segment_sizes
-from ..obs.registry import Metrics
-from ..runtime.config import TestbedConfig
-from ..runtime.fabric import Fabric
-from ..simnet.kernel import Simulator
-from ..simnet.node import Host
-from ..simnet.streams import Disconnected, StreamEnd
-from ..simnet.trace import Tracer
+from ..store.replica import StoreReplica
 
 __all__ = ["CheckpointServer"]
 
 
-class CheckpointServer:
-    """One checkpoint-server instance."""
-
-    def __init__(
-        self,
-        sim: Simulator,
-        host: Host,
-        fabric: Fabric,
-        cfg: TestbedConfig,
-        name: str = "cs:0",
-        tracer: Optional[Tracer] = None,
-        metrics: Optional[Metrics] = None,
-    ) -> None:
-        self.sim = sim
-        self.host = host
-        self.fabric = fabric
-        self.cfg = cfg
-        self.name = name
-        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
-        m = metrics if metrics is not None else Metrics()
-        self._m_stores = m.counter("cs.stores", server=name)
-        self._m_fetches = m.counter("cs.fetches", server=name)
-        self._m_bytes = m.counter("cs.bytes_stored", server=name)
-        self.images: dict[int, CheckpointImage] = {}  # rank -> latest image
-        self.stores = 0
-        self.fetches = 0
-        self._acceptor = None
-        self._procs: list = []
-        self._conns: list[StreamEnd] = []
-
-    def start(self) -> None:
-        """Register the listener and start serving store/fetch requests.
-
-        Callable again after :meth:`stop`: durable images survive the
-        outage; only pushes that were in flight are lost (and retried by
-        the checkpoint scheduler).
-        """
-        acceptor = self.fabric.listen(self.name, self.host)
-        self._acceptor = acceptor
-
-        def accept_loop():
-            while True:
-                end, hello = yield acceptor.accept()
-                self._conns.append(end)
-                p = self.sim.spawn(
-                    self._serve(end), name=f"{self.name}.serve", supervised=True
-                )
-                self.host.register(p)
-                self._procs.append(p)
-
-        p = self.sim.spawn(accept_loop(), name=f"{self.name}.accept")
-        self.host.register(p)
-        self._procs.append(p)
-
-    def stop(self, cause: object = "cs-crash") -> None:
-        """Service-level crash: drop the listener and every connection.
-
-        Partially received images vanish with the connection — an image is
-        only durable once its final STORE chunk arrived — so the previous
-        complete image for each rank remains intact.
-        """
-        if self._acceptor is not None:
-            self.fabric.unlisten(self.name, self._acceptor)
-            self._acceptor = None
-        procs, self._procs = self._procs, []
-        for p in procs:
-            p.kill()
-        conns, self._conns = self._conns, []
-        for end in conns:
-            if not end.stream.dead:
-                end.stream.break_both(cause)
-
-    def _serve(self, end: StreamEnd):
-        while True:
-            try:
-                _, msg = yield end.read()
-            except Disconnected:
-                return
-            if msg is None:
-                continue  # chunk of an image in flight
-            kind = msg[0]
-            if kind == "STORE":
-                image: CheckpointImage = msg[1]
-                prev = self.images.get(image.rank)
-                if prev is None or image.seq > prev.seq:
-                    self.images[image.rank] = image
-                self.stores += 1
-                self._m_stores.inc()
-                self._m_bytes.inc(image.image_bytes)
-                self.tracer.emit(
-                    self.sim.now,
-                    "cs.store",
-                    rank=image.rank,
-                    seq=image.seq,
-                    nbytes=image.image_bytes,
-                )
-                try:
-                    yield from end.write(16, ("STORED", image.rank, image.seq))
-                except Disconnected:
-                    return
-            elif kind == "FETCH":
-                rank = msg[1]
-                image = self.images.get(rank)
-                self.fetches += 1
-                self._m_fetches.inc()
-                try:
-                    if image is None:
-                        yield from end.write(16, ("IMAGE", None))
-                    else:
-                        sizes = segment_sizes(image.image_bytes, self.cfg.chunk_bytes)
-                        for nbytes in sizes[:-1]:
-                            yield from end.write(nbytes, None)
-                        yield from end.write(sizes[-1], ("IMAGE", image))
-                except Disconnected:
-                    return
-            else:  # pragma: no cover
-                raise RuntimeError(f"checkpoint server got {kind!r}")
-
-    # -- diagnostics --------------------------------------------------------
-    def latest(self, rank: int) -> Optional[CheckpointImage]:
-        """The most recent complete image for ``rank``, if any."""
-        return self.images.get(rank)
+class CheckpointServer(StoreReplica):
+    """One checkpoint-server instance (a store replica by another name)."""

@@ -70,7 +70,7 @@ class Dispatcher:
         spare_hosts: list[Host],
         el_names: list[str],
         sched_name: Optional[str],
-        cs_name: Optional[str],
+        cs_names: Optional[list[str]],
         wipe_logs: Optional[Callable[[], None]] = None,
         mutations: Optional[frozenset] = None,
         supervisor: Optional[Any] = None,
@@ -87,7 +87,7 @@ class Dispatcher:
         self.spare_hosts = list(spare_hosts)
         self.el_names = el_names
         self.sched_name = sched_name
-        self.cs_name = cs_name
+        self.cs_names = tuple(cs_names) if cs_names else ()
         self.wipe_logs = wipe_logs
         self.mutations = frozenset(mutations or ())  # test-only fault seeds
         self.supervisor = supervisor  # ServiceSupervisor for EL/CS crashes
@@ -185,7 +185,7 @@ class Dispatcher:
             host,
             incarnation=incarnation,
             el_name=self.el_names[rank % len(self.el_names)],
-            cs_name=self.cs_name,
+            cs_names=self.cs_names,
             sched_name=self.sched_name,
             dispatcher_name="dispatcher",
             tracer=self.cluster.tracer,
@@ -398,9 +398,13 @@ def run_v2_job(
             f"job asked for {nprocs}"
         )
 
+    n_cs = max(1, cfg.ckpt_servers)
     if plan is None:
         service = cluster.add_aux("service")  # dispatcher + EL(s) + scheduler
-        cs_host = cluster.add_aux("cs-host")
+        cs_hosts = [
+            cluster.add_aux("cs-host" if i == 0 else f"cs-host{i}")
+            for i in range(n_cs)
+        ]
         cn_hosts = [cluster.add_cn(f"cn{r}") for r in range(nprocs)]
         spare_hosts = [cluster.add_cn(f"spare{i}") for i in range(spares)]
         el_hosts = [service] * n_event_loggers
@@ -420,7 +424,10 @@ def run_v2_job(
         cn_hosts = [machines[n] for n in plan.cns]
         spare_hosts = [machines[n] for n in plan.spares]
         el_hosts = [machines[n] for n in plan.els]
-        cs_host = machines[plan.cs]
+        # the §4.7 program-file grammar names a single CS machine; extra
+        # replicas colocate there (they still fail independently as
+        # *services* under the supervisor)
+        cs_hosts = [machines[plan.cs]] * n_cs
         sched_host = machines[plan.scheduler]
         service = machines[plan.dispatcher]
         n_event_loggers = len(plan.els)
@@ -441,12 +448,17 @@ def run_v2_job(
         el_names.append(el.name)
         supervisor.register(el.name, el)
 
-    cs = CheckpointServer(
-        sim, cs_host, fabric, cfg, tracer=cluster.tracer,
-        metrics=cluster.metrics,
-    )
-    cs.start()
-    supervisor.register(cs.name, cs)
+    servers = []
+    for i in range(n_cs):
+        cs = CheckpointServer(
+            sim, cs_hosts[i], fabric, cfg, name=f"cs:{i}",
+            tracer=cluster.tracer, metrics=cluster.metrics,
+            mutations=mutations,
+        )
+        cs.start()
+        servers.append(cs)
+        supervisor.register(cs.name, cs)
+    cs_names = [s.name for s in servers]
 
     sched_name = None
     scheduler = None
@@ -462,6 +474,7 @@ def run_v2_job(
             continuous=ckpt_continuous,
             rng=cluster.rng.stream("ckpt-sched"),
             tracer=cluster.tracer,
+            cs_names=tuple(cs_names),
         )
         scheduler.start()
         sched_name = scheduler.name
@@ -469,7 +482,10 @@ def run_v2_job(
     def wipe_logs() -> None:
         for el in loggers:
             el.events.clear()
-        cs.images.clear()
+        for s in servers:
+            s.wipe()
+        if scheduler is not None:
+            scheduler.reset_store_state()
 
     dispatcher = Dispatcher(
         cluster,
@@ -482,7 +498,7 @@ def run_v2_job(
         spare_hosts,
         el_names,
         sched_name,
-        "cs:0",
+        cs_names,
         wipe_logs=wipe_logs,
         mutations=mutations,
         supervisor=supervisor,
@@ -503,9 +519,11 @@ def run_v2_job(
                 "sim": sim,
                 "cluster": cluster,
                 "dispatcher": dispatcher,
-                "cs_host": cs_host,
+                "cs_host": cs_hosts[0],
+                "cs_hosts": cs_hosts,
                 "service_host": service,
-                "checkpoint_server": cs,
+                "checkpoint_server": servers[0],
+                "checkpoint_servers": servers,
                 "event_loggers": loggers,
                 "supervisor": supervisor,
                 "network": cluster.net,
@@ -529,13 +547,14 @@ def run_v2_job(
         tracer=cluster.tracer,
         stats=stats,
         restarts=dispatcher.total_restarts,
-        checkpoints=cs.stores,
+        checkpoints=int(cluster.metrics.total("ckpt.images")),
         metrics=cluster.metrics,
         audit=report,
         extras={
             "global_restarts": dispatcher.global_restarts,
             "event_loggers": loggers,
-            "checkpoint_server": cs,
+            "checkpoint_server": servers[0],
+            "checkpoint_servers": servers,
             "scheduler": scheduler,
             "dispatcher": dispatcher,
             "faults": faults,

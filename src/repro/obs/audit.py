@@ -22,7 +22,11 @@ Rules checked (names appear in reports and violation records):
   i.e. a delivery that could orphan its receiver after a fault;
 * ``gc-safety`` — a sender-log garbage collection discarded payloads
   beyond the receiver's checkpointed coverage, destroying copies an
-  un-checkpointed receiver may still need re-sent.
+  un-checkpointed receiver may still need re-sent;
+* ``store-gc`` — the chunk-granular extension of the same invariant to
+  the replicated checkpoint store: a replica reclaimed a chunk that some
+  rank's latest *quorum-complete* manifest (on that replica) still
+  references, i.e. storage a restart may be about to fetch.
 
 Every audited event is stamped with a Fidge–Mattern vector clock — the
 algebra of :class:`~repro.core.clocks.VectorClock`, kept as plain
@@ -48,7 +52,7 @@ from ..simnet.trace import TraceRecord, Tracer
 __all__ = ["RULES", "Violation", "AuditReport", "ProtocolAuditor", "audit_trace"]
 
 #: the safety rules the auditor evaluates, in reporting order
-RULES = ("waitlogged", "replay-order", "orphan", "gc-safety")
+RULES = ("waitlogged", "replay-order", "orphan", "gc-safety", "store-gc")
 
 
 @dataclass(frozen=True)
@@ -155,6 +159,9 @@ class ProtocolAuditor:
             "v2.ckpt",
             "v2.restart",
             "el.store",
+            "store.commit",
+            "store.quorum",
+            "store.gc",
             "ft.fault",
             "ft.global_restart",
         }
@@ -182,6 +189,11 @@ class ProtocolAuditor:
         self._incarnation: dict[int, int] = {}
         # gc safety: each rank's last *completed* checkpoint HR vector
         self._ckpt_hr: dict[int, dict[int, int]] = {}
+        # store gc: per (replica, rank) the digests of each committed
+        # manifest, and per rank the latest quorum-complete sequence
+        self._store_commits: dict[tuple[str, int], dict[int, frozenset]] = {}
+        self._store_quorum: dict[int, int] = {}
+        self._n_store_gc = 0
         # happens-before graph accumulation
         self._hb_nodes: list[dict[str, Any]] = []
         self._hb_edges: list[tuple[int, int, str]] = []
@@ -230,6 +242,20 @@ class ProtocolAuditor:
             self._on_gc(time, f)
         elif kind == "v2.ckpt":
             self._ckpt_hr[f["rank"]] = dict(f.get("hr", {}))
+        elif kind == "store.commit":
+            per = self._store_commits.setdefault((f["server"], f["rank"]), {})
+            per[f["seq"]] = frozenset(f.get("digests", ()))
+        elif kind == "store.quorum":
+            rank, seq = f["rank"], f["seq"]
+            if seq > self._store_quorum.get(rank, 0):
+                self._store_quorum[rank] = seq
+                # commits below the new floor are legitimately collectable
+                for (server, r), per in self._store_commits.items():
+                    if r == rank:
+                        for s in [s for s in per if s < seq]:
+                            del per[s]
+        elif kind == "store.gc":
+            self._on_store_gc(time, f)
         elif kind == "v2.restart":
             rank = f["rank"]
             self._incarnation[rank] = f.get("incarnation", 0)
@@ -246,6 +272,8 @@ class ProtocolAuditor:
             self._pending_el.clear()
             self._seen_ids.clear()
             self._msg_vc.clear()
+            self._store_commits.clear()
+            self._store_quorum.clear()
 
     # -- rules -------------------------------------------------------------
     def _on_tx(self, time: float, f: dict) -> None:
@@ -390,6 +418,33 @@ class ProtocolAuditor:
                 covered=covered,
             )
 
+    def _on_store_gc(self, time: float, f: dict) -> None:
+        server = f["server"]
+        freed = set(f.get("digests", ()))
+        self._n_store_gc += 1
+        if not freed:
+            return
+        for rank, qs in self._store_quorum.items():
+            per = self._store_commits.get((server, rank))
+            protected = per.get(qs) if per else None
+            if not protected:
+                continue  # this replica never committed the quorum manifest
+            lost = freed & protected
+            if lost:
+                vc = self._vc.setdefault(rank, {})
+                self._flag(
+                    time,
+                    "store-gc",
+                    rank,
+                    f"store replica {server} reclaimed {len(lost)} chunk(s) "
+                    f"still referenced by rank {rank}'s latest "
+                    f"quorum-complete manifest (seq {qs})",
+                    vc,
+                    server=server,
+                    seq=qs,
+                    chunks=len(lost),
+                )
+
     # -- helpers -----------------------------------------------------------
     def _flag(
         self,
@@ -460,6 +515,7 @@ class ProtocolAuditor:
                 "replay-order": self._n_replay,
                 "orphan": self._n_orphan,
                 "gc-safety": self._n_gc,
+                "store-gc": self._n_store_gc,
             },
             events_seen=self.events_seen,
             truncated=dropped > 0,

@@ -87,6 +87,18 @@ class TestbedConfig:
     cs_fetch_tries: int = 6  # image fetch budget before restart-from-scratch
     svc_restart_delay: float = 0.5  # supervisor respawn delay for EL/CS crashes
 
+    # -- replicated checkpoint store (repro.store) ---------------------------------
+    ckpt_servers: int = 1  # N: checkpoint-store replicas in the cluster
+    ckpt_replicas: int = 1  # K: write quorum making a checkpoint durable
+    ckpt_incremental: bool = False  # push only dirty/missing chunks
+    ckpt_chunk_kib: int = 64  # content-addressed chunk size (KiB)
+    ckpt_dirty_ops: int = 32  # ops per phase of the deterministic dirty model
+
+    @property
+    def ckpt_chunk_bytes(self) -> int:
+        """Content-addressed chunk size in bytes."""
+        return self.ckpt_chunk_kib << 10
+
     def with_(self, **changes) -> "TestbedConfig":
         """A modified copy (convenience for sweeps)."""
         return replace(self, **changes)

@@ -1,0 +1,35 @@
+"""repro.store: replicated, content-addressed checkpoint storage.
+
+The paper's Checkpoint Server is a single reliable node storing one full
+process image per rank (Section 4.6.1).  This package generalizes it
+into a small storage engine:
+
+* an image is a :class:`~repro.store.chunks.Manifest` (rank, seq, the
+  ordered chunk references) plus content-addressed chunks, so unchanged
+  chunks deduplicate across successive checkpoints (incremental mode
+  pushes only the dirty ones);
+* :class:`~repro.store.replica.StoreReplica` instances replicate the
+  store across N checkpoint servers; a push is durable once a
+  write-quorum of K replicas committed the manifest;
+* :class:`~repro.store.client.StoreClient` runs the daemon side: the
+  quorum push, and the streamed restart fetch that fails over to another
+  replica mid-transfer without losing the chunks already received;
+* garbage collection is manifest-aware: a chunk is collectable only when
+  no surviving manifest references it, and the checkpoint scheduler only
+  releases manifests below each rank's latest quorum-complete sequence.
+"""
+
+from .chunks import Chunk, ChunkRef, Manifest, assemble_image, chunk_image, stable_digest
+from .client import StoreClient
+from .replica import StoreReplica
+
+__all__ = [
+    "Chunk",
+    "ChunkRef",
+    "Manifest",
+    "StoreClient",
+    "StoreReplica",
+    "assemble_image",
+    "chunk_image",
+    "stable_digest",
+]

@@ -1,0 +1,297 @@
+"""The daemon-side client of the replicated checkpoint store.
+
+Two jobs, both running over the plain stream fabric:
+
+* **quorum push** — stream the image's chunks to every replica
+  concurrently; the push is durable (and the daemon may GC its sender
+  log, prune the event logger, and report CKPT_DONE) as soon as
+  ``ckpt_replicas`` replicas acknowledge a complete COMMIT.  Stragglers
+  keep filling in the background; a replica that dies mid-push simply
+  fails its leg — durability already came from the quorum.  In
+  incremental mode the client first asks each replica which chunk
+  digests it is missing (HAVE → MISSING) and streams only those, which
+  is where content addressing turns into bytes saved.
+
+* **streamed restart fetch** — probe every replica for its newest
+  sequence (HEAD), fetch from the best one, and accumulate chunks as
+  they arrive.  If that replica dies mid-stream, the chunks already
+  received are kept and the retry (against the next-best live replica)
+  asks only for the rest — a mid-restart failover moves the tail of the
+  transfer, not the whole image.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from ..devices.base import segment_sizes
+from ..obs.registry import Metrics
+from ..runtime.config import TestbedConfig
+from ..runtime.fabric import ConnectionRefused, Fabric
+from ..runtime.retry import RetryPolicy
+from ..simnet.kernel import Future, Simulator
+from ..simnet.node import Host, HostDown
+from ..simnet.streams import Disconnected, StreamEnd
+from ..simnet.trace import Tracer
+from .chunks import Chunk, Manifest, assemble_image
+
+if TYPE_CHECKING:  # lazy: core.v2_device sits between this package and core
+    from ..core.replay import CheckpointImage
+
+__all__ = ["StoreClient"]
+
+
+class StoreClient:
+    """One rank's interface to the replicated checkpoint store."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: TestbedConfig,
+        fabric: Fabric,
+        host: Host,
+        names: tuple[str, ...],
+        rank: int,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[Metrics] = None,
+        rng: Optional[Any] = None,
+        on_retry: Optional[Callable[[int, float], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.cfg = cfg
+        self.fabric = fabric
+        self.host = host
+        self.names = tuple(names)
+        self.rank = rank
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self._rng = rng
+        self._on_retry = on_retry
+        #: write quorum: how many complete COMMITs make a push durable
+        self.quorum = max(1, min(cfg.ckpt_replicas, len(self.names)))
+        #: why the last failed push failed ("refused" | "disconnected")
+        self.last_push_why = "refused"
+        m = metrics if metrics is not None else Metrics()
+        self._m_push_bytes = m.counter("store.push_bytes", rank=rank)
+        self._m_dedup_bytes = m.counter("store.dedup_bytes", rank=rank)
+        self._m_quorum_s = m.histogram("store.quorum_s", rank=rank)
+        self._m_failover = m.counter("store.failover", rank=rank)
+        self._m_fetch_bytes = m.counter("store.fetch_bytes", rank=rank)
+
+    def _spawn(self, gen, label: str) -> None:
+        p = self.sim.spawn(gen, name=f"store.c{self.rank}.{label}", supervised=False)
+        self.host.register(p)
+
+    def _note_retry(self, attempt: int, delay: float) -> None:
+        if self._on_retry is not None:
+            self._on_retry(attempt, delay)
+
+    # ------------------------------------------------------------------
+    # quorum push
+    # ------------------------------------------------------------------
+    def push(
+        self, manifest: Manifest, chunks: dict[int, Chunk], incremental: bool
+    ) -> Generator[Future, Any, bool]:
+        """Push one checkpoint to the replica set; True once K committed.
+
+        Resolves as soon as the write quorum is reached (remaining
+        replicas continue in the background) or once enough legs failed
+        that the quorum has become unreachable.
+        """
+        t0 = self.sim.now
+        done: Future = Future(self.sim, name=f"store.c{self.rank}.quorum")
+        state = {"acks": 0, "fails": 0, "why": "refused"}
+        n = len(self.names)
+        need = self.quorum
+
+        def leg_done(ok: bool, why: str) -> None:
+            if ok:
+                state["acks"] += 1
+                if state["acks"] == need:
+                    done.resolve_if_pending(True)
+            else:
+                state["fails"] += 1
+                state["why"] = why
+                if state["fails"] > n - need:
+                    done.resolve_if_pending(False)
+
+        for name in self.names:
+            self._spawn(
+                self._push_one(name, manifest, chunks, incremental, leg_done),
+                f"push{manifest.seq}.{name}",
+            )
+        ok = yield done
+        if ok:
+            self._m_quorum_s.observe(self.sim.now - t0)
+            self.tracer.emit(
+                self.sim.now,
+                "store.quorum",
+                rank=self.rank,
+                seq=manifest.seq,
+                acks=state["acks"],
+                quorum=need,
+                replicas=n,
+                wait_s=self.sim.now - t0,
+            )
+        else:
+            self.last_push_why = state["why"]
+        return ok
+
+    def _push_one(
+        self,
+        name: str,
+        manifest: Manifest,
+        chunks: dict[int, Chunk],
+        incremental: bool,
+        leg_done: Callable[[bool, str], None],
+    ):
+        policy = RetryPolicy.from_config(self.cfg, max_tries=self.cfg.cs_fetch_tries)
+        end: Optional[StreamEnd] = None
+        for attempt in range(policy.max_tries):
+            try:
+                end = self.fabric.connect(
+                    self.host, name, window=self.cfg.stream_window
+                )
+                break
+            except ConnectionRefused:
+                delay = policy.delay(attempt, self._rng)
+                self._note_retry(attempt, delay)
+                yield self.sim.timeout(delay)
+        if end is None:
+            leg_done(False, "refused")
+            return
+        try:
+            send = list(manifest.digests)
+            if incremental:
+                yield from end.write(16 + 8 * len(send), ("HAVE", manifest.rank, tuple(send)))
+                reply = yield from self._read_record(end)
+                missing = frozenset(reply[1])
+                skipped = sum(
+                    ref.nbytes for ref in manifest.chunks if ref.digest not in missing
+                )
+                self._m_dedup_bytes.inc(skipped)
+                send = [d for d in send if d in missing]
+            yield from self._send_chunks(end, (chunks[d] for d in dict.fromkeys(send)))
+            for _ in range(2):  # COMMIT, once more if a GC raced the chunks
+                yield from end.write(manifest.wire_bytes, ("COMMIT", manifest))
+                ack = yield from self._read_record(end)
+                if ack[0] == "STORED":
+                    leg_done(True, "")
+                    return
+                # INCOMPLETE: re-send the holes and commit again
+                yield from self._send_chunks(end, (chunks[d] for d in ack[1]))
+            leg_done(False, "disconnected")
+        except (Disconnected, HostDown):
+            # a replica dying mid-push fails this leg only; durability is
+            # the quorum's job, and the scheduler re-orders on total loss
+            leg_done(False, "disconnected")
+
+    def _send_chunks(self, end: StreamEnd, chunks) -> Generator[Future, Any, None]:
+        for chunk in chunks:
+            sizes = segment_sizes(max(1, chunk.nbytes), self.cfg.chunk_bytes)
+            for nbytes in sizes[:-1]:
+                yield from end.write(nbytes, None)
+            yield from end.write(sizes[-1], ("CHUNK", chunk))
+            self._m_push_bytes.inc(chunk.nbytes)
+
+    def _read_record(self, end: StreamEnd):
+        """Next non-segment record from the replica."""
+        while True:
+            _, msg = yield end.read()
+            if msg is not None:
+                return msg
+
+    # ------------------------------------------------------------------
+    # streamed restart fetch
+    # ------------------------------------------------------------------
+    def fetch(self) -> Generator[Future, Any, Optional[CheckpointImage]]:
+        """Fetch this rank's newest image from any live replica.
+
+        Accumulated chunks survive a mid-stream replica crash: the next
+        attempt (on another replica) requests only what is still
+        missing.  Returns ``None`` when no replica holds an image (or
+        the whole retry budget drains) — restart-from-scratch, exactly
+        as a lost single server always meant.
+        """
+        policy = RetryPolicy.from_config(self.cfg, max_tries=self.cfg.cs_fetch_tries)
+        have: dict[int, Chunk] = {}
+        failed_over = False
+        for attempt in range(policy.max_tries):
+            # probe every replica for its newest sequence; fetch the best
+            best_name, best_seq, refused = None, 0, 0
+            for name in self.names:
+                try:
+                    probe = self.fabric.connect(self.host, name)
+                except ConnectionRefused:
+                    refused += 1
+                    continue
+                try:
+                    yield from probe.write(16, ("HEAD", self.rank))
+                    reply = yield from self._read_record(probe)
+                except Disconnected:
+                    refused += 1
+                    continue
+                finally:
+                    if not probe.stream.dead:
+                        probe.stream.break_both("head-done")
+                if reply[1] > best_seq:
+                    best_name, best_seq = name, reply[1]
+            if best_name is None:
+                if refused < len(self.names):
+                    return None  # replicas answered; none has an image
+                delay = policy.delay(attempt, self._rng)
+                self._note_retry(attempt, delay)
+                yield self.sim.timeout(delay)
+                continue
+            if refused and not failed_over:
+                # the preferred replica set is degraded: record that this
+                # restart is being served by a failover target
+                failed_over = True
+                self._m_failover.inc()
+                self.tracer.emit(
+                    self.sim.now, "store.failover", rank=self.rank,
+                    serving=best_name, dead=refused, mode="probe",
+                )
+            try:
+                end = self.fabric.connect(
+                    self.host, best_name, window=self.cfg.stream_window
+                )
+            except ConnectionRefused:
+                continue  # died between probe and fetch; re-probe
+            try:
+                yield from end.write(
+                    16 + 8 * len(have),
+                    ("FETCH", self.rank, best_seq, tuple(have)),
+                )
+                reply = yield from self._read_record(end)
+                if reply[0] == "NONE":
+                    continue  # wiped between probe and fetch; re-probe
+                manifest: Manifest = reply[1]
+                needed = set(manifest.digests) - set(have)
+                while needed:
+                    msg = yield from self._read_record(end)
+                    if msg[0] != "CHUNK":
+                        break
+                    chunk = msg[1]
+                    have[chunk.digest] = chunk
+                    self._m_fetch_bytes.inc(chunk.nbytes)
+                    needed.discard(chunk.digest)
+                if needed:
+                    continue  # truncated stream; retry fills the rest
+                return assemble_image(manifest, have)
+            except (Disconnected, HostDown):
+                # mid-stream crash: keep what arrived, fail over
+                if not failed_over:
+                    failed_over = True
+                self._m_failover.inc()
+                self.tracer.emit(
+                    self.sim.now, "store.failover", rank=self.rank,
+                    serving=best_name, dead=refused, mode="midstream",
+                    chunks_kept=len(have),
+                )
+                delay = policy.delay(attempt, self._rng)
+                self._note_retry(attempt, delay)
+                yield self.sim.timeout(delay)
+            finally:
+                if not end.stream.dead:
+                    end.stream.break_both("fetch-done")
+        return None

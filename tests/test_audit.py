@@ -152,9 +152,36 @@ def test_mutation_premature_gc_is_flagged():
     assert v.context["upto"] > v.context["covered"]
 
 
+def test_mutation_premature_store_gc_is_flagged():
+    """A replica that garbage-collects one sequence past the scheduler's
+    quorum epoch reclaims chunks of a latest quorum-complete manifest —
+    the ``store-gc`` rule must catch the reclaim on that replica."""
+    from repro.runtime.config import DEFAULT_TESTBED
+
+    cfg = DEFAULT_TESTBED.with_(
+        ckpt_servers=3, ckpt_replicas=2, ckpt_incremental=True
+    )
+    res = run_job(
+        traffic_prog, 4, device="v2", cfg=cfg, params={"rounds": 40},
+        audit=True,
+        checkpointing=True, ckpt_interval=0.01, ckpt_continuous=True,
+        mutations=frozenset({"premature_store_gc"}),
+    )
+    rep = res.audit
+    assert res.checkpoints > 0
+    assert rep.verdict == "violations"
+    assert rep.count("store-gc") > 0
+    v = next(x for x in rep.violations if x.rule == "store-gc")
+    assert "reclaimed" in v.detail and "quorum-complete" in v.detail
+    assert v.context["server"].startswith("cs:")
+    assert v.context["chunks"] >= 1
+
+
 def test_unmutated_twin_of_each_mutation_run_is_clean():
     """The mutation runs above differ from clean runs only by the seeded
     sabotage: the same configurations without mutations audit clean."""
+    from repro.runtime.config import DEFAULT_TESTBED
+
     a = run_job(traffic_prog, 4, device="v2", audit=True)
     b = run_job(
         traffic_prog, 4, device="v2", audit=True,
@@ -164,8 +191,17 @@ def test_unmutated_twin_of_each_mutation_run_is_clean():
         traffic_prog, 4, device="v2", params={"rounds": 40}, audit=True,
         checkpointing=True, ckpt_interval=0.01, ckpt_continuous=True,
     )
-    for res in (a, b, c):
+    d = run_job(
+        traffic_prog, 4, device="v2",
+        cfg=DEFAULT_TESTBED.with_(
+            ckpt_servers=3, ckpt_replicas=2, ckpt_incremental=True
+        ),
+        params={"rounds": 40}, audit=True,
+        checkpointing=True, ckpt_interval=0.01, ckpt_continuous=True,
+    )
+    for res in (a, b, c, d):
         assert res.audit.clean, res.audit.violations
+        assert res.audit.checks["store-gc"] >= 0
 
 
 # -- truncated streams ------------------------------------------------------

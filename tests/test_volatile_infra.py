@@ -32,6 +32,7 @@ from repro.runtime.retry import RetryPolicy
 from repro.simnet import Host, Network, Simulator
 from repro.simnet.rng import RngRegistry
 from repro.simnet.streams import Disconnected
+from repro.store import assemble_image, chunk_image
 
 
 def ring(mpi, rounds=6, work=0.05):
@@ -271,9 +272,9 @@ def _image(rank, seq, footprint=200_000):
 
 
 def test_ckpt_server_mid_push_crash_keeps_previous_image():
-    """The docstring's claim, under a *service* crash: an image is durable
-    only when fully received, so a push interrupted by the crash leaves
-    the previous image intact."""
+    """The docstring's claim, under a *service* crash: a manifest commits
+    only when every chunk it references arrived, so a push interrupted by
+    the crash leaves the previous image intact."""
     cluster = Cluster(DEFAULT_TESTBED, seed=0)
     sim = cluster.sim
     fabric = Fabric(cluster)
@@ -285,11 +286,21 @@ def test_ckpt_server_mid_push_crash_keeps_previous_image():
     got = {}
 
     def push(end, image):
-        sizes = segment_sizes(image.image_bytes, cfg.chunk_bytes)
-        for nbytes in sizes[:-1]:
-            yield from end.write(nbytes, None)
-        yield from end.write(sizes[-1], ("STORE", image))
+        manifest, chunks = chunk_image(image, cfg.ckpt_chunk_bytes)
+        for digest in manifest.digests:
+            chunk = chunks[digest]
+            sizes = segment_sizes(max(1, chunk.nbytes), cfg.chunk_bytes)
+            for nbytes in sizes[:-1]:
+                yield from end.write(nbytes, None)
+            yield from end.write(sizes[-1], ("CHUNK", chunk))
+        yield from end.write(manifest.wire_bytes, ("COMMIT", manifest))
         yield end.read()  # STORED
+
+    def read_record(end):
+        while True:
+            _, msg = yield end.read()
+            if msg is not None:
+                return msg
 
     def client():
         end = fabric.connect(cn, "cs:0")
@@ -300,11 +311,13 @@ def test_ckpt_server_mid_push_crash_keeps_previous_image():
             yield from push(end, _image(0, seq=2))
         cs.start()
         end = fabric.connect(cn, "cs:0")
-        yield from end.write(16, ("FETCH", 0))
-        msg = None
-        while msg is None:
-            _, msg = yield end.read()
-        got["fetched"] = msg[1]
+        yield from end.write(16, ("FETCH", 0, 0, ()))
+        _, manifest = yield from read_record(end)
+        have = {}
+        while set(manifest.digests) - set(have):
+            _, chunk = yield from read_record(end)
+            have[chunk.digest] = chunk
+        got["fetched"] = assemble_image(manifest, have)
         # a clean retry of the interrupted push now supersedes it
         yield from push(end, _image(0, seq=2))
         got["final"] = cs.images[0].seq
@@ -332,6 +345,34 @@ def test_ckpt_push_aborts_cleanly_and_is_retried():
     assert sched.ckpt_retries >= 1
     assert res.checkpoints >= 1  # the retried push landed
     assert res.extras["checkpoint_server"].images  # durable store intact
+
+
+def test_cs_replica_crash_mid_restart_fails_over():
+    """The store acceptance scenario: 3 replicated checkpoint servers
+    with write quorum 2; one replica is down exactly when a killed rank
+    restarts.  The fetch fails over to a surviving replica, recovery
+    completes with correct results, and the audit is clean."""
+    expect = run_job(ring, 4, device="v2",
+                     params={"rounds": 20, "work": 0.1}).results
+    cfg = DEFAULT_TESTBED.with_(ckpt_servers=3, ckpt_replicas=2)
+    res = run_job(
+        ring, 4, device="v2", cfg=cfg, params={"rounds": 20, "work": 0.1},
+        checkpointing=True, ckpt_interval=0.1, ckpt_continuous=True,
+        faults=[
+            ExplicitFaults([(1.0, 2)]),
+            # down through the whole detect+respawn+fetch window
+            ServiceFaults([(0.9, "cs:0", 3.0)]),
+        ],
+        limit=600.0, audit=True,
+    )
+    assert res.results == expect
+    assert res.audit.clean
+    assert res.restarts >= 1
+    assert res.checkpoints >= 1
+    # the restart was served by a failover target, not the dead replica
+    assert res.metrics.total("store.failover") >= 1
+    assert res.metrics.total("store.fetch_bytes") > 0
+    assert len(res.extras["checkpoint_servers"]) == 3
 
 
 # -- composed plans and determinism -------------------------------------------
