@@ -1,0 +1,156 @@
+"""The daemon's control-plane client: dispatcher and scheduler links.
+
+Both links are best-effort under partitions — a daemon that cannot
+reach the dispatcher still computes, it just cannot report
+UNRECOVERABLE states; a daemon that cannot reach the checkpoint
+scheduler still answers peers, it just takes no ordered checkpoints
+until the link heals.  Each is a
+:class:`~repro.runtime.session.Session` under the shared retry policy.
+
+Composes with the daemon core through the usual explicit interface:
+``core`` provides ``rank``, ``saved``, ``device``, ``finalized``,
+``ckpt.order()`` (checkpoint orders), and ``_spawn``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from ..obs.registry import Metrics
+from ..runtime.config import TestbedConfig
+from ..runtime.fabric import ConnectionRefused, Fabric
+from ..runtime.retry import RetryPolicy
+from ..runtime.session import Session
+from ..simnet.kernel import Future, Simulator
+from ..simnet.node import Host
+from ..simnet.streams import Disconnected, StreamEnd
+from ..simnet.trace import Tracer
+
+__all__ = ["ControlPlaneClient"]
+
+
+class ControlPlaneClient:
+    """One rank's links to the dispatcher and the checkpoint scheduler."""
+
+    def __init__(
+        self,
+        core,
+        sim: Simulator,
+        cfg: TestbedConfig,
+        fabric: Fabric,
+        host: Host,
+        dispatcher_name: Optional[str],
+        sched_name: Optional[str],
+        *,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[Metrics] = None,
+        rng: Optional[Any] = None,
+        on_retry: Optional[Callable[[int, float], None]] = None,
+    ) -> None:
+        self.core = core
+        self.sim = sim
+        policy = RetryPolicy.from_config(cfg, max_tries=cfg.peer_retry_tries)
+        hello = ("HELLO", core.rank, core.incarnation)
+        common = dict(
+            hello=hello, policy=policy, rng=rng, on_retry=on_retry,
+            tracer=tracer, metrics=metrics, labels={"rank": core.rank},
+        )
+        self.disp: Optional[Session] = None
+        if dispatcher_name is not None:
+            self.disp = Session(
+                sim, fabric, host, dispatcher_name, scope="disp", **common
+            )
+        self.sched: Optional[Session] = None
+        if sched_name is not None:
+            self.sched = Session(
+                sim, fabric, host, sched_name, scope="sched", **common
+            )
+
+    @property
+    def disp_end(self) -> Optional[StreamEnd]:
+        return self.disp.end if self.disp is not None else None
+
+    @property
+    def sched_end(self) -> Optional[StreamEnd]:
+        return self.sched.end if self.sched is not None else None
+
+    # ------------------------------------------------------------------
+    # startup
+    # ------------------------------------------------------------------
+    def connect_dispatcher(self) -> Generator[Future, Any, None]:
+        """Dial the dispatcher with backoff (best-effort: may give up)."""
+        if self.disp is not None:
+            yield from self.disp.connect()
+
+    def connect_scheduler(self) -> None:
+        """Single scheduler dial; a refused scheduler is simply absent."""
+        if self.sched is not None:
+            try:
+                self.sched.connect_now()
+            except ConnectionRefused:
+                pass
+
+    def start_sched_loop(self) -> None:
+        if self.sched_end is not None:
+            self.core._spawn(self._sched_loop(), "sched")
+
+    # ------------------------------------------------------------------
+    # dispatcher reports
+    # ------------------------------------------------------------------
+    def report_unrecoverable(self, q: int):
+        if self.disp_end is not None:
+            try:
+                yield from self.disp_end.write(16, ("UNRECOVERABLE", q))
+            except Disconnected:  # pragma: no cover
+                pass
+
+    def report_finalized(self) -> Generator[Future, Any, None]:
+        """Tell the dispatcher this rank's MPI process completed."""
+        if self.disp_end is not None:
+            try:
+                yield from self.disp_end.write(16, ("FINALIZED", self.core.rank))
+            except Disconnected:
+                pass
+        else:
+            yield self.sim.timeout(0.0)
+
+    # ------------------------------------------------------------------
+    # scheduler protocol
+    # ------------------------------------------------------------------
+    def _sched_loop(self):
+        core = self.core
+        sess = self.sched
+        while True:
+            end = sess.end
+            if end is None:
+                return
+            try:
+                msg = yield from sess.read_record(end)
+            except Disconnected:
+                # a flapped control link: reconnect so checkpoint orders
+                # keep flowing (the scheduler re-registers us on accept)
+                sess.drop(end)
+                yield from sess.connect()
+                continue
+            if msg[0] == "STATUS_REQ":
+                status = (
+                    "STATUS",
+                    core.rank,
+                    {
+                        "logged_bytes": core.saved.bytes_total,
+                        "logged_msgs": len(core.saved),
+                        "bytes_sent": core.device.stats.bytes_sent
+                        if core.device
+                        else 0,
+                        "bytes_received": core.device.stats.bytes_received
+                        if core.device
+                        else 0,
+                        "finalized": core.finalized,
+                    },
+                )
+                try:
+                    yield from end.write(32, status)
+                except Disconnected:
+                    continue  # the next read notices and reconnects
+            elif msg[0] == "CKPT_ORDER":
+                core.ckpt.order()

@@ -1,0 +1,296 @@
+"""The daemon's event-logger client: the WAITLOGGED gate and re-push.
+
+One :class:`EventLogClient` per daemon incarnation owns everything the
+pessimistic protocol needs from the event logger side of the node:
+
+* the **WAITLOGGED gate** — closed the instant a reception event is
+  queued, reopened only when every outstanding event is acknowledged;
+  :meth:`EventLogClient.wait_sendable` is where the transmit loops park
+  (and where the stall is measured — V2's small-message latency);
+* the **writer/reader pair** — events batched up to ``el_batch_cap``
+  per stream write, acknowledgements counted down on the read side;
+* **outage survival** — batches written but not yet acknowledged sit in
+  ``unacked`` and are re-pushed, in order, after a reconnect (the server
+  dedups by ``(rank, rclock)``, so the at-least-once re-push is
+  idempotent); the gate stays closed throughout, so no application
+  message escapes while its reception event is in doubt — the
+  pessimistic property holds across the outage by construction.
+
+The link itself is a :class:`~repro.runtime.session.Session` (framing,
+epochs, integrated backoff); this module adds only the protocol above.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Generator, Optional
+
+from ..obs.registry import Metrics
+from ..runtime.config import TestbedConfig
+from ..runtime.fabric import Fabric
+from ..runtime.retry import RetryPolicy
+from ..runtime.session import Session
+from ..simnet.kernel import Future, Gate, Queue, Simulator
+from ..simnet.node import Host, HostDown
+from ..simnet.streams import Disconnected, StreamEnd
+from ..simnet.trace import Tracer
+from .clocks import EventRecord
+
+__all__ = ["EventLogClient"]
+
+
+class EventLogClient:
+    """One rank's connection to the event logger (phase-A downloads,
+    event pushes, acknowledgement-gated sending)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: TestbedConfig,
+        fabric: Fabric,
+        host: Host,
+        rank: int,
+        el_name: str,
+        *,
+        spawn: Callable[[Any, str], Any],
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[Metrics] = None,
+        rng: Optional[Any] = None,
+        on_retry: Optional[Callable[[int, float], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.cfg = cfg
+        self.rank = rank
+        self.el_name = el_name
+        self._spawn = spawn
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.session = Session(
+            sim, fabric, host, el_name,
+            policy=RetryPolicy.from_config(cfg), rng=rng, on_retry=on_retry,
+            tracer=self.tracer, metrics=metrics, scope="el",
+            labels={"rank": rank},
+        )
+
+        # the pessimistic gate: closed while any reception event is
+        # unacknowledged; no application message leaves the node then
+        self.gate = Gate(sim, opened=True, name=f"d{rank}.elgate")
+        self.outstanding = 0
+        self._q: Queue = Queue(sim, name=f"d{rank}.elq")
+        # EL outage state: batches written but not yet acknowledged (re-pushed
+        # idempotently after a reconnect; the server dedups by rclock), and
+        # the connection-up gate the writer parks on during an outage
+        self.unacked: deque[list[EventRecord]] = deque()
+        self._up = Gate(sim, opened=False, name=f"d{rank}.elup")
+        self._down_since: Optional[float] = None
+        # (send time, batch size) of EL batches awaiting acknowledgement
+        self._inflight: deque[tuple[float, int]] = deque()
+        self.events_pushed = 0
+
+        m = metrics if metrics is not None else Metrics()
+        self._m_roundtrips = m.counter("el.roundtrips", rank=rank)
+        self._m_rtt = m.histogram("el.rtt_s", rank=rank)
+        self._m_gate_stalls = m.counter("gate.stalls", rank=rank)
+        self._m_gate_stall_s = m.counter("gate.stall_s", rank=rank)
+        self._m_outage_reconnects = m.counter("outage.reconnects", rank=rank)
+        self._m_outage_el_down_s = m.counter("outage.el_down_s", rank=rank)
+        self._m_outage_stalled = m.counter("outage.stalled_send_s", rank=rank)
+
+    # ------------------------------------------------------------------
+    # connection lifecycle
+    # ------------------------------------------------------------------
+    def connect(self) -> Generator[Future, Any, StreamEnd]:
+        """Connect to the event logger, retrying with capped backoff.
+
+        Exhausting the budget means the EL never came back within ~2
+        minutes of simulated backoff: that violates the deployment
+        contract (the supervisor restarts crashed services), so fail the
+        simulation loudly rather than deadlock silently.
+        """
+        end = yield from self.session.connect()
+        if end is None:
+            raise RuntimeError(
+                f"rank {self.rank}: event logger {self.el_name} unreachable "
+                f"after {self.session.policy.max_tries} attempts"
+            )
+        return end
+
+    def online(self) -> None:
+        """Declare the freshly-connected link usable by the writer."""
+        self._up.open()
+
+    def start_io(self) -> None:
+        """Spawn the steady-state writer and reader loops."""
+        self._spawn(self._writer(), "el.tx")
+        self._spawn(self._reader(self.session.end), "el.rx")
+
+    def down(self, end: Optional[StreamEnd]) -> None:
+        """Mark the EL connection lost and start the reconnect process."""
+        if end is None or not self.session.drop(end):
+            return  # a stale loop noticed an already-replaced stream
+        self._up.close()
+        self._down_since = self.sim.now
+        self.tracer.emit(
+            self.sim.now, "v2.el_down", rank=self.rank,
+            outstanding=self.outstanding, unacked=len(self.unacked),
+        )
+        self._spawn(self._reconnect(), "el.re")
+
+    def _reconnect(self):
+        """Re-establish the EL link and re-push written-but-unacked batches.
+
+        The WAITLOGGED gate stays closed throughout (``outstanding``
+        still counts the lost acknowledgements), so no application
+        message escapes while its reception event is in doubt — the
+        pessimistic property holds across the outage by construction.
+        The server dedups re-pushed events by ``(rank, rclock)``, so the
+        at-least-once re-push is idempotent; it still acknowledges every
+        batch, which is what re-earns the lost acks.
+        """
+        down_since = self._down_since
+        end = yield from self.connect()
+        # acks of the old stream died with it: every unacked batch is
+        # re-pushed, in order, ahead of anything the writer sends next
+        repush = list(self.unacked)
+        self._inflight.clear()
+        self._spawn(self._reader(end), "el.rx")
+        for batch in repush:
+            t0 = self.sim.now
+            try:
+                yield from end.write(
+                    self.cfg.event_bytes * len(batch), ("EVENT", self.rank, batch)
+                )
+            except (Disconnected, HostDown):
+                self.down(end)  # crashed again: the next round re-pushes
+                return
+            self._inflight.append((t0, len(batch)))
+        outage_s = self.sim.now - down_since if down_since is not None else 0.0
+        self._m_outage_reconnects.inc()
+        self._m_outage_el_down_s.inc(outage_s)
+        self._down_since = None
+        self.tracer.emit(
+            self.sim.now, "v2.el_reconnect", rank=self.rank,
+            outage_s=outage_s, repushed=len(repush),
+        )
+        self._up.open()
+
+    # ------------------------------------------------------------------
+    # the pessimistic protocol
+    # ------------------------------------------------------------------
+    def log_event(self, rec: EventRecord) -> None:
+        """Queue a reception event for the event logger; closes the gate."""
+        self.outstanding += 1
+        self.gate.close()
+        self._q.put(rec)
+        self.tracer.emit(
+            self.sim.now,
+            "v2.log_event",
+            rank=self.rank,
+            rclock=rec.rclock,
+            src=rec.src,
+            sclock=rec.sclock,
+        )
+
+    def wait_sendable(self) -> Generator[Future, Any, None]:
+        """Park until every logged event is acknowledged (WAITLOGGED)."""
+        if self.gate.is_open:
+            yield self.gate.waitfor()  # gate open: free
+        else:
+            # the pessimistic gate — measure the stall
+            self._m_gate_stalls.inc()
+            t0 = self.sim.now
+            down0 = self._down_since
+            yield self.gate.waitfor()
+            self._m_gate_stall_s.inc(self.sim.now - t0)
+            if down0 is not None or self._down_since is not None:
+                # the stall overlapped an EL outage: the gate held
+                # because acknowledgements could not arrive at all
+                self._m_outage_stalled.inc(self.sim.now - t0)
+
+    def _writer(self):
+        while True:
+            first = yield self._q.get()
+            batch = [first]
+            while len(batch) < self.cfg.el_batch_cap:
+                ok, more = self._q.try_get()
+                if not ok:
+                    break
+                batch.append(more)
+            # exactly-once hand-off per stream generation: a batch joins
+            # ``unacked`` only once written, so the reconnector (which
+            # re-pushes ``unacked``) and this writer never both send it
+            while True:
+                if not self._up.is_open:
+                    yield self._up.waitfor()
+                end = self.session.end
+                if end is None:
+                    continue  # raced with another disconnect; wait again
+                t0 = self.sim.now
+                try:
+                    yield from end.write(
+                        self.cfg.event_bytes * len(batch),
+                        ("EVENT", self.rank, batch),
+                    )
+                except (Disconnected, HostDown):
+                    self.down(end)
+                    continue  # batch not in ``unacked``: resend it here
+                self.unacked.append(batch)
+                self._inflight.append((t0, len(batch)))
+                self.events_pushed += len(batch)
+                break
+
+    def _reader(self, end: StreamEnd):
+        while True:
+            try:
+                msg = yield from self.session.read_record(end)
+            except Disconnected:
+                self.down(end)
+                return
+            kind, n = msg
+            if kind == "ACK":
+                if self.unacked:
+                    self.unacked.popleft()
+                self.outstanding = max(0, self.outstanding - n)
+                self.tracer.emit(
+                    self.sim.now, "v2.el_ack", rank=self.rank, n=n,
+                    outstanding=self.outstanding,
+                )
+                if self._inflight:
+                    t0, _batch = self._inflight.popleft()
+                    self._m_roundtrips.inc()
+                    self._m_rtt.observe(self.sim.now - t0)
+                if self.outstanding == 0 and len(self._q) == 0:
+                    self.gate.open()
+
+    # ------------------------------------------------------------------
+    # recovery downloads / pruning
+    # ------------------------------------------------------------------
+    def download(
+        self, from_rclock: int
+    ) -> Generator[Future, Any, list[EventRecord]]:
+        """Phase-A event download (inline replies; no reader running)."""
+        while True:
+            end = self.session.end
+            try:
+                yield from end.write(
+                    16, ("DOWNLOAD", self.rank, from_rclock)
+                )
+                reply = yield from self.session.read_record(end)
+            except Disconnected:
+                # the EL crashed mid-download: reconnect (its event store
+                # is durable across service restarts) and re-ask
+                yield from self.connect()
+                continue
+            kind, records = reply
+            return list(records)
+
+    def prune(self, recv_seq: int) -> Generator[Future, Any, None]:
+        """Ask the EL to drop events a checkpoint now covers (best-effort)."""
+        end = self.session.end
+        if end is None:
+            return
+        try:
+            yield from end.write(16, ("PRUNE", self.rank, recv_seq))
+        except Disconnected:
+            # PRUNE is a best-effort space optimization: un-pruned
+            # events only cost the (restarted) EL memory
+            self.down(end)

@@ -14,7 +14,11 @@ Each computing-node daemon holds one stream to its event logger and
 * after a completed checkpoint, asks the logger to prune old events.
 
 Several event loggers can serve one system (each daemon connects to
-exactly one); they never communicate with each other.
+exactly one); they never communicate with each other.  The service
+lifecycle (listen/accept/stop) comes from
+:class:`~repro.runtime.session.ServiceBase`: a stopped logger drops its
+listener and every connection, but the durable ``events`` store
+survives for the supervised relaunch.
 """
 
 from __future__ import annotations
@@ -23,7 +27,8 @@ from typing import Any, Optional
 
 from ..obs.registry import Metrics
 from ..runtime.config import TestbedConfig
-from ..runtime.fabric import Acceptor, Fabric
+from ..runtime.fabric import Fabric
+from ..runtime.session import ServiceBase
 from ..simnet.kernel import Simulator
 from ..simnet.node import Host
 from ..simnet.streams import Disconnected, StreamEnd
@@ -33,8 +38,10 @@ from .clocks import EventRecord
 __all__ = ["EventLoggerServer"]
 
 
-class EventLoggerServer:
+class EventLoggerServer(ServiceBase):
     """One event-logger service instance."""
+
+    metric_ns = "el"
 
     def __init__(
         self,
@@ -46,13 +53,9 @@ class EventLoggerServer:
         tracer: Optional[Tracer] = None,
         metrics: Optional[Metrics] = None,
     ) -> None:
-        self.sim = sim
-        self.host = host
-        self.fabric = fabric
+        super().__init__(sim, host, fabric, name, tracer=tracer, metrics=metrics)
         self.cfg = cfg
-        self.name = name
-        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
-        m = metrics if metrics is not None else Metrics()
+        m = self.metrics
         self._m_stored = m.counter("el.events_stored", server=name)
         self._m_acks = m.counter("el.acks", server=name)
         self._m_cpu_s = m.counter("el.cpu_s", server=name)
@@ -69,20 +72,6 @@ class EventLoggerServer:
         # reconnect re-pushes never double-store an event
         self.rclock_hw: dict[int, int] = {}
         self._cpu_free = 0.0  # host-CPU serialization across connections
-        self._acceptor: Optional[Acceptor] = None
-        self._procs: list = []
-        self._conns: list[StreamEnd] = []
-
-    def start(self) -> None:
-        """Register the listener and start accepting daemons.
-
-        Callable again after :meth:`stop`: the listener re-registers and
-        the durable ``events`` store is served to reconnecting daemons.
-        """
-        self._acceptor = self.fabric.listen(self.name, self.host)
-        p = self.sim.spawn(self._accept_loop(), name=f"{self.name}.accept")
-        self.host.register(p)
-        self._procs.append(p)
 
     def stop(self, cause: Any = "el-crash") -> None:
         """Service-level crash: drop the listener and every connection.
@@ -90,36 +79,16 @@ class EventLoggerServer:
         The durable event store survives — only in-flight requests and
         unacknowledged pushes are lost, which clients must re-push.
         """
-        if self._acceptor is not None:
-            self.fabric.unlisten(self.name, self._acceptor)
-            self._acceptor = None
-        procs, self._procs = self._procs, []
-        for p in procs:
-            p.kill()
-        conns, self._conns = self._conns, []
-        for end in conns:
-            if not end.stream.dead:
-                end.stream.break_both(cause)
+        super().stop(cause)
+
+    def on_stop(self, cause: Any) -> None:
         self._cpu_free = 0.0
 
-    # -- server loops ------------------------------------------------------
-    def _accept_loop(self):
-        assert self._acceptor is not None
-        acceptor = self._acceptor
-        while True:
-            end, hello = yield acceptor.accept()
-            self._conns.append(end)
-            p = self.sim.spawn(
-                self._serve(end, hello), name=f"{self.name}.serve({hello})",
-                supervised=True,
-            )
-            self.host.register(p)
-            self._procs.append(p)
-
+    # -- the serve loop ------------------------------------------------------
     def _serve(self, end: StreamEnd, hello: Any):
         while True:
             try:
-                _, msg = yield end.read()
+                msg = yield from self._read_record(end)
             except Disconnected:
                 return  # daemon died; its replacement will reconnect
             kind = msg[0]

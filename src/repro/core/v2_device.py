@@ -3,72 +3,51 @@
 Each computing node runs two cooperating entities (Section 4.4 of the
 paper): the **MPI process** (our application generator, driving the
 MPICH stack over :class:`V2Device`) and the **communication daemon**
-(:class:`V2Daemon`), connected by a synchronous UNIX socket whose
-granularity is the whole protocol message.  The daemon owns every network
-socket — to peer daemons, to the event logger, to the checkpoint server
-and scheduler, and to the dispatcher — and runs fully asynchronously,
-which is why MPICH-V2 keeps both directions of a link flowing while P4
-serializes them (Figure 9), and why an MPI_Isend costs only a local copy
-(Table 1).
+(:class:`V2Daemon`), connected by a synchronous UNIX socket.  The
+daemon owns every network socket and runs fully asynchronously, which
+is why MPICH-V2 keeps both directions of a link flowing while P4
+serializes them (Figure 9), and why an MPI_Isend costs only a local
+copy (Table 1).
 
-Protocol responsibilities implemented here:
-
-* logical clock ticks on every application send and delivery;
-* SAVED: a copy of every outgoing payload retained on the sender (RAM,
-  spilling to disk past the budget — the LU effect);
-* reception events pushed to the event logger; **no application message
-  leaves the node while any event is unacknowledged** (WAITLOGGED — the
-  pessimistic gate, and the source of V2's small-message latency);
-* checkpointing at API-boundary safe points, image push overlapped with
-  execution, garbage collection of peers' SAVED entries afterwards;
-* the restart protocol of Appendix A: RESTART1/RESTART2 handshakes,
-  re-sending of saved messages, duplicate discarding by HR, forced
-  delivery order during replay, fast-forward from a checkpoint image.
+This module is the *protocol core*: logical clocks, the sender log
+(SAVED), the RESTART1/RESTART2 control handling of Appendix A, and the
+:class:`V2Device` channel facade.  The daemon's I/O machinery lives in
+focused modules composed here — :class:`~repro.core.peers.PeerManager`
+(the peer mesh), :class:`~repro.core.el_client.EventLogClient` (the
+WAITLOGGED gate), :class:`~repro.core.ckpt_client.CheckpointClient`
+(capture and quorum push),
+:class:`~repro.core.ctrl_client.ControlPlaneClient` (dispatcher and
+scheduler links), and :class:`~repro.core.delivery.DeliveryPipeline`
+(duplicate discard, replay holdback, process forwarding) — all over
+the shared :class:`~repro.runtime.session.Session` /
+:class:`~repro.runtime.session.ServiceBase` connection layer.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Any, Generator, Optional
 
-from ..devices.base import ChannelDevice, segment_sizes
-from ..obs.registry import Metrics
+from ..devices.base import ChannelDevice
 from ..mpi.datatypes import Envelope
 from ..mpi.protocol import Packet, PacketKind
+from ..obs.registry import Metrics
 from ..runtime.config import TestbedConfig
-from ..runtime.fabric import ConnectionRefused, Fabric
-from ..runtime.retry import RetryPolicy, connect_with_retry
-from ..store.chunks import chunk_image, stable_digest
-from ..store.client import StoreClient
-from ..simnet.kernel import Future, Gate, Queue, Simulator
-from ..simnet.node import Host, HostDown
-from ..simnet.streams import Disconnected, StreamEnd
+from ..runtime.fabric import Fabric
+from ..simnet.kernel import Future, Gate, Simulator
+from ..simnet.node import Host
 from ..simnet.trace import Tracer
+from .ckpt_client import CheckpointClient
 from .clocks import ClockState, EventRecord
+from .ctrl_client import ControlPlaneClient
+from .delivery import DeliveryPipeline
+from .el_client import EventLogClient
+from .peers import PeerManager
 from .replay import CheckpointImage, DeliveryRecord, ReplayState
 from .sender_log import SenderLog
 
-__all__ = ["V2Daemon", "V2Device", "PeerLink"]
+__all__ = ["V2Daemon", "V2Device"]
 
-_APP_KINDS = (PacketKind.SHORT, PacketKind.EAGER, PacketKind.RTS, PacketKind.DATA)
-_PAYLOAD_KINDS = (PacketKind.SHORT, PacketKind.EAGER, PacketKind.DATA)
 _FIRST_KINDS = (PacketKind.SHORT, PacketKind.EAGER, PacketKind.RTS)
-
-
-class PeerLink:
-    """State of the connection to one peer daemon."""
-
-    def __init__(self, sim: Simulator, me: int, rank: int) -> None:
-        self.sim = sim
-        self.rank = rank
-        self.end: Optional[StreamEnd] = None
-        self.tx: Queue = Queue(sim, name=f"d{me}->d{rank}.tx")
-        self.epoch = 0  # bumps on every (re)connection
-        self.initiator = -1  # rank that initiated the current stream
-
-    def up(self) -> bool:
-        """Is the current stream alive?"""
-        return self.end is not None and self.end.broken is None
 
 
 class V2Daemon:
@@ -125,112 +104,70 @@ class V2Daemon:
             slab=cfg.log_slab_bytes,
         )
         self.delivery_log: list[DeliveryRecord] = []
-        # deterministic dirty-region model: one write-version counter per
-        # ckpt_chunk_bytes region of the application footprint.  Each
-        # API operation past the fast-forward boundary dirties the region
-        # picked by its op phase — a pure function of op_index, so a
-        # replayed execution reconverges to the same versions and
-        # successive checkpoints share every untouched region's chunks
-        self.region_versions: list[int] = []
-        self._resize_regions()
         self.replay: Optional[ReplayState] = None
         self.op_index = 0
         # sequence values at the restored checkpoint (0,0 without an image)
         self.restart_base_send = 0
         self.restart_base_recv = 0
-        self.needs_restart1: set[int] = set()
-        # highest sclock passed up to the MPI process, per sender: the
-        # duplicate-discard watermark of replay phase C
-        self.forwarded_hw: dict[int, int] = {}
-
-        # links
-        self.links: dict[int, PeerLink] = {
-            q: PeerLink(sim, rank, q) for q in range(size) if q != rank
-        }
-        self._el_end: Optional[StreamEnd] = None
-        self._disp_end: Optional[StreamEnd] = None
-        self._sched_end: Optional[StreamEnd] = None
-
-        # event-logger gating
-        self.el_gate = Gate(sim, opened=True, name=f"d{rank}.elgate")
-        self._el_outstanding = 0
-        self._el_q: Queue = Queue(sim, name=f"d{rank}.elq")
-        # EL outage state: batches written but not yet acknowledged (re-pushed
-        # idempotently after a reconnect; the server dedups by rclock), and
-        # the connection-up gate the writer parks on during an outage
-        self._el_unacked: deque[list[EventRecord]] = deque()
-        self._el_up = Gate(sim, opened=False, name=f"d{rank}.elup")
-        self._el_down_since: Optional[float] = None
-
-        # daemon -> MPI process forwarding (the UNIX socket, ordered)
-        self._fwd_q: Queue = Queue(sim, name=f"d{rank}.fwd")
         self.device: Optional["V2Device"] = None
 
-        # checkpointing
-        self.ckpt_requested = False
-        self.ckpt_seq = 0
-        self.checkpoints_done = 0
         self.finalized = False
         self.ready = Gate(sim, opened=False, name=f"d{rank}.ready")
 
         # accounting
         self.cpu_tax_owed = 0.0
-        self.events_pushed = 0
-        self.dups_dropped = 0
-        self.ckpt_aborts = 0
 
         # metric handles, bound once (get-or-create by (name, rank): a
         # restarted daemon's counters continue across incarnations)
         m = self.metrics = metrics if metrics is not None else Metrics()
-        self._m_el_roundtrips = m.counter("el.roundtrips", rank=rank)
-        self._m_el_rtt = m.histogram("el.rtt_s", rank=rank)
-        self._m_gate_stalls = m.counter("gate.stalls", rank=rank)
-        self._m_gate_stall_s = m.counter("gate.stall_s", rank=rank)
         self._m_log_bytes = m.counter("senderlog.bytes", rank=rank)
         self._m_log_spill = m.counter("senderlog.spill_bytes", rank=rank)
         self._m_log_gc = m.counter("senderlog.gc_bytes", rank=rank)
         self._m_log_ram = m.gauge("senderlog.ram_bytes", rank=rank)
         self._m_log_disk = m.gauge("senderlog.disk_bytes", rank=rank)
         self._m_log_msgs = m.gauge("senderlog.msgs", rank=rank)
-        self._m_ckpt_bytes = m.counter("ckpt.bytes", rank=rank)
-        self._m_ckpt_images = m.counter("ckpt.images", rank=rank)
-        self._m_ckpt_push = m.histogram("ckpt.push_s", rank=rank)
         self._m_del_replayed = m.counter("deliveries.replayed", rank=rank)
         self._m_del_fresh = m.counter("deliveries.fresh", rank=rank)
-        self._m_replay_s = m.histogram("ft.replay_s", rank=rank)
         # infrastructure-outage accounting (EL/CS/peer reconnects)
         self._m_outage_retries = m.counter("outage.retries", rank=rank)
         self._m_outage_backoff = m.counter("outage.backoff_s", rank=rank)
-        self._m_outage_reconnects = m.counter("outage.reconnects", rank=rank)
-        self._m_outage_el_down_s = m.counter("outage.el_down_s", rank=rank)
-        self._m_outage_stalled = m.counter("outage.stalled_send_s", rank=rank)
-        self._m_ckpt_aborted = m.counter("ckpt.aborted", rank=rank)
-        # (send time, batch size) of EL batches awaiting acknowledgement
-        self._el_inflight: deque[tuple[float, int]] = deque()
-        self._start_t = 0.0
-        self._caught_up = False
 
-        # the replicated checkpoint store (quorum push, failover fetch)
-        self._store: Optional[StoreClient] = None
-        if self.cs_names:
-            self._store = StoreClient(
-                sim, cfg, fabric, host, self.cs_names, rank,
-                tracer=self.tracer, metrics=m, rng=rng,
-                on_retry=self._note_outage_retry,
-            )
+        # the daemon's I/O components, over the shared session layer
+        self.el = EventLogClient(
+            sim, cfg, fabric, host, rank, el_name,
+            spawn=self._spawn, tracer=self.tracer, metrics=m,
+            rng=rng, on_retry=self._note_outage_retry,
+        )
+        self.peers = PeerManager(
+            self, sim, fabric, host,
+            tracer=self.tracer, metrics=m,
+            rng=rng, on_retry=self._note_outage_retry,
+        )
+        self.ckpt = CheckpointClient(
+            self, sim, cfg, fabric, host, self.cs_names,
+            tracer=self.tracer, metrics=m,
+            rng=rng, on_retry=self._note_outage_retry,
+        )
+        self.ckpt.resize_regions(self.app_footprint)
+        self.ctrl = ControlPlaneClient(
+            self, sim, cfg, fabric, host, dispatcher_name, sched_name,
+            tracer=self.tracer, metrics=m,
+            rng=rng, on_retry=self._note_outage_retry,
+        )
+        self.delivery = DeliveryPipeline(self, sim, tracer=self.tracer, metrics=m)
 
     # ------------------------------------------------------------------
     # startup / recovery (phases A and B)
     # ------------------------------------------------------------------
     def start(self) -> Generator[Future, Any, None]:
         """Bring the daemon up; on restart, run recovery first."""
-        self._start_t = self.sim.now
-        self._acceptor = self.fabric.listen(f"daemon:{self.rank}", self.host)
+        self.delivery.start_t = self.sim.now
+        self.peers.listener.listen()
         # connect to the event logger and (phase A) download logged events;
         # the EL may itself be crashed or partitioned away right now, so
         # this (like every infrastructure connection) retries with backoff
-        self._el_end = yield from self._el_connect()
-        self._el_up.open()
+        yield from self.el.connect()
+        self.el.online()
         image: Optional[CheckpointImage] = None
         if self.incarnation > 0:
             # overlap the two recovery downloads: the event-log prefetch
@@ -238,13 +175,13 @@ class V2Daemon:
             # runs while the streamed image fetch is still arriving
             prefetch: Future = Future(self.sim, name=f"d{self.rank}.elprefetch")
             self._spawn(self._prefetch_events(prefetch), "el.prefetch")
-            if self._store is not None:
-                image = yield from self._store.fetch()
+            if self.ckpt.store is not None:
+                image = yield from self.ckpt.store.fetch()
             if image is not None:
                 self._restore(image)
             events = yield prefetch
             self.replay = ReplayState(image, events)
-            self.needs_restart1 = set(self.links)
+            self.peers.needs_restart1 = set(self.peers.links)
             self.tracer.emit(
                 self.sim.now,
                 "v2.restart",
@@ -257,15 +194,7 @@ class V2Daemon:
         # control-plane connections (best-effort under partitions: a daemon
         # that cannot reach the dispatcher still computes, it just cannot
         # report UNRECOVERABLE states)
-        if self.dispatcher_name is not None:
-            self._disp_end = yield from connect_with_retry(
-                self.sim, self.fabric, self.host, self.dispatcher_name,
-                hello=("HELLO", self.rank, self.incarnation),
-                policy=RetryPolicy.from_config(
-                    self.cfg, max_tries=self.cfg.peer_retry_tries
-                ),
-                rng=self._rng, on_retry=self._note_outage_retry,
-            )
+        yield from self.ctrl.connect_dispatcher()
         if (
             self.replay is not None
             and self.replay.image is None
@@ -277,53 +206,21 @@ class V2Daemon:
             # checkpoint server: this node cannot be replayed.  The paper's
             # "restart from scratch, at worst" can only mean the whole
             # application: tell the dispatcher.
-            if self._disp_end is not None:
-                yield from self._disp_end.write(16, ("UNRECOVERABLE", self.rank))
-            return  # never open the ready gate; the global restart reaps us
-        if self.sched_name is not None:
-            try:
-                self._sched_end = self._connect(
-                    self.sched_name, hello=("HELLO", self.rank, self.incarnation)
+            if self.ctrl.disp_end is not None:
+                yield from self.ctrl.disp_end.write(
+                    16, ("UNRECOVERABLE", self.rank)
                 )
-            except ConnectionRefused:
-                self._sched_end = None
+            return  # never open the ready gate; the global restart reaps us
+        self.ctrl.connect_scheduler()
         # peer connections: initially to lower ranks only (they listen
         # first); a restarted daemon reconnects to everyone it can reach
-        targets = (
-            list(self.links)
-            if self.incarnation > 0
-            else [q for q in self.links if q < self.rank]
-        )
-        for q in targets:
-            try:
-                end = self.fabric.connect(
-                    self.host,
-                    f"daemon:{q}",
-                    hello=("PEER", self.rank, self.incarnation),
-                    window=self.cfg.stream_window,
-                )
-            except ConnectionRefused:
-                if self.incarnation > 0:
-                    # the peer may be alive but partitioned away: unlike a
-                    # crashed peer (which reconnects to us on restart), it
-                    # will never initiate, so keep trying in the background
-                    link = self.links[q]
-                    self._spawn(
-                        self._peer_reconnect(q, link.epoch), f"re{q}"
-                    )
-                continue  # peer is down; it will connect to us when it returns
-            self._adopt_link(q, end, initiator=self.rank)
-        self._spawn(self._accept_loop(), "accept")
-        self._spawn(self._forward_loop(), "fwd")
-        self._spawn(self._el_writer(), "el.tx")
-        self._spawn(self._el_reader(self._el_end), "el.rx")
-        if self._sched_end is not None:
-            self._spawn(self._sched_loop(), "sched")
+        self.peers.connect_initial()
+        self.peers.listener.run_accept()
+        self._spawn(self.delivery.forward_loop(), "fwd")
+        self.el.start_io()
+        self.ctrl.start_sched_loop()
         self.ready.open()
-        self._maybe_caught_up()
-
-    def _connect(self, name: str, hello: Any = None) -> StreamEnd:
-        return self.fabric.connect(self.host, name, hello=hello)
+        self.delivery.maybe_caught_up()
 
     def _spawn(self, gen, label: str) -> None:
         # not supervised: daemon loops handle expected failures
@@ -340,7 +237,7 @@ class V2Daemon:
 
     def _prefetch_events(self, fut: Future):
         """Phase-A event download, overlapped with the image fetch."""
-        events = yield from self._download_events(from_rclock=0)
+        events = yield from self.el.download(from_rclock=0)
         fut.resolve(events)
 
     def _restore(self, image: CheckpointImage) -> None:
@@ -348,9 +245,7 @@ class V2Daemon:
         # re-accumulates them deterministically and must land exactly on
         # the image values at the boundary (asserted in ckpt_poll); the
         # HR/HS vectors carry over for the RESTART handshake
-        self.clock = ClockState(
-            hr=dict(image.clock.hr), hs=dict(image.clock.hs)
-        )
+        self.clock = ClockState(hr=dict(image.clock.hr), hs=dict(image.clock.hs))
         self.app_footprint = image.app_footprint
         self.saved = SenderLog.restore(
             self._log_ram_budget(),
@@ -359,202 +254,17 @@ class V2Daemon:
             slab=self.cfg.log_slab_bytes,
         )
         self.delivery_log = list(image.delivery_log)
-        self.forwarded_hw = dict(image.clock.hr)
+        self.delivery.forwarded_hw = dict(image.clock.hr)
         self.op_index = 0
-        self.ckpt_seq = image.seq
-        self.app_footprint = image.app_footprint
-        self.region_versions = list(image.regions)
-        self._resize_regions()
+        self.ckpt.restore(image)
         self.restart_base_send = image.clock.send_seq
         self.restart_base_recv = image.clock.recv_seq
         # local cost of jumping to the checkpoint (Condor restart)
         # charged by the dispatcher via restart_spawn_delay; nothing here
 
-    def _download_events(
-        self, from_rclock: Optional[int] = None
-    ) -> Generator[Future, Any, list[EventRecord]]:
-        base = self.restart_base_recv if from_rclock is None else from_rclock
-        while True:
-            end = self._el_end
-            try:
-                yield from end.write(
-                    16, ("DOWNLOAD", self.rank, base)
-                )
-                _, reply = yield end.read()
-            except Disconnected:
-                # the EL crashed mid-download: reconnect (its event store
-                # is durable across service restarts) and re-ask
-                self._el_end = yield from self._el_connect()
-                continue
-            kind, records = reply
-            return list(records)
-
     # ------------------------------------------------------------------
-    # link management
+    # transmit / protocol dispatch
     # ------------------------------------------------------------------
-    def _accept_loop(self):
-        while True:
-            end, hello = yield self._acceptor.accept()
-            kind, peer_rank, peer_inc = hello
-            self._adopt_link(peer_rank, end, initiator=peer_rank)
-
-    def _adopt_link(self, q: int, end: StreamEnd, initiator: int) -> None:
-        """Install (or replace) the connection to peer ``q``.
-
-        Two daemons restarting simultaneously cross-connect; both sides
-        must settle on the *same* stream or each would transmit on a
-        stream the other is not reading.  Tie-break: the stream initiated
-        by the lower rank is canonical.
-        """
-        link = self.links[q]
-        canonical = min(self.rank, q)
-        if link.up() and link.initiator == canonical and initiator != canonical:
-            return  # keep the canonical stream; ignore the crossed one
-        link.end = end
-        link.initiator = initiator
-        link.epoch += 1
-        # drop whatever was queued for the old connection: every app packet
-        # is in SAVED, and the RESTART handshake re-sends what is needed
-        link.tx = Queue(self.sim, name=f"d{self.rank}->d{q}.tx.e{link.epoch}")
-        self._spawn(self._tx_loop(q, link, link.epoch), f"tx{q}e{link.epoch}")
-        self._spawn(self._rx_loop(q, link, link.epoch), f"rx{q}e{link.epoch}")
-        if q in self.needs_restart1:
-            # stays armed until RESTART2 arrives: a replaced stream may have
-            # swallowed an earlier RESTART1 (handling is idempotent)
-            self._enqueue_ctrl(q, ("RESTART1", self.clock.hr.get(q, 0)))
-
-    def _link_down(self, q: int, epoch: int) -> None:
-        link = self.links[q]
-        if link.epoch != epoch:
-            return  # already replaced
-        link.end = None
-        if self.device is not None:
-            self.device.notify_peer_restart_pending(q)
-        # whatever stream comes next (the peer's restart connect, a link
-        # re-establishment after a flap), both sides must resynchronize:
-        # the symmetric RESTART1 exchange re-sends each direction's saved
-        # messages past the other's delivery watermark and repairs pending
-        # rendezvous state; duplicates die on the forwarded_hw discard
-        self.needs_restart1.add(q)
-        if self.rank < q:
-            # one side must actively re-establish a flapped link (a mere
-            # link break restarts no daemon, so nobody else would connect);
-            # the canonical initiator retries, the other side listens.  If
-            # the peer actually crashed, its restarted daemon's connect
-            # simply wins the race (crossed-stream tie-break).
-            self._spawn(self._peer_reconnect(q, epoch), f"re{q}")
-
-    def _peer_reconnect(self, q: int, epoch0: int):
-        """Re-establish the link to ``q`` with backoff (flap/partition)."""
-        link = self.links[q]
-
-        def settled() -> bool:
-            return link.epoch != epoch0 or link.up()
-
-        end = yield from connect_with_retry(
-            self.sim, self.fabric, self.host, f"daemon:{q}",
-            hello=("PEER", self.rank, self.incarnation),
-            window=self.cfg.stream_window,
-            policy=RetryPolicy.from_config(
-                self.cfg, max_tries=self.cfg.peer_retry_tries
-            ),
-            rng=self._rng, on_retry=self._note_outage_retry,
-            giveup=settled,
-        )
-        if end is None:
-            return  # link already replaced, or a restarted peer will connect
-        self._m_outage_reconnects.inc()
-        self.tracer.emit(
-            self.sim.now, "v2.peer_reconnect", rank=self.rank, peer=q
-        )
-        self._adopt_link(q, end, initiator=self.rank)
-
-    # ------------------------------------------------------------------
-    # transmit path
-    # ------------------------------------------------------------------
-    def enqueue_app_packet(self, dst: int, pkt: Packet) -> None:
-        """Queue one application packet on the per-peer transmit loop."""
-        self.links[dst].tx.put(pkt)
-
-    def _enqueue_ctrl(self, dst: int, ctrl: tuple) -> None:
-        self.links[dst].tx.put(ctrl)
-
-    def _tx_loop(self, q: int, link: PeerLink, epoch: int):
-        myq = link.tx
-        while link.epoch == epoch:
-            try:
-                item = yield myq.get()
-            except Disconnected:
-                return
-            if isinstance(item, tuple):  # control message, not gated
-                end = link.end
-                if end is None or link.epoch != epoch:
-                    return
-                try:
-                    yield from end.write(24, item)
-                except (Disconnected, HostDown):
-                    self._link_down(q, epoch)
-                    return
-                continue
-            pkt: Packet = item
-            if "bypass_waitlogged" in self.mutations:
-                pass  # test-only: skip the pessimistic gate entirely
-            elif self.el_gate.is_open:
-                yield self.el_gate.waitfor()  # WAITLOGGED (gate open: free)
-            else:
-                # WAITLOGGED: the pessimistic gate — measure the stall
-                self._m_gate_stalls.inc()
-                t0 = self.sim.now
-                down0 = self._el_down_since
-                yield self.el_gate.waitfor()
-                self._m_gate_stall_s.inc(self.sim.now - t0)
-                if down0 is not None or self._el_down_since is not None:
-                    # the stall overlapped an EL outage: the gate held
-                    # because acknowledgements could not arrive at all
-                    self._m_outage_stalled.inc(self.sim.now - t0)
-            end = link.end
-            if end is None or link.epoch != epoch:
-                return  # packet dropped; SAVED + handshake recover it
-            total = pkt.payload_bytes + self.cfg.packet_header_bytes
-            sizes = segment_sizes(total, self.cfg.chunk_bytes)
-            self.tracer.emit(
-                self.sim.now,
-                "v2.tx",
-                rank=self.rank,
-                dst=q,
-                pkt_kind=pkt.kind.value,
-                sclock=pkt.env.sclock,
-            )
-            try:
-                for nbytes in sizes[:-1]:
-                    yield from end.write(nbytes, None)
-                yield from end.write(sizes[-1], pkt)
-            except (Disconnected, HostDown):
-                self._link_down(q, epoch)
-                return
-            self.cpu_tax_owed += (
-                self.cfg.daemon_cpu_per_msg
-                + self.cfg.daemon_cpu_per_byte * pkt.payload_bytes
-            )
-
-    # ------------------------------------------------------------------
-    # receive path
-    # ------------------------------------------------------------------
-    def _rx_loop(self, q: int, link: PeerLink, epoch: int):
-        end = link.end
-        while link.epoch == epoch:
-            try:
-                _, payload = yield end.read()
-            except Disconnected:
-                self._link_down(q, epoch)
-                return
-            if payload is None:
-                continue  # mid-packet chunk
-            if isinstance(payload, tuple):
-                self._handle_ctrl(q, payload)
-            else:
-                self._handle_app_packet(q, payload)
-
     def _handle_ctrl(self, q: int, msg: tuple) -> None:
         kind = msg[0]
         if kind == "RESTART1":
@@ -563,12 +273,12 @@ class V2Daemon:
             if hp < self.saved.gc_floor.get(q, 0):
                 # q lost its checkpoint: it asks for messages our garbage
                 # collector already destroyed -- unrecoverable locally
-                self._spawn(self._report_unrecoverable(q), "unrec")
+                self._spawn(self.ctrl.report_unrecoverable(q), "unrec")
                 return
             self.clock.hs[q] = hp
-            self._enqueue_ctrl(q, ("RESTART2", self.clock.hr.get(q, 0)))
+            self.peers.enqueue_ctrl(q, ("RESTART2", self.clock.hr.get(q, 0)))
             for m in self.saved.messages_for(q, after_sclock=hp):
-                self._enqueue_replay_packet(q, m.env)
+                self.delivery.enqueue_replay(q, m.env)
             if self.device is not None:
                 self.device.notify_peer_restarted(q)
             self.tracer.emit(
@@ -578,11 +288,11 @@ class V2Daemon:
             # we restarted: q has everything up to hq from us; re-send the
             # pre-checkpoint saved messages it lacks (in-transit at crash)
             hq = msg[1]
-            self.needs_restart1.discard(q)
+            self.peers.needs_restart1.discard(q)
             self.clock.hs[q] = max(self.clock.hs.get(q, 0), hq)
             for m in self.saved.messages_for(q, after_sclock=hq):
                 if m.sclock <= self.restart_base_send:
-                    self._enqueue_replay_packet(q, m.env)
+                    self.delivery.enqueue_replay(q, m.env)
         elif kind == "RTSDUP":
             # the receiver already delivered our rendezvous message: the
             # payload stays in SAVED; complete the pending send locally
@@ -602,399 +312,13 @@ class V2Daemon:
         else:  # pragma: no cover
             raise RuntimeError(f"daemon got control {kind!r}")
 
-    def _enqueue_replay_packet(self, dst: int, env: Envelope) -> None:
-        """Old saved messages are re-sent with the payload inline."""
-        kind = PacketKind.SHORT if env.nbytes <= 1024 else PacketKind.EAGER
-        self.enqueue_app_packet(dst, Packet(kind, env, payload_bytes=env.nbytes))
-
-    def _handle_app_packet(self, src: int, pkt: Packet) -> None:
-        env = pkt.env
-        if pkt.kind in _FIRST_KINDS:
-            # duplicate discard (phase C): the RESTART handshake may re-send
-            # messages we already passed up to the MPI process
-            if env.sclock <= self.forwarded_hw.get(src, 0):
-                self.dups_dropped += 1
-                if pkt.kind is PacketKind.RTS:
-                    # a discarded rendezvous request still needs an answer,
-                    # or the (restarted) sender waits forever for a CTS:
-                    # tell it we already have the message
-                    self._enqueue_ctrl(src, ("RTSDUP", env.sclock))
-                return
-        if (
-            self.replay is not None
-            and self.replay.replaying()
-            and pkt.kind in _FIRST_KINDS
-        ):
-            # the forced-order holdback applies to the packets that *start*
-            # a delivery; CTS and rendezvous DATA complete an exchange the
-            # event order already admitted and must pass through, or the
-            # handshake deadlocks behind its own consumed event
-            if "reorder_replay" in self.mutations:
-                self._release(pkt)  # test-only: arrival order, not logged order
-                return
-            for released in self.replay.offer_packet(pkt):
-                self._release(released)
-            self._maybe_caught_up()
-            return
-        self._release(pkt)
-
-    def _release(self, pkt: Packet) -> None:
-        # the duplicate-discard watermark advances only when the *payload*
-        # goes up: an RTS must not bump it, or a sender that crashes
-        # between its RTS and its DATA would have the re-executed RTS
-        # swallowed as a duplicate and the message would be lost
-        if pkt.kind in _PAYLOAD_KINDS:
-            src = pkt.env.src
-            self.forwarded_hw[src] = max(
-                self.forwarded_hw.get(src, 0), pkt.env.sclock
-            )
-        self._forward(pkt.env.src if pkt.kind is not PacketKind.CTS else pkt.env.dst, pkt)
-
-    def _forward(self, src: int, pkt: Packet) -> None:
-        """Ship a packet across the UNIX socket to the MPI process."""
-        self._fwd_q.put((src, pkt))
-        self.cpu_tax_owed += self.cfg.daemon_cpu_per_msg
-
-    def _forward_loop(self):
-        device = self.device
-        while True:
-            src, pkt = yield self._fwd_q.get()
-            delay = self.cfg.unix_socket_latency + (
-                (pkt.payload_bytes + self.cfg.packet_header_bytes)
-                / self.cfg.unix_socket_bw
-            )
-            yield self.sim.timeout(delay)
-            device.inbox.put((src, pkt))
-            device.stats.bytes_received += pkt.payload_bytes
-            device.stats.msgs_received += 1
-
-    # ------------------------------------------------------------------
-    # event logging
-    # ------------------------------------------------------------------
-    def log_event(self, rec: EventRecord) -> None:
-        """Queue a reception event for the event logger; closes the gate."""
-        self._el_outstanding += 1
-        self.el_gate.close()
-        self._el_q.put(rec)
-        self.tracer.emit(
-            self.sim.now,
-            "v2.log_event",
-            rank=self.rank,
-            rclock=rec.rclock,
-            src=rec.src,
-            sclock=rec.sclock,
-        )
-
-    def _el_connect(self) -> Generator[Future, Any, StreamEnd]:
-        """Connect to the event logger, retrying with capped backoff.
-
-        Exhausting the budget means the EL never came back within ~2
-        minutes of simulated backoff: that violates the deployment
-        contract (the supervisor restarts crashed services), so fail the
-        simulation loudly rather than deadlock silently.
-        """
-        policy = RetryPolicy.from_config(self.cfg)
-        end = yield from connect_with_retry(
-            self.sim, self.fabric, self.host, self.el_name,
-            policy=policy, rng=self._rng, on_retry=self._note_outage_retry,
-        )
-        if end is None:
-            raise RuntimeError(
-                f"rank {self.rank}: event logger {self.el_name} unreachable "
-                f"after {policy.max_tries} attempts"
-            )
-        return end
-
-    def _el_down(self, end: Optional[StreamEnd]) -> None:
-        """Mark the EL connection lost and start the reconnect process."""
-        if end is None or self._el_end is not end:
-            return  # a stale loop noticed an already-replaced stream
-        self._el_end = None
-        self._el_up.close()
-        self._el_down_since = self.sim.now
-        self.tracer.emit(
-            self.sim.now, "v2.el_down", rank=self.rank,
-            outstanding=self._el_outstanding, unacked=len(self._el_unacked),
-        )
-        self._spawn(self._el_reconnect(), "el.re")
-
-    def _el_reconnect(self):
-        """Re-establish the EL link and re-push written-but-unacked batches.
-
-        The WAITLOGGED gate stays closed throughout (``_el_outstanding``
-        still counts the lost acknowledgements), so no application
-        message escapes while its reception event is in doubt — the
-        pessimistic property holds across the outage by construction.
-        The server dedups re-pushed events by ``(rank, rclock)``, so the
-        at-least-once re-push is idempotent; it still acknowledges every
-        batch, which is what re-earns the lost acks.
-        """
-        down_since = self._el_down_since
-        end = yield from self._el_connect()
-        # acks of the old stream died with it: every unacked batch is
-        # re-pushed, in order, ahead of anything the writer sends next
-        repush = list(self._el_unacked)
-        self._el_inflight.clear()
-        self._el_end = end
-        self._spawn(self._el_reader(end), "el.rx")
-        for batch in repush:
-            t0 = self.sim.now
-            try:
-                yield from end.write(
-                    self.cfg.event_bytes * len(batch), ("EVENT", self.rank, batch)
-                )
-            except (Disconnected, HostDown):
-                self._el_down(end)  # crashed again: the next round re-pushes
-                return
-            self._el_inflight.append((t0, len(batch)))
-        outage_s = self.sim.now - down_since if down_since is not None else 0.0
-        self._m_outage_reconnects.inc()
-        self._m_outage_el_down_s.inc(outage_s)
-        self._el_down_since = None
-        self.tracer.emit(
-            self.sim.now, "v2.el_reconnect", rank=self.rank,
-            outage_s=outage_s, repushed=len(repush),
-        )
-        self._el_up.open()
-
-    def _el_writer(self):
-        while True:
-            first = yield self._el_q.get()
-            batch = [first]
-            while len(batch) < self.cfg.el_batch_cap:
-                ok, more = self._el_q.try_get()
-                if not ok:
-                    break
-                batch.append(more)
-            # exactly-once hand-off per stream generation: a batch joins
-            # _el_unacked only once written, so the reconnector (which
-            # re-pushes _el_unacked) and this writer never both send it
-            while True:
-                if not self._el_up.is_open:
-                    yield self._el_up.waitfor()
-                end = self._el_end
-                if end is None:
-                    continue  # raced with another disconnect; wait again
-                t0 = self.sim.now
-                try:
-                    yield from end.write(
-                        self.cfg.event_bytes * len(batch),
-                        ("EVENT", self.rank, batch),
-                    )
-                except (Disconnected, HostDown):
-                    self._el_down(end)
-                    continue  # batch not in _el_unacked: resend it here
-                self._el_unacked.append(batch)
-                self._el_inflight.append((t0, len(batch)))
-                self.events_pushed += len(batch)
-                break
-
-    def _el_reader(self, end: StreamEnd):
-        while True:
-            try:
-                _, msg = yield end.read()
-            except Disconnected:
-                self._el_down(end)
-                return
-            kind, n = msg
-            if kind == "ACK":
-                if self._el_unacked:
-                    self._el_unacked.popleft()
-                self._el_outstanding = max(0, self._el_outstanding - n)
-                self.tracer.emit(
-                    self.sim.now, "v2.el_ack", rank=self.rank, n=n,
-                    outstanding=self._el_outstanding,
-                )
-                if self._el_inflight:
-                    t0, _batch = self._el_inflight.popleft()
-                    self._m_el_roundtrips.inc()
-                    self._m_el_rtt.observe(self.sim.now - t0)
-                if self._el_outstanding == 0 and len(self._el_q) == 0:
-                    self.el_gate.open()
-
-    # ------------------------------------------------------------------
-    # checkpointing
-    # ------------------------------------------------------------------
-    def order_checkpoint(self) -> None:
-        """Request a checkpoint at the next API-boundary safe point."""
-        self.ckpt_requested = True
-
-    def _resize_regions(self) -> None:
-        """Fit the dirty-region vector to the application footprint."""
-        n = -(-self.app_footprint // max(1, self.cfg.ckpt_chunk_bytes))
-        if len(self.region_versions) < n:
-            self.region_versions.extend([0] * (n - len(self.region_versions)))
-        elif len(self.region_versions) > n:
-            del self.region_versions[n:]
-
-    def touch_region(self) -> None:
-        """Dirty the memory region this operation phase writes.
-
-        Which region an op dirties depends only on ``op_index`` (hashed
-        per phase of ``ckpt_dirty_ops`` operations), never on wall time
-        or arrival order, so a replayed execution dirties exactly the
-        regions the original did and reconverges to the same versions.
-        """
-        if not self.region_versions:
-            return
-        phase = self.op_index // max(1, self.cfg.ckpt_dirty_ops)
-        idx = stable_digest("dirty", phase) % len(self.region_versions)
-        self.region_versions[idx] += 1
-
-    def capture_image(self) -> CheckpointImage:
-        """Snapshot the node's logical state as a checkpoint image."""
-        self.ckpt_seq += 1
-        return CheckpointImage(
-            rank=self.rank,
-            seq=self.ckpt_seq,
-            op_count=self.op_index,
-            clock=self.clock.snapshot(),
-            saved=self.saved.snapshot(),
-            delivery_log=list(self.delivery_log),
-            app_footprint=self.app_footprint,
-            regions=tuple(self.region_versions),
-        )
-
-    def start_image_push(self, image: CheckpointImage) -> None:
-        """Stream the image to the checkpoint server in the background."""
-        self._spawn(self._push_image(image), f"ckpt{image.seq}")
-
-    def _push_image(self, image: CheckpointImage):
-        t0 = self.sim.now
-        # decompose into content-addressed chunks and push to the replica
-        # set; durable once the write quorum committed.  A briefly-down
-        # replica (supervisor restart, partition) comes back within the
-        # client's retry budget; losing the quorum entirely degrades to a
-        # scheduler-retried abort exactly as a lost single server did
-        manifest, chunks = chunk_image(image, self.cfg.ckpt_chunk_bytes)
-        ok = yield from self._store.push(
-            manifest, chunks, self.cfg.ckpt_incremental
-        )
-        if not ok:
-            yield from self._ckpt_failed(image, self._store.last_push_why)
-            return
-        total = image.image_bytes
-        self.checkpoints_done += 1
-        self._m_ckpt_images.inc()
-        self._m_ckpt_bytes.inc(total)
-        self._m_ckpt_push.observe(self.sim.now - t0)
-        # the completion record (with the image's HR vector) must precede
-        # the GC orders it authorizes, so an online observer always sees
-        # the checkpoint's coverage before any sender acts on it
-        self.tracer.emit(
-            self.sim.now,
-            "v2.ckpt",
-            rank=self.rank,
-            seq=image.seq,
-            clock=image.clock.h,
-            nbytes=total,
-            hr=dict(image.clock.hr),
-        )
-        # garbage collection: peers drop copies we will never ask for again.
-        # Thresholds come from the *image's* HR vector — the live clock has
-        # already advanced past deliveries the image does not cover.
-        for q, link in self.links.items():
-            thr = image.clock.hr.get(q, 0)
-            if "premature_gc" in self.mutations:
-                thr += 5  # test-only: GC past the checkpoint's coverage
-            self._enqueue_ctrl(q, ("GC", thr))
-        el_end = self._el_end
-        if el_end is not None:
-            try:
-                yield from el_end.write(
-                    16, ("PRUNE", self.rank, image.clock.recv_seq)
-                )
-            except Disconnected:
-                # PRUNE is a best-effort space optimization: un-pruned
-                # events only cost the (restarted) EL memory
-                self._el_down(el_end)
-        if self._sched_end is not None:
-            try:
-                yield from self._sched_end.write(
-                    16, ("CKPT_DONE", self.rank, image.clock.h, image.seq)
-                )
-            except Disconnected:
-                pass
-
-    def _ckpt_failed(self, image: CheckpointImage, why: str):
-        """Account an aborted push and ask the scheduler to retry it."""
-        self.ckpt_aborts += 1
-        self._m_ckpt_aborted.inc()
-        self.tracer.emit(
-            self.sim.now, "v2.ckpt_abort", rank=self.rank, seq=image.seq,
-            why=why,
-        )
-        if self._sched_end is not None:
-            try:
-                yield from self._sched_end.write(16, ("CKPT_FAIL", self.rank))
-            except Disconnected:
-                pass
-        else:
-            yield self.sim.timeout(0.0)
-
-    # ------------------------------------------------------------------
-    # scheduler protocol
-    # ------------------------------------------------------------------
-    def _sched_loop(self):
-        while True:
-            end = self._sched_end
-            if end is None:
-                return
-            try:
-                _, msg = yield end.read()
-            except Disconnected:
-                # a flapped control link: reconnect so checkpoint orders
-                # keep flowing (the scheduler re-registers us on accept)
-                self._sched_end = yield from connect_with_retry(
-                    self.sim, self.fabric, self.host, self.sched_name,
-                    hello=("HELLO", self.rank, self.incarnation),
-                    policy=RetryPolicy.from_config(
-                        self.cfg, max_tries=self.cfg.peer_retry_tries
-                    ),
-                    rng=self._rng, on_retry=self._note_outage_retry,
-                )
-                continue
-            if msg[0] == "STATUS_REQ":
-                status = (
-                    "STATUS",
-                    self.rank,
-                    {
-                        "logged_bytes": self.saved.bytes_total,
-                        "logged_msgs": len(self.saved),
-                        "bytes_sent": self.device.stats.bytes_sent if self.device else 0,
-                        "bytes_received": self.device.stats.bytes_received
-                        if self.device
-                        else 0,
-                        "finalized": self.finalized,
-                    },
-                )
-                try:
-                    yield from end.write(32, status)
-                except Disconnected:
-                    continue  # the next read notices and reconnects
-            elif msg[0] == "CKPT_ORDER":
-                self.order_checkpoint()
-
     # ------------------------------------------------------------------
     # lifecycle notifications
     # ------------------------------------------------------------------
-    def _report_unrecoverable(self, q: int):
-        if self._disp_end is not None:
-            try:
-                yield from self._disp_end.write(16, ("UNRECOVERABLE", q))
-            except Disconnected:  # pragma: no cover
-                pass
-
     def notify_finalized(self) -> Generator[Future, Any, None]:
         """Tell the dispatcher this rank's MPI process completed."""
         self.finalized = True
-        if self._disp_end is not None:
-            try:
-                yield from self._disp_end.write(16, ("FINALIZED", self.rank))
-            except Disconnected:
-                pass
-        else:
-            yield self.sim.timeout(0.0)
+        yield from self.ctrl.report_finalized()
 
     def take_cpu_tax(self) -> float:
         """Drain the daemon's accumulated CPU competition (LU effect)."""
@@ -1009,23 +333,6 @@ class V2Daemon:
         self._m_log_disk.set(on_disk, now)
         self._m_log_msgs.set(len(self.saved), now)
 
-    def _maybe_caught_up(self) -> None:
-        """Emit ``v2.caught_up`` once this incarnation's replay drains."""
-        if self._caught_up or self.replay is None:
-            return
-        if self.replay.active(self.op_index):
-            return
-        self._caught_up = True
-        replay_s = self.sim.now - self._start_t
-        self._m_replay_s.observe(replay_s)
-        self.tracer.emit(
-            self.sim.now,
-            "v2.caught_up",
-            rank=self.rank,
-            incarnation=self.incarnation,
-            replay_s=replay_s,
-        )
-
     def _log_ram_budget(self) -> int:
         """Main memory left for the message log after the application."""
         return max(
@@ -1037,12 +344,7 @@ class V2Daemon:
         """Declare the MPI process's memory; shrinks the log's RAM budget."""
         self.app_footprint = int(nbytes)
         self.saved.ram_budget = self._log_ram_budget()
-        self._resize_regions()
-
-
-def src_of(pkt: Packet) -> int:
-    """The original sender of an application packet."""
-    return pkt.env.src
+        self.ckpt.resize_regions(self.app_footprint)
 
 
 class V2Device(ChannelDevice):
@@ -1151,7 +453,7 @@ class V2Device(ChannelDevice):
         suppressible = pkt.kind in _FIRST_KINDS
         if suppressible and d.clock.suppressed(dst, env.sclock):
             return False  # receiver already delivered it (re-execution)
-        d.enqueue_app_packet(dst, pkt)
+        d.peers.enqueue_app(dst, pkt)
         self.stats.bytes_sent += pkt.payload_bytes
         self.stats.msgs_sent += 1
         return True
@@ -1159,7 +461,7 @@ class V2Device(ChannelDevice):
     def try_send_now(self, dst: int, pkt: Packet) -> bool:
         """Nonblocking control-packet send (daemon handoff)."""
         # small control packets (CTS): hand to the daemon, never blocks
-        self.daemon.enqueue_app_packet(dst, pkt)
+        self.daemon.peers.enqueue_app(dst, pkt)
         return True
 
     def pibrecv(self) -> Generator[Future, Any, tuple[int, Packet]]:
@@ -1212,7 +514,7 @@ class V2Device(ChannelDevice):
         resume = d.replay.log_resume_clock if d.replay is not None else 0
         src_seen, sclock_seen = env.src, env.sclock
         if rclock > resume:
-            d.log_event(EventRecord(rclock, env.src, env.sclock, probes))
+            d.el.log_event(EventRecord(rclock, env.src, env.sclock, probes))
             d._m_del_fresh.inc()
             self.stats.deliveries_fresh += 1
             mode = "fresh"
@@ -1273,9 +575,9 @@ class V2Device(ChannelDevice):
         if d.replay is None or d.op_index > d.replay.ff_target_ops:
             # ops inside the fast-forward prefix already had their dirty
             # effect captured by the restored image's region versions
-            d.touch_region()
+            d.ckpt.touch_region(d.op_index)
         if d.replay is not None:
-            d._maybe_caught_up()
+            d.delivery.maybe_caught_up()
         if (
             d.replay is not None
             and d.op_index == d.replay.ff_target_ops
@@ -1288,10 +590,10 @@ class V2Device(ChannelDevice):
                 f"({d.restart_base_send},{d.restart_base_recv})"
             )
         if (
-            d.ckpt_requested
+            d.ckpt.requested
             and not (d.replay is not None and d.replay.active(d.op_index))
         ):
-            d.ckpt_requested = False
-            image = d.capture_image()
+            d.ckpt.requested = False
+            image = d.ckpt.capture()
             yield self.sim.timeout(self.cfg.ckpt_fork_cost)
-            d.start_image_push(image)
+            d.ckpt.start_push(image)

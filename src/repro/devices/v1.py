@@ -24,11 +24,13 @@ from typing import Any, Generator, Optional
 from ..mpi.api import MPI
 from ..mpi.protocol import Packet
 from ..obs.collect import finalize_job
+from ..obs.registry import Metrics
 from ..runtime.cluster import Cluster
 from ..runtime.config import TestbedConfig
 from ..runtime.fabric import Fabric
 from ..runtime.mpirun import rank_main
 from ..runtime.results import JobResult
+from ..runtime.session import ServiceBase, Session
 from ..simnet.kernel import Future, Killed, Simulator
 from ..simnet.node import Host
 from ..simnet.streams import Disconnected, StreamEnd
@@ -38,15 +40,21 @@ from .base import ChannelDevice, segment_sizes
 __all__ = ["ChannelMemory", "V1Device", "run_v1_job"]
 
 
-class ChannelMemory:
+class ChannelMemory(ServiceBase):
     """One reliable Channel Memory node serving a group of computing nodes.
 
     Stores every message addressed to its associated receivers, in
     arrival order, and serves them one per GET request.  The permanent
     log survives receiver crashes; a restarted receiver's GET cursor
     restarts from zero (or from its checkpoint position) and replays the
-    stored stream in the original order.
+    stored stream in the original order.  On the shared service
+    lifecycle a CM can be stopped and restarted without losing its log
+    (the lost in-flight GET is re-issued by the receiver's next
+    ``pibrecv``).
     """
+
+    metric_ns = "cm"
+    payload_types = (Packet,)
 
     def __init__(
         self,
@@ -56,13 +64,10 @@ class ChannelMemory:
         cfg: TestbedConfig,
         name: str,
         tracer: Optional[Tracer] = None,
+        metrics: Optional[Metrics] = None,
     ) -> None:
-        self.sim = sim
-        self.host = host
-        self.fabric = fabric
+        super().__init__(sim, host, fabric, name, tracer=tracer, metrics=metrics)
         self.cfg = cfg
-        self.name = name
-        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         # per destination rank: the full ordered reception log
         self.log: dict[int, list[Packet]] = {}
         # per destination rank: message ids already stored (re-executed
@@ -75,28 +80,12 @@ class ChannelMemory:
         self.stores = 0
         self.serves = 0
 
-    def start(self) -> None:
-        """Register the CM's listener and start serving connections."""
-        acceptor = self.fabric.listen(self.name, self.host)
-
-        def accept_loop():
-            while True:
-                end, hello = yield acceptor.accept()
-                p = self.sim.spawn(
-                    self._serve(end), name=f"{self.name}.serve", supervised=True
-                )
-                self.host.register(p)
-
-        self.host.register(self.sim.spawn(accept_loop(), name=f"{self.name}.accept"))
-
-    def _serve(self, end: StreamEnd):
+    def _serve(self, end: StreamEnd, hello: Any = None):
         while True:
             try:
-                _, msg = yield end.read()
+                msg = yield from self._read_record(end)
             except Disconnected:
                 return
-            if msg is None:
-                continue  # mid-packet chunk
             if isinstance(msg, Packet):
                 # STORE: a message for one of our receivers
                 dst = msg.env.dst
@@ -155,12 +144,20 @@ class V1Device(ChannelDevice):
     #: pointless: every message ships eagerly to the CM
     eager_override = True
 
-    def __init__(self, *args: Any, cm_of=None, incarnation: int = 0, **kw: Any) -> None:
+    def __init__(
+        self,
+        *args: Any,
+        cm_of=None,
+        incarnation: int = 0,
+        metrics: Optional[Metrics] = None,
+        **kw: Any,
+    ) -> None:
         super().__init__(*args, **kw)
         self.cm_of = cm_of or {}  # rank -> CM service name
         self.incarnation = incarnation
-        self._cm_ends: dict[str, StreamEnd] = {}  # CM name -> stream (for sends)
-        self._own_end: Optional[StreamEnd] = None  # stream to our own CM
+        self._metrics = metrics if metrics is not None else Metrics()
+        self._sessions: dict[str, Session] = {}  # CM name -> session
+        self._own: Optional[Session] = None  # session to our own CM
         self._get_outstanding = False
         self.fabric: Optional[Fabric] = None
         self.replay_cursor = 0  # messages consumed (checkpointing hook)
@@ -169,24 +166,40 @@ class V1Device(ChannelDevice):
         """Attach the connection fabric (done by the launcher)."""
         self.fabric = fabric
 
+    def _session_for_cm(self, cm: str) -> Session:
+        """The (lazily dialled) session to one Channel Memory.
+
+        CMs run on reliable nodes, so a refused connect is a deployment
+        bug and raises; a *broken* stream (our own host restarting mid-
+        write) is re-dialled on next use."""
+        sess = self._sessions.get(cm)
+        if sess is None:
+            sess = Session(
+                self.sim, self.fabric, self.host, cm,
+                hello=("CN", self.rank), tracer=self.tracer,
+                metrics=self._metrics, scope="v1",
+                payload_types=(Packet,), labels={"rank": self.rank},
+            )
+            self._sessions[cm] = sess
+        if not sess.up():
+            sess.connect_now()
+        return sess
+
     def piinit(self) -> Generator[Future, Any, None]:
-        self._own_end = self.fabric.connect(
-            self.host, self.cm_of[self.rank], hello=("CN", self.rank)
-        )
+        self._own = self._session_for_cm(self.cm_of[self.rank])
         if self.incarnation > 0:
             # uncoordinated restart: replay the reception stream from the
             # beginning -- "a process re-execution is independent of the
             # other processes of the system" (Section 3.2)
-            yield from self._own_end.write(16, ("RESET", self.rank, 0))
+            yield from self._own.write(16, ("RESET", self.rank, 0))
         yield self.sim.timeout(0.0)
 
+    @property
+    def _own_end(self) -> StreamEnd:
+        return self._own.end
+
     def _end_for(self, dst: int) -> StreamEnd:
-        cm = self.cm_of[dst]
-        end = self._cm_ends.get(cm)
-        if end is None or end.broken is not None:
-            end = self.fabric.connect(self.host, cm, hello=("CN", self.rank))
-            self._cm_ends[cm] = end
-        return end
+        return self._session_for_cm(self.cm_of[dst]).end
 
     # -- sending: store on the receiver's CM ------------------------------------
     def pibsend(self, dst: int, pkt: Packet) -> Generator[Future, Any, bool]:
@@ -211,23 +224,28 @@ class V1Device(ChannelDevice):
     def pibrecv(self) -> Generator[Future, Any, tuple[int, Packet]]:
         """Pull the next stored message from our Channel Memory."""
         if not self._get_outstanding:
-            yield from self._own_end.write(
+            yield from self._own.write(
                 self.cfg.cm_request_bytes, ("GET", self.rank)
             )
             self._get_outstanding = True
         while True:
-            _, payload = yield self._own_end.read()
-            if payload is None:
-                continue
+            payload = yield from self._own.read_record()
             if isinstance(payload, Packet):
                 self._get_outstanding = False
                 self.replay_cursor += 1
                 self._note_received(payload)
                 self._last_from = payload.env.src
                 return payload.env.src, payload
-            # a stale PROBE_R reply: ignore
-            if payload[0] != "PROBE_R":  # pragma: no cover
-                raise RuntimeError(f"unexpected CM reply {payload[0]!r}")
+            if payload[0] == "PROBE_R":
+                # a PROBE_R landing outside a probe is a stale reply the
+                # protocol must drop — but never silently: it is counted
+                # (``v1.protocol_errors``) and traced like every other
+                # wire violation
+                self._own.protocol_error("unexpected PROBE_R reply")
+                continue
+            raise RuntimeError(  # pragma: no cover
+                f"unexpected CM reply {payload[0]!r}"
+            )
 
     def poll(self) -> list[tuple[int, Packet]]:
         """Drain already-arrived CM replies without blocking."""
@@ -242,6 +260,8 @@ class V1Device(ChannelDevice):
                 self._note_received(payload)
                 self._last_from = payload.env.src
                 out.append((payload.env.src, payload))
+            elif payload is not None and payload[0] == "PROBE_R":
+                self._own.protocol_error("unexpected PROBE_R reply")
         return out
 
     def pinprobe(self) -> bool:
@@ -289,7 +309,10 @@ def run_v1_job(
     cm_of: dict[int, str] = {}
     for i in range(n_cm):
         host = cluster.add_aux(f"cm{i}")
-        cm = ChannelMemory(sim, host, fabric, cfg, name=f"cm:{i}", tracer=cluster.tracer)
+        cm = ChannelMemory(
+            sim, host, fabric, cfg, name=f"cm:{i}",
+            tracer=cluster.tracer, metrics=cluster.metrics,
+        )
         cm.start()
         cms.append(cm)
     for r in range(nprocs):
@@ -319,7 +342,7 @@ def run_v1_job(
         host = hosts[rank]
         dev = V1Device(
             sim, cfg, rank, nprocs, host, tracer=cluster.tracer,
-            cm_of=cm_of, incarnation=inc,
+            cm_of=cm_of, incarnation=inc, metrics=cluster.metrics,
         )
         dev.wire(fabric)
         mpi = MPI(sim, rank, nprocs, dev, tracer=cluster.tracer)

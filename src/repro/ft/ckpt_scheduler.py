@@ -29,8 +29,10 @@ from typing import Any, Optional
 
 import numpy as np
 
+from ..obs.registry import Metrics
 from ..runtime.config import TestbedConfig
 from ..runtime.fabric import ConnectionRefused, Fabric
+from ..runtime.session import ServiceBase
 from ..simnet.kernel import Queue, Simulator, any_of
 from ..simnet.node import Host, HostDown
 from ..simnet.streams import Disconnected, StreamEnd
@@ -41,8 +43,10 @@ __all__ = ["CheckpointScheduler", "POLICIES"]
 POLICIES = ("round_robin", "adaptive", "random")
 
 
-class CheckpointScheduler:
+class CheckpointScheduler(ServiceBase):
     """The checkpoint-ordering service."""
+
+    metric_ns = "sched"
 
     def __init__(
         self,
@@ -58,20 +62,17 @@ class CheckpointScheduler:
         rng: Optional[np.random.Generator] = None,
         tracer: Optional[Tracer] = None,
         cs_names: tuple[str, ...] = (),
+        metrics: Optional[Metrics] = None,
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; pick from {POLICIES}")
-        self.sim = sim
-        self.host = host
-        self.fabric = fabric
+        super().__init__(sim, host, fabric, name, tracer=tracer, metrics=metrics)
         self.cfg = cfg
         self.nprocs = nprocs
         self.policy = policy
         self.interval = interval
         self.continuous = continuous
-        self.name = name
         self.rng = rng or np.random.default_rng(0)
-        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.links: dict[int, StreamEnd] = {}
         self.status: dict[int, dict[str, Any]] = {}
         self._rr_next = 0
@@ -89,29 +90,24 @@ class CheckpointScheduler:
         self.quorum_seq: dict[int, int] = {}
         self._gc_q: Queue = Queue(sim, name="sched.gcq")
 
-    def start(self) -> None:
-        """Register the listener and start the scheduling loop."""
-        acceptor = self.fabric.listen(self.name, self.host)
+    def on_accept(self, end: StreamEnd, hello: object) -> None:
+        _, rank, inc = hello
+        self.links[rank] = end
+        self._spawn(self._reader(rank, end), f"sched.rx{rank}", supervised=True)
 
-        def accept_loop():
-            while True:
-                end, hello = yield acceptor.accept()
-                _, rank, inc = hello
-                self.links[rank] = end
-                p = self.sim.spawn(
-                    self._reader(rank, end), name=f"sched.rx{rank}", supervised=True
-                )
-                self.host.register(p)
-
-        self.host.register(self.sim.spawn(accept_loop(), name="sched.accept"))
-        self.host.register(self.sim.spawn(self._drive(), name="sched.drive"))
+    def on_start(self) -> None:
+        """Run the scheduling loop (and the store-GC broadcaster)."""
+        self._spawn(self._drive(), "sched.drive")
         if self.cs_names:
-            self.host.register(self.sim.spawn(self._gc_drive(), name="sched.gc"))
+            self._spawn(self._gc_drive(), "sched.gc")
+
+    def on_stop(self, cause: object) -> None:
+        self.links.clear()
 
     def _reader(self, rank: int, end: StreamEnd):
         while True:
             try:
-                _, msg = yield end.read()
+                msg = yield from self._read_record(end)
             except Disconnected:
                 if self.links.get(rank) is end:
                     del self.links[rank]

@@ -17,19 +17,20 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from ..core.v2_device import V2Daemon, V2Device
 from ..core.event_logger import EventLoggerServer
+from ..core.v2_device import V2Daemon, V2Device
 from ..mpi.api import MPI
 from ..obs.collect import finalize_job
-from ..simnet.kernel import Future, Killed
-from ..simnet.node import Host
-from ..simnet.streams import Disconnected, StreamEnd
 from ..runtime.cluster import Cluster
 from ..runtime.config import TestbedConfig
 from ..runtime.fabric import Fabric
 from ..runtime.mpirun import rank_main
 from ..runtime.progfile import DeploymentPlan
 from ..runtime.results import JobResult
+from ..runtime.session import ServiceBase
+from ..simnet.kernel import Future, Killed
+from ..simnet.node import Host
+from ..simnet.streams import Disconnected, StreamEnd
 from .ckpt_scheduler import CheckpointScheduler
 from .ckpt_server import CheckpointServer
 from .failure import ComposedFaults, FaultContext
@@ -53,6 +54,37 @@ class RankState:
         self.finish_time = 0.0
         self.spawn_time = 0.0  # when this incarnation was launched
         self.restarts = 0
+
+
+class _ControlListener(ServiceBase):
+    """The dispatcher's daemon-facing control service.
+
+    Daemons report UNRECOVERABLE (a rank whose image is gone but whose
+    logs were garbage-collected) and FINALIZED over this link.  On the
+    shared service lifecycle the listener can be stopped and restarted
+    without leaking acceptors — the old inline accept loop could not.
+    """
+
+    metric_ns = "disp"
+
+    def __init__(self, dispatcher: "Dispatcher", *args: Any, **kw: Any) -> None:
+        super().__init__(*args, **kw)
+        self._dispatcher = dispatcher
+
+    def _serve(self, end: StreamEnd, hello: Any):
+        while True:
+            try:
+                msg = yield from self._read_record(end)
+            except Disconnected:
+                return  # crash detection is handled via host.on_crash
+            if msg[0] == "UNRECOVERABLE":
+                # a rank's checkpoint image is gone but its logs were
+                # already garbage-collected: per-process replay is
+                # impossible and the whole application restarts from
+                # scratch ("restart from scratch, at worst", Section 4.3)
+                self._dispatcher._trigger_global_restart()
+            # FINALIZED messages are informational; completion is tracked
+            # through the app process future (same information, no race)
 
 
 class Dispatcher:
@@ -101,38 +133,21 @@ class Dispatcher:
         self._m_restarts = m.counter("ft.restarts")
         self._m_global_restarts = m.counter("ft.global_restarts")
         self._m_downtime = m.histogram("ft.downtime_s")
+        self.listener = _ControlListener(
+            self, self.sim, host, fabric, "dispatcher",
+            tracer=cluster.tracer, metrics=cluster.metrics,
+        )
 
     # -- launch --------------------------------------------------------------
     def start(self) -> None:
         """Listen for daemon control links and launch every rank."""
-        acceptor = self.fabric.listen("dispatcher", self.host)
-
-        def accept_loop():
-            while True:
-                end, hello = yield acceptor.accept()
-                p = self.sim.spawn(
-                    self._control_reader(end), name="disp.ctrl", supervised=True
-                )
-                self.host.register(p)
-
-        self.host.register(self.sim.spawn(accept_loop(), name="disp.accept"))
+        self.listener.start()
         for r in range(self.nprocs):
             self._spawn_rank(r, self.cn_hosts[r])
 
-    def _control_reader(self, end: StreamEnd):
-        while True:
-            try:
-                _, msg = yield end.read()
-            except Disconnected:
-                return  # crash detection is handled via host.on_crash below
-            if isinstance(msg, tuple) and msg and msg[0] == "UNRECOVERABLE":
-                # a rank's checkpoint image is gone but its logs were
-                # already garbage-collected: per-process replay is
-                # impossible and the whole application restarts from
-                # scratch ("restart from scratch, at worst", Section 4.3)
-                self._trigger_global_restart()
-            # FINALIZED messages are informational; completion is tracked
-            # through the app process future (same information, no race)
+    def stop(self, cause: Any = "disp-crash") -> None:
+        """Withdraw the control listener and drop every daemon link."""
+        self.listener.stop(cause)
 
     def _trigger_global_restart(self) -> None:
         if self._global_restarting or self.done.done:
@@ -475,6 +490,7 @@ def run_v2_job(
             rng=cluster.rng.stream("ckpt-sched"),
             tracer=cluster.tracer,
             cs_names=tuple(cs_names),
+            metrics=cluster.metrics,
         )
         scheduler.start()
         sched_name = scheduler.name

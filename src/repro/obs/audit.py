@@ -47,7 +47,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Union
 
 from ..core.clocks import VectorClock
-from ..simnet.trace import TraceRecord, Tracer
+from ..simnet.trace import Tracer, TraceRecord
 
 __all__ = ["RULES", "Violation", "AuditReport", "ProtocolAuditor", "audit_trace"]
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 import json
 from typing import Any, Iterable
 
-from ..simnet.trace import TraceRecord, Tracer
+from ..simnet.trace import Tracer, TraceRecord
 
 __all__ = [
     "chrome_trace",

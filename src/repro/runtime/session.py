@@ -1,0 +1,349 @@
+"""The shared connection layer: framed sessions and the service lifecycle.
+
+The paper's architecture is a set of separable services — event logger,
+checkpoint server, checkpoint scheduler, dispatcher, channel memories —
+each talking to daemon-side clients over ordered streams.  Before this
+module existed, every one of those components hand-rolled the same three
+mechanisms: a listen/accept-loop/unlisten lifecycle on the server side,
+a typed-record framing discipline on the wire, and reconnect-with-backoff
+machinery on the client side.  This module implements each exactly once:
+
+* :class:`Session` — one client-side link to a named service.  It wraps
+  a :class:`~repro.simnet.streams.StreamEnd` with
+
+  - **typed record framing**: a wire message is either ``None`` (an
+    in-flight segment of a chunked transfer, skipped), a tagged tuple
+    ``("KIND", ...)``, or an explicitly allowed raw payload type (e.g.
+    :class:`~repro.mpi.protocol.Packet` on peer/CM links).  Anything
+    else is a *protocol error* — counted into the metrics registry and
+    traced, never silently treated as payload (the CHUNK/COMMIT
+    discipline ``repro.store`` introduced, now shared);
+  - **reconnect epochs**: every (re)adoption of a stream bumps
+    ``epoch``; loops capture the epoch they were started under and use
+    :meth:`Session.stale` to reject work belonging to a replaced link;
+  - **integrated backoff**: :meth:`Session.connect` retries refused
+    connections under a :class:`~repro.runtime.retry.RetryPolicy` with
+    deterministic jitter, reporting each retry through ``on_retry`` (the
+    hook components use to account the ``outage.*`` metrics).
+
+* :class:`ServiceBase` — the server-side lifecycle.  ``start()``
+  registers the fabric listener and runs the accept loop; ``stop()``
+  withdraws the listener, kills every service process and breaks every
+  accepted connection (a *service-level* crash: in-flight requests die,
+  durable state — owned by the subclass — survives for the supervised
+  relaunch).  Subclasses implement :meth:`ServiceBase._serve` (one
+  generator per accepted connection) or override
+  :meth:`ServiceBase.on_accept` for bespoke connection handling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from ..obs.registry import Metrics
+from ..simnet.kernel import Future, Simulator
+from ..simnet.node import Host
+from ..simnet.streams import Disconnected, StreamEnd
+from ..simnet.trace import Tracer
+from .fabric import Acceptor, Fabric
+from .retry import RetryPolicy, connect_with_retry
+
+__all__ = ["Session", "ServiceBase", "framed"]
+
+
+def framed(msg: Any, payload_types: tuple = ()) -> bool:
+    """Is ``msg`` a well-formed typed record (or an allowed raw payload)?
+
+    A typed record is a non-empty tuple whose first element is a string
+    tag.  ``payload_types`` widens the accepted set for links that carry
+    raw application payloads (peer daemons, channel memories).
+    """
+    if isinstance(msg, tuple) and msg and isinstance(msg[0], str):
+        return True
+    return bool(payload_types) and isinstance(msg, payload_types)
+
+
+class Session:
+    """One framed, epoch-counted client link to a named service.
+
+    A session survives the stream it currently wraps: when the link
+    breaks, :meth:`drop` marks it down (rejecting stale notifications
+    from replaced streams) and a later :meth:`connect` /
+    :meth:`adopt` installs the replacement under a bumped epoch.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        host: Host,
+        target: str,
+        *,
+        hello: Any = None,
+        window: Optional[int] = None,
+        policy: Optional[RetryPolicy] = None,
+        rng: Optional[Any] = None,
+        on_retry: Optional[Callable[[int, float], None]] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[Metrics] = None,
+        scope: str = "session",
+        payload_types: tuple = (),
+        labels: Optional[dict[str, Any]] = None,
+    ) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.host = host
+        self.target = target
+        self.hello = hello
+        self.window = window
+        self.policy = policy if policy is not None else RetryPolicy()
+        self._rng = rng
+        self._on_retry = on_retry
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.scope = scope
+        self.payload_types = tuple(payload_types)
+        self._labels = dict(labels or {})
+        m = metrics if metrics is not None else Metrics()
+        self._m_proto = m.counter(f"{scope}.protocol_errors", **self._labels)
+        self.end: Optional[StreamEnd] = None
+        self.epoch = 0  # bumps on every (re)adoption
+        self.protocol_errors = 0
+
+    # -- link state --------------------------------------------------------
+    def up(self) -> bool:
+        """Is the current stream alive?"""
+        return self.end is not None and self.end.broken is None
+
+    def stale(self, epoch: int) -> bool:
+        """Does ``epoch`` belong to a replaced incarnation of this link?"""
+        return epoch != self.epoch
+
+    def adopt(self, end: StreamEnd) -> int:
+        """Install ``end`` as the session's stream; returns the new epoch."""
+        self.end = end
+        self.epoch += 1
+        return self.epoch
+
+    def drop(self, end: Optional[StreamEnd] = None) -> bool:
+        """Mark the link down.  Returns False for stale notifications —
+        when ``end`` is given and is no longer the session's stream, a
+        replaced loop noticed a break the session already moved past."""
+        if self.end is None or (end is not None and self.end is not end):
+            return False
+        self.end = None
+        return True
+
+    # -- connecting --------------------------------------------------------
+    def connect_now(self, adopt: bool = True) -> StreamEnd:
+        """Single connection attempt (no retry); adopts on success.
+
+        Raises :class:`~repro.runtime.fabric.ConnectionRefused` exactly
+        as ``fabric.connect`` would — for links whose target is assumed
+        reliable (e.g. a Channel Memory).  ``adopt=False`` returns the
+        raw stream for callers whose adoption needs arbitration first
+        (the peer layer's crossed-stream tie-break)."""
+        end = self.fabric.connect(
+            self.host, self.target, hello=self.hello, window=self.window
+        )
+        if adopt:
+            self.adopt(end)
+        return end
+
+    def connect(
+        self,
+        giveup: Optional[Callable[[], bool]] = None,
+        adopt: bool = True,
+    ) -> Generator[Future, Any, Optional[StreamEnd]]:
+        """Connect under the session's retry policy; adopts on success.
+
+        Returns the new stream end, or ``None`` once the retry budget is
+        exhausted (or ``giveup()`` turned true between attempts).
+        ``adopt=False`` as in :meth:`connect_now`."""
+        end = yield from connect_with_retry(
+            self.sim, self.fabric, self.host, self.target,
+            hello=self.hello, window=self.window,
+            policy=self.policy, rng=self._rng,
+            on_retry=self._on_retry, giveup=giveup,
+        )
+        if end is None:
+            return None
+        if adopt:
+            self.adopt(end)
+        return end
+
+    # -- framed I/O --------------------------------------------------------
+    def write(self, nbytes: int, record: Any) -> Generator[Future, Any, None]:
+        """Send one framed record on the current stream."""
+        end = self.end
+        if end is None:
+            raise Disconnected(self.target, "session down")
+        yield from end.write(nbytes, record)
+
+    def read_record(
+        self, end: Optional[StreamEnd] = None
+    ) -> Generator[Future, Any, Any]:
+        """Next well-formed record: skips in-flight segments, rejects
+        (counts + traces) unframed garbage instead of returning it."""
+        src = end if end is not None else self.end
+        while True:
+            _, msg = yield src.read()
+            if msg is None:
+                continue  # an in-flight segment of a chunked transfer
+            if not framed(msg, self.payload_types):
+                self.protocol_error(
+                    f"unframed record of type {type(msg).__name__}"
+                )
+                continue
+            return msg
+
+    def protocol_error(self, why: str) -> None:
+        """Count and trace one protocol violation on this link."""
+        self.protocol_errors += 1
+        self._m_proto.inc()
+        self.tracer.emit(
+            self.sim.now, f"{self.scope}.protocol_error",
+            why=why, **self._labels,
+        )
+
+
+class ServiceBase:
+    """The listen/accept-loop/unlisten lifecycle every service shares.
+
+    ``start()`` is callable again after ``stop()``: the listener
+    re-registers and whatever durable state the subclass keeps is served
+    to reconnecting clients — the stop/start durability contract the
+    :class:`~repro.ft.services.ServiceSupervisor` relies on.
+
+    Subclasses implement :meth:`_serve` (one generator per accepted
+    connection, spawned supervised) or override :meth:`on_accept`, and
+    may hook :meth:`on_start` / :meth:`on_stop` for extra service loops
+    and teardown.  ``metric_ns`` names the service's metric/trace
+    namespace for protocol-error accounting (``<ns>.protocol_errors`` /
+    ``<ns>.protocol_error``).
+    """
+
+    metric_ns = "svc"
+    #: raw (non-tuple) wire payloads accepted as framed by ``_read_record``
+    payload_types: tuple = ()
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        fabric: Fabric,
+        name: str,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.fabric = fabric
+        self.name = name
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.metrics = metrics if metrics is not None else Metrics()
+        self._m_proto = self.metrics.counter(
+            f"{self.metric_ns}.protocol_errors", server=name
+        )
+        self._acceptor: Optional[Acceptor] = None
+        self._procs: list = []
+        self._conns: list[StreamEnd] = []
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def listening(self) -> bool:
+        """Is the service currently accepting connections?"""
+        return self._acceptor is not None
+
+    def start(self) -> None:
+        """Register the listener and start accepting connections.
+
+        Callable again after :meth:`stop`: the listener re-registers and
+        the subclass's durable state is served to reconnecting clients.
+        """
+        self.listen()
+        self.run_accept()
+        self.on_start()
+
+    def listen(self) -> None:
+        """Register the fabric listener (phase one of :meth:`start`).
+
+        Split from :meth:`run_accept` for components that must claim
+        their name early but begin accepting later (the V2 daemon
+        listens before recovery, accepts after)."""
+        self._acceptor = self.fabric.listen(self.name, self.host)
+
+    def run_accept(self) -> None:
+        """Spawn the accept loop (phase two of :meth:`start`)."""
+        self._spawn(self._accept_loop(self._acceptor), f"{self.name}.accept")
+
+    def stop(self, cause: Any = "svc-crash") -> None:
+        """Service-level crash: drop the listener and every connection.
+
+        Durable state (owned by the subclass) survives — only in-flight
+        requests and unacknowledged pushes are lost, which clients must
+        retry or re-push.
+        """
+        if self._acceptor is not None:
+            self.fabric.unlisten(self.name, self._acceptor)
+            self._acceptor = None
+        procs, self._procs = self._procs, []
+        for p in procs:
+            p.kill()
+        conns, self._conns = self._conns, []
+        for end in conns:
+            if not end.stream.dead:
+                end.stream.break_both(cause)
+        self.on_stop(cause)
+
+    def on_start(self) -> None:
+        """Hook: spawn extra service loops (killed again by ``stop``)."""
+
+    def on_stop(self, cause: Any) -> None:
+        """Hook: reset volatile (non-durable) per-incarnation state."""
+
+    # -- accepting ---------------------------------------------------------
+    def _accept_loop(self, acceptor: Acceptor):
+        while True:
+            end, hello = yield acceptor.accept()
+            self._conns.append(end)
+            self.on_accept(end, hello)
+
+    def on_accept(self, end: StreamEnd, hello: Any) -> None:
+        """Handle one accepted connection (default: spawn ``_serve``)."""
+        self._spawn(
+            self._serve(end, hello), f"{self.name}.serve({hello})",
+            supervised=True,
+        )
+
+    def _serve(self, end: StreamEnd, hello: Any):
+        raise NotImplementedError  # pragma: no cover - subclass contract
+
+    # -- helpers -----------------------------------------------------------
+    def _spawn(self, gen, name: str, supervised: bool = False):
+        """Spawn a service process tracked for :meth:`stop` teardown."""
+        p = self.sim.spawn(gen, name=name, supervised=supervised)
+        self.host.register(p)
+        self._procs.append(p)
+        return p
+
+    def _protocol_error(self, why: str) -> None:
+        """Count and trace one wire-protocol violation."""
+        self._m_proto.inc()
+        self.tracer.emit(
+            self.sim.now, f"{self.metric_ns}.protocol_error",
+            server=self.name, why=why,
+        )
+
+    def _read_record(self, end: StreamEnd) -> Generator[Future, Any, Any]:
+        """Next well-formed record from a client: skips in-flight
+        segments, rejects (counts + traces) unframed garbage."""
+        while True:
+            _, msg = yield end.read()
+            if msg is None:
+                continue  # an in-flight segment of a chunked transfer
+            if not framed(msg, self.payload_types):
+                self._protocol_error(
+                    f"unframed record of type {type(msg).__name__}"
+                )
+                continue
+            return msg

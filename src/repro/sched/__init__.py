@@ -1,6 +1,6 @@
 """The checkpoint-scheduling policy study of Section 4.6.2."""
 
-from .policies import Adaptive, POLICY_NAMES, RoundRobin, make_policy
+from .policies import POLICY_NAMES, Adaptive, RoundRobin, make_policy
 from .schemes import SCHEMES, Scheme, scheme
 from .simulator import SchedOutcome, simulate
 

@@ -24,7 +24,7 @@ from .network import DegradeWindow, LinkConfig, Network, PartitionWindow
 from .node import Host, HostDown
 from .rng import RngRegistry
 from .streams import DEFAULT_WINDOW, Disconnected, Stream, StreamEnd
-from .trace import TraceRecord, Tracer
+from .trace import Tracer, TraceRecord
 
 __all__ = [
     "DeadlockError",

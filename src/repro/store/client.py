@@ -1,6 +1,9 @@
 """The daemon-side client of the replicated checkpoint store.
 
-Two jobs, both running over the plain stream fabric:
+Two jobs, both running over persistent per-replica
+:class:`~repro.runtime.session.Session` links (one framed, reconnecting
+stream per replica, shared by every push and fetch this incarnation
+makes):
 
 * **quorum push** — stream the image's chunks to every replica
   concurrently; the push is durable (and the daemon may GC its sender
@@ -18,6 +21,12 @@ Two jobs, both running over the plain stream fabric:
   received are kept and the retry (against the next-best live replica)
   asks only for the rest — a mid-restart failover moves the tail of the
   transfer, not the whole image.
+
+Because the stream to each replica is shared, push legs serialize per
+replica: overlapping pushes (periodic-mode scheduling can order a new
+checkpoint while a straggler leg is still streaming) would otherwise
+interleave their records and replies.  The serialization is a chained
+future per replica that costs no yield when uncontended.
 """
 
 from __future__ import annotations
@@ -29,9 +38,10 @@ from ..obs.registry import Metrics
 from ..runtime.config import TestbedConfig
 from ..runtime.fabric import ConnectionRefused, Fabric
 from ..runtime.retry import RetryPolicy
+from ..runtime.session import Session
 from ..simnet.kernel import Future, Simulator
 from ..simnet.node import Host, HostDown
-from ..simnet.streams import Disconnected, StreamEnd
+from ..simnet.streams import Disconnected
 from ..simnet.trace import Tracer
 from .chunks import Chunk, Manifest, assemble_image
 
@@ -70,12 +80,33 @@ class StoreClient:
         self.quorum = max(1, min(cfg.ckpt_replicas, len(self.names)))
         #: why the last failed push failed ("refused" | "disconnected")
         self.last_push_why = "refused"
-        m = metrics if metrics is not None else Metrics()
+        self._metrics = metrics if metrics is not None else Metrics()
+        m = self._metrics
         self._m_push_bytes = m.counter("store.push_bytes", rank=rank)
         self._m_dedup_bytes = m.counter("store.dedup_bytes", rank=rank)
         self._m_quorum_s = m.histogram("store.quorum_s", rank=rank)
         self._m_failover = m.counter("store.failover", rank=rank)
         self._m_fetch_bytes = m.counter("store.fetch_bytes", rank=rank)
+        self._sessions: dict[str, Session] = {}
+        # replica name -> tail of the push-leg chain (the per-stream lock)
+        self._push_tail: dict[str, Future] = {}
+
+    def _session(self, name: str) -> Session:
+        """The (lazily created) persistent session to one replica."""
+        sess = self._sessions.get(name)
+        if sess is None:
+            sess = Session(
+                self.sim, self.fabric, self.host, name,
+                window=self.cfg.stream_window,
+                policy=RetryPolicy.from_config(
+                    self.cfg, max_tries=self.cfg.cs_fetch_tries
+                ),
+                rng=self._rng, on_retry=self._on_retry,
+                tracer=self.tracer, metrics=self._metrics,
+                scope="store", labels={"rank": self.rank},
+            )
+            self._sessions[name] = sess
+        return sess
 
     def _spawn(self, gen, label: str) -> None:
         p = self.sim.spawn(gen, name=f"store.c{self.rank}.{label}", supervised=False)
@@ -144,61 +175,66 @@ class StoreClient:
         incremental: bool,
         leg_done: Callable[[bool, str], None],
     ):
-        policy = RetryPolicy.from_config(self.cfg, max_tries=self.cfg.cs_fetch_tries)
-        end: Optional[StreamEnd] = None
-        for attempt in range(policy.max_tries):
-            try:
-                end = self.fabric.connect(
-                    self.host, name, window=self.cfg.stream_window
-                )
-                break
-            except ConnectionRefused:
-                delay = policy.delay(attempt, self._rng)
-                self._note_retry(attempt, delay)
-                yield self.sim.timeout(delay)
-        if end is None:
-            leg_done(False, "refused")
-            return
+        sess = self._session(name)
+        # the replica stream is shared: a later push's leg must not start
+        # until the previous leg on this replica is finished, or their
+        # records and replies would interleave.  Chained-future lock;
+        # the uncontended path does not yield.
+        prev = self._push_tail.get(name)
+        gate = Future(self.sim, name=f"store.c{self.rank}.leg.{name}")
+        self._push_tail[name] = gate
         try:
-            send = list(manifest.digests)
-            if incremental:
-                yield from end.write(16 + 8 * len(send), ("HAVE", manifest.rank, tuple(send)))
-                reply = yield from self._read_record(end)
-                missing = frozenset(reply[1])
-                skipped = sum(
-                    ref.nbytes for ref in manifest.chunks if ref.digest not in missing
-                )
-                self._m_dedup_bytes.inc(skipped)
-                send = [d for d in send if d in missing]
-            yield from self._send_chunks(end, (chunks[d] for d in dict.fromkeys(send)))
-            for _ in range(2):  # COMMIT, once more if a GC raced the chunks
-                yield from end.write(manifest.wire_bytes, ("COMMIT", manifest))
-                ack = yield from self._read_record(end)
-                if ack[0] == "STORED":
-                    leg_done(True, "")
+            if prev is not None and not prev.done:
+                yield prev
+            if not sess.up():
+                end = yield from sess.connect()
+                if end is None:
+                    leg_done(False, "refused")
                     return
-                # INCOMPLETE: re-send the holes and commit again
-                yield from self._send_chunks(end, (chunks[d] for d in ack[1]))
-            leg_done(False, "disconnected")
-        except (Disconnected, HostDown):
-            # a replica dying mid-push fails this leg only; durability is
-            # the quorum's job, and the scheduler re-orders on total loss
-            leg_done(False, "disconnected")
+            try:
+                send = list(manifest.digests)
+                if incremental:
+                    yield from sess.write(
+                        16 + 8 * len(send), ("HAVE", manifest.rank, tuple(send))
+                    )
+                    reply = yield from sess.read_record()
+                    missing = frozenset(reply[1])
+                    skipped = sum(
+                        ref.nbytes
+                        for ref in manifest.chunks
+                        if ref.digest not in missing
+                    )
+                    self._m_dedup_bytes.inc(skipped)
+                    send = [d for d in send if d in missing]
+                yield from self._send_chunks(
+                    sess, (chunks[d] for d in dict.fromkeys(send))
+                )
+                for _ in range(2):  # COMMIT, once more if a GC raced the chunks
+                    yield from sess.write(manifest.wire_bytes, ("COMMIT", manifest))
+                    ack = yield from sess.read_record()
+                    if ack[0] == "STORED":
+                        leg_done(True, "")
+                        return
+                    # INCOMPLETE: re-send the holes and commit again
+                    yield from self._send_chunks(sess, (chunks[d] for d in ack[1]))
+                leg_done(False, "disconnected")
+            except (Disconnected, HostDown):
+                # a replica dying mid-push fails this leg only; durability is
+                # the quorum's job, and the scheduler re-orders on total loss
+                sess.drop()
+                leg_done(False, "disconnected")
+        finally:
+            if self._push_tail.get(name) is gate:
+                del self._push_tail[name]
+            gate.resolve_if_pending(True)
 
-    def _send_chunks(self, end: StreamEnd, chunks) -> Generator[Future, Any, None]:
+    def _send_chunks(self, sess: Session, chunks) -> Generator[Future, Any, None]:
         for chunk in chunks:
             sizes = segment_sizes(max(1, chunk.nbytes), self.cfg.chunk_bytes)
             for nbytes in sizes[:-1]:
-                yield from end.write(nbytes, None)
-            yield from end.write(sizes[-1], ("CHUNK", chunk))
+                yield from sess.write(nbytes, None)
+            yield from sess.write(sizes[-1], ("CHUNK", chunk))
             self._m_push_bytes.inc(chunk.nbytes)
-
-    def _read_record(self, end: StreamEnd):
-        """Next non-segment record from the replica."""
-        while True:
-            _, msg = yield end.read()
-            if msg is not None:
-                return msg
 
     # ------------------------------------------------------------------
     # streamed restart fetch
@@ -211,30 +247,35 @@ class StoreClient:
         missing.  Returns ``None`` when no replica holds an image (or
         the whole retry budget drains) — restart-from-scratch, exactly
         as a lost single server always meant.
+
+        The fetch needs no stream lock: it runs during recovery, before
+        this incarnation's first push can be ordered.
         """
         policy = RetryPolicy.from_config(self.cfg, max_tries=self.cfg.cs_fetch_tries)
         have: dict[int, Chunk] = {}
         failed_over = False
         for attempt in range(policy.max_tries):
             # probe every replica for its newest sequence; fetch the best
-            best_name, best_seq, refused = None, 0, 0
+            best_name: Optional[str] = None
+            best_sess: Optional[Session] = None
+            best_seq, refused = 0, 0
             for name in self.names:
+                sess = self._session(name)
+                if not sess.up():
+                    try:
+                        sess.connect_now()
+                    except ConnectionRefused:
+                        refused += 1
+                        continue
                 try:
-                    probe = self.fabric.connect(self.host, name)
-                except ConnectionRefused:
-                    refused += 1
-                    continue
-                try:
-                    yield from probe.write(16, ("HEAD", self.rank))
-                    reply = yield from self._read_record(probe)
+                    yield from sess.write(16, ("HEAD", self.rank))
+                    reply = yield from sess.read_record()
                 except Disconnected:
+                    sess.drop()
                     refused += 1
                     continue
-                finally:
-                    if not probe.stream.dead:
-                        probe.stream.break_both("head-done")
                 if reply[1] > best_seq:
-                    best_name, best_seq = name, reply[1]
+                    best_name, best_sess, best_seq = name, sess, reply[1]
             if best_name is None:
                 if refused < len(self.names):
                     return None  # replicas answered; none has an image
@@ -251,35 +292,33 @@ class StoreClient:
                     self.sim.now, "store.failover", rank=self.rank,
                     serving=best_name, dead=refused, mode="probe",
                 )
+            sess = best_sess
+            desync = False
             try:
-                end = self.fabric.connect(
-                    self.host, best_name, window=self.cfg.stream_window
-                )
-            except ConnectionRefused:
-                continue  # died between probe and fetch; re-probe
-            try:
-                yield from end.write(
+                yield from sess.write(
                     16 + 8 * len(have),
                     ("FETCH", self.rank, best_seq, tuple(have)),
                 )
-                reply = yield from self._read_record(end)
+                reply = yield from sess.read_record()
                 if reply[0] == "NONE":
                     continue  # wiped between probe and fetch; re-probe
                 manifest: Manifest = reply[1]
                 needed = set(manifest.digests) - set(have)
                 while needed:
-                    msg = yield from self._read_record(end)
+                    msg = yield from sess.read_record()
                     if msg[0] != "CHUNK":
+                        desync = True  # truncated stream; retry fills the rest
                         break
                     chunk = msg[1]
                     have[chunk.digest] = chunk
                     self._m_fetch_bytes.inc(chunk.nbytes)
                     needed.discard(chunk.digest)
                 if needed:
-                    continue  # truncated stream; retry fills the rest
+                    continue
                 return assemble_image(manifest, have)
             except (Disconnected, HostDown):
                 # mid-stream crash: keep what arrived, fail over
+                sess.drop()
                 if not failed_over:
                     failed_over = True
                 self._m_failover.inc()
@@ -292,6 +331,12 @@ class StoreClient:
                 self._note_retry(attempt, delay)
                 yield self.sim.timeout(delay)
             finally:
-                if not end.stream.dead:
-                    end.stream.break_both("fetch-done")
+                if desync and sess.end is not None:
+                    # the replica may still be streaming the rest of the
+                    # old transfer: the stream is out of sync with the
+                    # protocol and cannot be reused
+                    end = sess.end
+                    sess.drop()
+                    if not end.stream.dead:
+                        end.stream.break_both("fetch-desync")
         return None

@@ -41,6 +41,7 @@ from ..devices.base import segment_sizes
 from ..obs.registry import Metrics
 from ..runtime.config import TestbedConfig
 from ..runtime.fabric import Fabric
+from ..runtime.session import ServiceBase
 from ..simnet.kernel import Simulator
 from ..simnet.node import Host
 from ..simnet.streams import Disconnected, StreamEnd
@@ -53,8 +54,10 @@ if TYPE_CHECKING:  # lazy: core.v2_device sits between this package and core
 __all__ = ["StoreReplica"]
 
 
-class StoreReplica:
+class StoreReplica(ServiceBase):
     """One checkpoint-store replica (a generalized checkpoint server)."""
+
+    metric_ns = "store"
 
     def __init__(
         self,
@@ -67,57 +70,25 @@ class StoreReplica:
         metrics: Optional[Metrics] = None,
         mutations: Optional[frozenset] = None,
     ) -> None:
-        self.sim = sim
-        self.host = host
-        self.fabric = fabric
+        super().__init__(sim, host, fabric, name, tracer=tracer, metrics=metrics)
         self.cfg = cfg
-        self.name = name
-        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         #: test-only sabotage (``premature_store_gc``): GC one sequence past
         #: the scheduler's epoch, dropping a latest quorum-complete manifest
         #: — the auditor's ``store-gc`` rule must catch the reclaim
         self.mutations = frozenset(mutations or ())
-        m = metrics if metrics is not None else Metrics()
+        m = self.metrics
         self._m_stores = m.counter("cs.stores", server=name)
         self._m_fetches = m.counter("cs.fetches", server=name)
         self._m_bytes = m.counter("cs.bytes_stored", server=name)
         self._m_chunks = m.counter("store.chunks_received", server=name)
         self._m_chunk_bytes = m.counter("store.chunk_bytes", server=name)
         self._m_gc_bytes = m.counter("store.gc_reclaimed_bytes", server=name)
-        self._m_proto = m.counter("store.protocol_errors", server=name)
         self.chunks: dict[int, Chunk] = {}
         self.manifests: dict[int, dict[int, Manifest]] = {}  # rank -> seq -> manifest
         self.stores = 0  # committed manifests
         self.fetches = 0
-        self._acceptor = None
-        self._procs: list = []
-        self._conns: list[StreamEnd] = []
 
     # -- lifecycle ----------------------------------------------------------
-    def start(self) -> None:
-        """Register the listener and start serving store/fetch requests.
-
-        Callable again after :meth:`stop`: the chunk store and committed
-        manifests are durable across the outage; only transfers that
-        were in flight are lost (and retried by their clients).
-        """
-        acceptor = self.fabric.listen(self.name, self.host)
-        self._acceptor = acceptor
-
-        def accept_loop():
-            while True:
-                end, hello = yield acceptor.accept()
-                self._conns.append(end)
-                p = self.sim.spawn(
-                    self._serve(end), name=f"{self.name}.serve", supervised=True
-                )
-                self.host.register(p)
-                self._procs.append(p)
-
-        p = self.sim.spawn(accept_loop(), name=f"{self.name}.accept")
-        self.host.register(p)
-        self._procs.append(p)
-
     def stop(self, cause: object = "cs-crash") -> None:
         """Service-level crash: drop the listener and every connection.
 
@@ -126,16 +97,7 @@ class StoreReplica:
         reference nothing and the next GC epoch reclaims them — the
         previous complete manifest for each rank stays intact.
         """
-        if self._acceptor is not None:
-            self.fabric.unlisten(self.name, self._acceptor)
-            self._acceptor = None
-        procs, self._procs = self._procs, []
-        for p in procs:
-            p.kill()
-        conns, self._conns = self._conns, []
-        for end in conns:
-            if not end.stream.dead:
-                end.stream.break_both(cause)
+        super().stop(cause)
 
     def wipe(self) -> None:
         """Forget everything (a global restart wiped the job's history)."""
@@ -143,25 +105,12 @@ class StoreReplica:
         self.manifests.clear()
 
     # -- the serve loop -----------------------------------------------------
-    def _protocol_error(self, why: str) -> None:
-        self._m_proto.inc()
-        self.tracer.emit(
-            self.sim.now, "store.protocol_error", server=self.name, why=why
-        )
-
-    def _serve(self, end: StreamEnd):
+    def _serve(self, end: StreamEnd, hello: object = None):
         while True:
             try:
-                _, msg = yield end.read()
+                msg = yield from self._read_record(end)
             except Disconnected:
                 return
-            if msg is None:
-                continue  # an in-flight segment of a chunked transfer
-            if not isinstance(msg, tuple) or not msg or not isinstance(msg[0], str):
-                self._protocol_error(
-                    f"unframed record of type {type(msg).__name__}"
-                )
-                continue
             kind = msg[0]
             try:
                 if kind == "HAVE":

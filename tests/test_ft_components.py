@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.core.replay import CheckpointImage, DeliveryRecord, ReplayState
 from repro.core.clocks import ClockState, EventRecord
+from repro.core.replay import CheckpointImage, DeliveryRecord, ReplayState
 from repro.core.sender_log import LogOverflow
 from repro.ft.failure import ExplicitFaults, RandomFaults
 from repro.mpi.datatypes import Envelope

@@ -1,0 +1,262 @@
+"""The shared session/RPC layer (repro.runtime.session).
+
+Unit-level coverage of the mechanisms every client and service now
+stands on: reconnect epochs (bump on adoption, stale-epoch and
+stale-drop rejection), the typed-record framing discipline on both
+sides of the wire, the deterministic backoff schedule of
+:meth:`Session.connect`, and the :class:`ServiceBase`
+listen/accept/stop/start lifecycle (no process or connection leaks, a
+stopped service refuses connects, a restarted one serves again).
+"""
+
+from repro.runtime.cluster import Cluster
+from repro.runtime.config import DEFAULT_TESTBED
+from repro.runtime.fabric import ConnectionRefused, Fabric
+from repro.runtime.retry import RetryPolicy
+from repro.runtime.session import ServiceBase, Session, framed
+from repro.simnet.streams import Disconnected
+
+
+class EchoService(ServiceBase):
+    """Echoes framed records; answers ("BAD",) with unframed garbage."""
+
+    metric_ns = "echo"
+
+    def _serve(self, end, hello):
+        while True:
+            try:
+                msg = yield from self._read_record(end)
+            except Disconnected:
+                return
+            try:
+                if msg == ("BAD",):
+                    yield from end.write(16, 456)  # deliberately unframed
+                else:
+                    yield from end.write(16, ("ECHO", msg))
+            except Disconnected:
+                return
+
+
+def _deploy(seed=0):
+    cluster = Cluster(DEFAULT_TESTBED, seed=seed)
+    fabric = Fabric(cluster)
+    host = cluster.add_aux("svc-host")
+    svc = EchoService(
+        cluster.sim, host, fabric, "echo:0", metrics=cluster.metrics
+    )
+    cn = cluster.add_cn("cn0")
+    return cluster, fabric, svc, cn
+
+
+def _session(cluster, fabric, cn, target="echo:0", **kw):
+    return Session(
+        cluster.sim, fabric, cn, target, metrics=cluster.metrics,
+        labels={"rank": 0}, **kw,
+    )
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def test_framed_accepts_tagged_tuples_and_allowed_payloads():
+    assert framed(("KIND", 1, 2))
+    assert framed(("KIND",))
+    assert not framed(())  # empty tuple: no tag
+    assert not framed((1, "KIND"))  # tag must come first
+    assert not framed("KIND")  # a bare string is not a record
+    assert not framed(None)
+    assert framed(3.5, payload_types=(float,))
+    assert not framed(3.5, payload_types=(int,))
+
+
+def test_server_rejects_unframed_records_and_keeps_serving():
+    cluster, fabric, svc, cn = _deploy()
+    svc.start()
+    sess = _session(cluster, fabric, cn)
+    got = {}
+
+    def run():
+        sess.connect_now()
+        yield from sess.write(16, 123)  # unframed: skipped, counted
+        yield from sess.write(16, ("PING", 1))  # still served after garbage
+        got["reply"] = yield from sess.read_record()
+
+    cluster.sim.spawn(run())
+    cluster.sim.run()
+    assert got["reply"] == ("ECHO", ("PING", 1))
+    assert cluster.metrics.total("echo.protocol_errors") == 1
+
+
+def test_client_rejects_unframed_replies_and_keeps_reading():
+    cluster, fabric, svc, cn = _deploy()
+    svc.start()
+    sess = _session(cluster, fabric, cn)
+    got = {}
+
+    def run():
+        sess.connect_now()
+        yield from sess.write(16, ("BAD",))  # provokes an unframed reply
+        yield from sess.write(16, ("PING", 2))
+        got["reply"] = yield from sess.read_record()  # skips the garbage
+
+    cluster.sim.spawn(run())
+    cluster.sim.run()
+    assert got["reply"] == ("ECHO", ("PING", 2))
+    assert sess.protocol_errors == 1
+    assert cluster.metrics.total("session.protocol_errors") == 1
+
+
+# -- epochs ------------------------------------------------------------------
+
+
+def test_epoch_bumps_on_reconnect():
+    """A service crash breaks the link; the reconnect installs the new
+    stream under a bumped epoch and the session reports up again."""
+    cluster, fabric, svc, cn = _deploy()
+    svc.start()
+    sess = _session(cluster, fabric, cn)
+    got = {}
+
+    def run():
+        sess.connect_now()
+        got["e1"] = sess.epoch
+        got["up1"] = sess.up()
+        svc.stop()
+        got["up_after_crash"] = sess.up()
+        sess.drop()
+        svc.start()
+        end = yield from sess.connect()
+        got["reconnected"] = end is not None
+        got["e2"] = sess.epoch
+        got["up2"] = sess.up()
+
+    cluster.sim.spawn(run())
+    cluster.sim.run()
+    assert got["e1"] == 1 and got["up1"] is True
+    assert got["up_after_crash"] is False
+    assert got["reconnected"] is True
+    assert got["e2"] == 2 and got["up2"] is True
+
+
+def test_stale_epoch_and_stale_drop_are_rejected():
+    """Loops belonging to a replaced stream must neither act (stale
+    epoch) nor tear down the replacement (stale drop notification)."""
+    cluster, fabric, svc, cn = _deploy()
+    svc.start()
+    sess = _session(cluster, fabric, cn)
+    got = {}
+
+    def run():
+        end1 = sess.connect_now()
+        e1 = sess.epoch
+        end2 = sess.connect_now()  # replacement stream
+        got["stale_old"] = sess.stale(e1)
+        got["stale_new"] = sess.stale(sess.epoch)
+        got["drop_old"] = sess.drop(end1)  # a replaced loop noticed a break
+        got["up_after_stale_drop"] = sess.up()
+        got["drop_new"] = sess.drop(end2)
+        got["up_after_real_drop"] = sess.up()
+        yield cluster.sim.timeout(0.0)
+
+    cluster.sim.spawn(run())
+    cluster.sim.run()
+    assert got["stale_old"] is True and got["stale_new"] is False
+    assert got["drop_old"] is False and got["up_after_stale_drop"] is True
+    assert got["drop_new"] is True and got["up_after_real_drop"] is False
+
+
+# -- backoff -----------------------------------------------------------------
+
+
+def _retry_schedule(seed):
+    """(attempt, delay) pairs of a connect against a missing service."""
+    cluster = Cluster(DEFAULT_TESTBED, seed=seed)
+    fabric = Fabric(cluster)
+    cn = cluster.add_cn("cn0")
+    seen = []
+    sess = Session(
+        cluster.sim, fabric, cn, "nobody:0",
+        policy=RetryPolicy.from_config(cluster.cfg, max_tries=6),
+        rng=cluster.rng.stream("session-test"),
+        on_retry=lambda a, d: seen.append((a, d)),
+        metrics=cluster.metrics,
+    )
+    got = {}
+
+    def run():
+        got["end"] = yield from sess.connect()
+
+    cluster.sim.spawn(run())
+    cluster.sim.run()
+    assert got["end"] is None  # budget drained; session never came up
+    assert not sess.up()
+    return seen
+
+
+def test_backoff_schedule_is_deterministic():
+    a = _retry_schedule(seed=7)
+    b = _retry_schedule(seed=7)
+    assert a == b  # same seed, same jittered schedule, to the bit
+    assert [attempt for attempt, _ in a] == list(range(6))
+    cap = DEFAULT_TESTBED.reconnect_cap * (1 + DEFAULT_TESTBED.reconnect_jitter)
+    assert all(0 < d <= cap for _, d in a)
+    c = _retry_schedule(seed=8)
+    assert a != c  # the jitter really is seed-dependent
+
+
+# -- service lifecycle -------------------------------------------------------
+
+
+def test_service_stop_breaks_conns_and_refuses_connects():
+    cluster, fabric, svc, cn = _deploy()
+    svc.start()
+    sess = _session(cluster, fabric, cn)
+    got = {}
+
+    def run():
+        sess.connect_now()
+        yield from sess.write(16, ("PING", 1))
+        got["r1"] = yield from sess.read_record()
+        svc.stop()
+        got["listening"] = svc.listening
+        got["conn_up"] = sess.up()
+        try:
+            sess.connect_now()
+            got["refused"] = False
+        except ConnectionRefused:
+            got["refused"] = True
+
+    cluster.sim.spawn(run())
+    cluster.sim.run()
+    assert got["r1"] == ("ECHO", ("PING", 1))
+    assert got["listening"] is False
+    assert got["conn_up"] is False and got["refused"] is True
+    assert not svc._procs and not svc._conns  # nothing leaked across stop
+
+
+def test_service_start_after_stop_serves_again():
+    """The stop/start durability contract the supervisor relies on."""
+    cluster, fabric, svc, cn = _deploy()
+    svc.start()
+    sess = _session(cluster, fabric, cn)
+    got = {}
+
+    def run():
+        sess.connect_now()
+        yield from sess.write(16, ("PING", 1))
+        got["r1"] = yield from sess.read_record()
+        svc.stop()
+        svc.stop()  # idempotent: a second stop must not blow up
+        svc.start()
+        got["listening"] = svc.listening
+        sess.connect_now()
+        got["epoch"] = sess.epoch
+        yield from sess.write(16, ("PING", 2))
+        got["r2"] = yield from sess.read_record()
+
+    cluster.sim.spawn(run())
+    cluster.sim.run()
+    assert got["r1"] == ("ECHO", ("PING", 1))
+    assert got["listening"] is True
+    assert got["epoch"] == 2  # the relaunch link is a new epoch
+    assert got["r2"] == ("ECHO", ("PING", 2))
