@@ -6,7 +6,7 @@ from typing import Any, Optional, Sequence
 
 __all__ = [
     "format_table", "format_stats", "format_timeline", "format_audit",
-    "Report",
+    "format_profile", "Report",
 ]
 
 
@@ -50,29 +50,48 @@ RANK_STAT_COLUMNS = (
 
 
 def format_stats(
-    metrics: Any, columns: Optional[Sequence[str]] = None
+    metrics: Any,
+    columns: Optional[Sequence[str]] = None,
+    prefix: Optional[str] = None,
+    top: Optional[int] = None,
 ) -> str:
     """Render a metrics registry: per-rank mechanism table + totals.
 
     ``metrics`` is a :class:`~repro.obs.registry.Metrics`; ``columns``
     overrides the per-rank column set (default
     :data:`RANK_STAT_COLUMNS`).  Metrics a run never touched show 0.
+    ``prefix`` keeps only metrics under one namespace (``"el."``,
+    ``"session."``, ...; the per-rank columns are filtered too), and
+    ``top`` keeps only the N largest totals instead of the full
+    alphabetical dump.
     """
     columns = list(columns if columns is not None else RANK_STAT_COLUMNS)
+    if prefix is not None:
+        columns = [c for c in columns if c.startswith(prefix)]
     by_rank = metrics.by_label("rank")
     blocks: list[str] = []
-    if by_rank:
+    if by_rank and columns:
         rows = [
             [rank] + [by_rank[rank].get(c, 0.0) for c in columns]
             for rank in sorted(by_rank)
         ]
         blocks.append(format_table(["rank"] + columns, rows))
     totals = metrics.snapshot()
+    if prefix is not None:
+        totals = {n: v for n, v in totals.items() if n.startswith(prefix)}
     if totals:
+        if top is not None:
+            names = [
+                n for n, _ in sorted(
+                    totals.items(), key=lambda kv: (-abs(kv[1]), kv[0])
+                )[:top]
+            ]
+        else:
+            names = sorted(totals)
         blocks.append(
             format_table(
                 ["metric", "total"],
-                [[name, totals[name]] for name in sorted(totals)],
+                [[name, totals[name]] for name in names],
             )
         )
     return "\n\n".join(blocks) if blocks else "(no metrics recorded)"
@@ -143,6 +162,97 @@ def format_audit(report: Any) -> str:
         blocks.append(
             format_table(["time s", "rule", "rank", "vclock", "detail"], vrows)
         )
+    return "\n\n".join(blocks)
+
+
+def format_profile(
+    profile: Any,
+    critical: Optional[dict] = None,
+    elapsed: Optional[float] = None,
+    top: int = 10,
+) -> str:
+    """Render a :class:`~repro.obs.profile.KernelProfile` as display text.
+
+    One headline block (events, events/sec, wall vs simulated time,
+    queue depth), the per-service CPU decomposition, the ``top`` hottest
+    event kinds, and — when ``critical`` (a :func:`~repro.obs.profile.
+    critical_path` result) is given — the per-category latency
+    contributions plus the tail of the binding chain.
+    """
+    if profile is None:
+        return "(no profile: run with profile=True)"
+    q = profile.queue_depth or {}
+    head = (
+        f"kernel: {profile.events:,} events in {profile.wall_s:.3f}s wall "
+        f"({profile.events_per_s:,.0f} events/s), "
+        f"{profile.sim_s:.3f}s simulated"
+    )
+    if elapsed is not None:
+        head += f", job elapsed {elapsed:.3f}s"
+    head += (
+        f"\nheap depth: mean {q.get('mean', 0.0):.1f}, max {q.get('max', 0)}"
+        f"  (sampled 1/{profile.sample_every})"
+    )
+    blocks = [head]
+    if profile.services:
+        blocks.append(
+            "service CPU decomposition (sampled, scaled):\n"
+            + format_table(
+                ["service", "steps", "cpu s", "share %"],
+                [
+                    [s["service"], s["steps"], s["cpu_s"], 100.0 * s["share"]]
+                    for s in profile.services
+                ],
+            )
+        )
+    if profile.kinds:
+        blocks.append(
+            f"top {min(top, len(profile.kinds))} event kinds by wall time:\n"
+            + format_table(
+                ["kind", "count", "wall s", "share %"],
+                [
+                    [k["kind"], k["count"], k["wall_s"], 100.0 * k["share"]]
+                    for k in profile.kinds[:top]
+                ],
+            )
+        )
+    if critical is not None:
+        steps = critical.get("steps") or []
+        if not steps:
+            blocks.append("critical path: (empty happens-before graph)")
+        else:
+            blocks.append(
+                f"critical path: {len(steps)} edges spanning "
+                f"{critical['span_s']:.3f}s, "
+                f"top contributor: {critical['top_contributor']}\n"
+                + format_table(
+                    ["category", "edges", "latency s", "share %"],
+                    [
+                        [c["category"], c["edges"], c["latency_s"],
+                         100.0 * c["share"]]
+                        for c in critical["contributions"]
+                    ],
+                )
+            )
+            tail = steps[-min(8, len(steps)):]
+            rows = [
+                [
+                    f"{s['from']['time']:.4f}",
+                    f"r{s['from']['rank']}:{s['from']['op']}",
+                    "->",
+                    f"r{s['to']['rank']}:{s['to']['op']}",
+                    s["category"],
+                    s["latency_s"],
+                ]
+                for s in tail
+            ]
+            blocks.append(
+                f"chain tail (last {len(tail)} of {len(steps)} edges):\n"
+                + format_table(
+                    ["t from", "from", "", "to", "category", "latency s"],
+                    rows,
+                )
+            )
     return "\n\n".join(blocks)
 
 

@@ -8,10 +8,15 @@ Commands mirror the workflows of the paper's evaluation:
 * ``faulty`` — run a kernel under random faults with checkpointing
   (the Figure 11 setup);
 * ``sched`` — the §4.6.2 checkpoint-scheduling policy comparison;
-* ``stats`` — run one kernel and print the mechanism-level metrics;
+* ``stats`` — run one kernel and print the mechanism-level metrics
+  (``--prefix``/``--top`` filter the totals table);
 * ``trace`` — run one kernel with tracing and export a Chrome trace;
 * ``audit`` — run one kernel under the online protocol auditor and
-  report the V2 safety verdict (exit 1 on violations).
+  report the V2 safety verdict (exit 1 on violations);
+* ``profile`` — run one kernel under the event-kernel profiler and
+  print the overhead decomposition ("where does the time go"): per-
+  service CPU, hottest event kinds, and — on v2 — the critical path
+  over the happens-before graph.
 
 ``kernel``, ``faulty``, ``pingpong``, ``burst`` and ``stats`` also take
 ``--trace-out`` (Chrome trace-event JSON, or JSON lines when the path
@@ -30,6 +35,7 @@ from typing import Any, Optional, Sequence
 from .analysis.metrics import breakdown, mops
 from .analysis.report import (
     format_audit,
+    format_profile,
     format_stats,
     format_table,
     format_timeline,
@@ -380,9 +386,38 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         params={"klass": args.klass}, limit=1e8,
         trace=bool(args.trace_out), audit=args.audit,
     )
-    print(format_stats(res.metrics))
+    print(format_stats(res.metrics, prefix=args.prefix, top=args.top))
     _print_audits(args, [(f"{args.name}-{args.klass}", res)])
     _write_obs(args, [(f"{args.name}-{args.klass}", res)])
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .obs.profile import critical_path
+
+    mod = nas.KERNELS[args.name]
+    use_hb = args.device == "v2" and not args.no_critical
+    hb_kw = {"audit_hb": True} if use_hb else {}  # v2-only keyword
+    res = run_job(
+        mod.program, args.nprocs, device=args.device,
+        params={"klass": args.klass}, limit=1e8, seed=args.seed,
+        profile=True, audit=use_hb, **hb_kw,
+    )
+    critical = None
+    if use_hb and res.audit is not None:
+        critical = critical_path(res.audit.hb)
+    print(
+        format_profile(
+            res.profile, critical=critical, elapsed=res.elapsed, top=args.top
+        )
+    )
+    if args.json_out:
+        doc = res.profile.to_dict()
+        if critical is not None:
+            doc["critical_path"] = critical
+        with open(args.json_out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        print(f"wrote profile to {args.json_out}")
     return 0
 
 
@@ -515,8 +550,32 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["T", "S", "A", "B", "C"])
     sp.add_argument("-n", "--nprocs", type=int, default=4)
     sp.add_argument("--device", default="v2", choices=DEVICES)
+    sp.add_argument("--prefix", default=None, metavar="NS",
+                    help="only metrics under this namespace prefix "
+                         "(e.g. el. / session. / store.)")
+    sp.add_argument("--top", type=int, default=None, metavar="N",
+                    help="only the N largest totals (default: all)")
     _add_obs_flags(sp)
     sp.set_defaults(fn=_cmd_stats)
+
+    sp = sub.add_parser(
+        "profile",
+        help="kernel-profiler overhead decomposition (where the time goes)",
+    )
+    sp.add_argument("name", choices=sorted(nas.KERNELS))
+    sp.add_argument("--class", dest="klass", default="A",
+                    choices=["T", "S", "A", "B", "C"])
+    sp.add_argument("-n", "--nprocs", type=int, default=4)
+    sp.add_argument("--device", default="v2", choices=DEVICES)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--top", type=int, default=10,
+                    help="event kinds shown in the hot-kind table")
+    sp.add_argument("--no-critical", action="store_true",
+                    help="skip the happens-before critical path "
+                         "(v2 only; avoids the audit overhead)")
+    sp.add_argument("--json-out", default=None, metavar="PATH",
+                    help="write the profile (and critical path) as JSON")
+    sp.set_defaults(fn=_cmd_profile)
 
     sp = sub.add_parser(
         "trace", help="run one kernel with tracing; export Chrome trace"

@@ -94,6 +94,34 @@ class ControlPlaneClient:
         if self.sched_end is not None:
             self.core._spawn(self._sched_loop(), "sched")
 
+    def start_heartbeat(self, interval: float, timeout: float) -> None:
+        """Start PINGing the dispatcher and draining its PONGs.
+
+        The dispatcher link carries no other inbound traffic toward the
+        daemon, so a dedicated reader just absorbs PONGs (inside
+        :meth:`Session.read_record`) and exits when the link breaks."""
+        if self.disp is None or self.disp.end is None or interval <= 0:
+            return
+        self.core._spawn(self._disp_reader(), "disp.rx")
+        self.core._spawn(
+            self.disp.heartbeat(interval, timeout if timeout > 0 else None),
+            "disp.hb",
+        )
+
+    def _disp_reader(self):
+        sess = self.disp
+        while True:
+            end = sess.end
+            if end is None:
+                return
+            try:
+                yield from sess.read_record(end)
+            except Disconnected:
+                # best-effort link: no reconnect storm from the reader;
+                # the heartbeat loop keeps skipping while it is down
+                sess.drop(end)
+                return
+
     # ------------------------------------------------------------------
     # dispatcher reports
     # ------------------------------------------------------------------

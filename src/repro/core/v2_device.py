@@ -219,6 +219,8 @@ class V2Daemon:
         self._spawn(self.delivery.forward_loop(), "fwd")
         self.el.start_io()
         self.ctrl.start_sched_loop()
+        if self.cfg.hb_interval > 0:
+            self.ctrl.start_heartbeat(self.cfg.hb_interval, self.cfg.hb_timeout)
         self.ready.open()
         self.delivery.maybe_caught_up()
 

@@ -286,6 +286,7 @@ def run_v1_job(
     cns_per_cm: int = 4,
     faults: Optional[Any] = None,
     audit: bool = False,
+    profile: bool = False,
 ) -> JobResult:
     """Run a job on MPICH-V1: one reliable CM per ``cns_per_cm`` nodes.
 
@@ -298,6 +299,12 @@ def run_v1_job(
     cluster = Cluster(cfg, seed=seed, trace=trace)
     sim = cluster.sim
     fabric = Fabric(cluster)
+    profiler = None
+    if profile:
+        from ..obs.profile import KernelProfiler
+
+        profiler = KernelProfiler()
+        profiler.install(sim)
     auditor = None
     if audit:
         from ..obs.audit import ProtocolAuditor
@@ -421,6 +428,7 @@ def run_v1_job(
         cluster, {r: slots[r].device.stats for r in range(nprocs)}, "v1"
     )
     report = auditor.finish() if auditor is not None else None
+    prof = profiler.finish() if profiler is not None else None
     return JobResult(
         nprocs=nprocs,
         device="v1",
@@ -432,5 +440,6 @@ def run_v1_job(
         restarts=total_restarts[0],
         metrics=cluster.metrics,
         audit=report,
+        profile=prof,
         extras={"channel_memories": cms},
     )

@@ -32,7 +32,8 @@ import numpy as np
 from ..obs.registry import Metrics
 from ..runtime.config import TestbedConfig
 from ..runtime.fabric import ConnectionRefused, Fabric
-from ..runtime.session import ServiceBase
+from ..runtime.retry import RetryPolicy
+from ..runtime.session import ServiceBase, Session
 from ..simnet.kernel import Queue, Simulator, any_of
 from ..simnet.node import Host, HostDown
 from ..simnet.streams import Disconnected, StreamEnd
@@ -89,6 +90,16 @@ class CheckpointScheduler(ServiceBase):
         self.cs_names = tuple(cs_names)
         self.quorum_seq: dict[int, int] = {}
         self._gc_q: Queue = Queue(sim, name="sched.gcq")
+        # persistent session per store replica (framed records, epochs,
+        # backpressure metrics) instead of ad-hoc fabric.connect streams
+        policy = RetryPolicy.from_config(cfg, max_tries=cfg.peer_retry_tries)
+        self._gc_sessions: dict[str, Session] = {
+            cs: Session(
+                sim, fabric, host, cs, scope="sched.gc", policy=policy,
+                tracer=tracer, metrics=self.metrics, labels={"server": cs},
+            )
+            for cs in self.cs_names
+        }
 
     def on_accept(self, end: StreamEnd, hello: object) -> None:
         _, rank, inc = hello
@@ -103,6 +114,12 @@ class CheckpointScheduler(ServiceBase):
 
     def on_stop(self, cause: object) -> None:
         self.links.clear()
+        # a scheduler crash severs its outgoing GC links too
+        for sess in self._gc_sessions.values():
+            end = sess.end
+            if end is not None and not end.stream.dead:
+                end.stream.break_both(cause)
+            sess.drop()
 
     def _reader(self, rank: int, end: StreamEnd):
         while True:
@@ -150,7 +167,6 @@ class CheckpointScheduler(ServiceBase):
         cumulative (the whole dict is re-sent each time), so the next
         broadcast after it returns covers everything it missed.
         """
-        conns: dict[str, StreamEnd] = {}
         while True:
             yield self._gc_q.get()
             while True:
@@ -160,18 +176,20 @@ class CheckpointScheduler(ServiceBase):
             epoch = dict(self.quorum_seq)
             if not epoch:
                 continue
-            for cs in self.cs_names:
-                end = conns.get(cs)
-                if end is None or end.broken is not None:
+            for cs, sess in self._gc_sessions.items():
+                if not sess.up():
+                    sess.drop()
                     try:
-                        end = self.fabric.connect(self.host, cs)
+                        # single non-blocking dial: a replica that is down
+                        # just misses this epoch, the cumulative floors in
+                        # the next broadcast cover it
+                        sess.connect_now()
                     except ConnectionRefused:
                         continue
-                    conns[cs] = end
                 try:
-                    yield from end.write(16 + 16 * len(epoch), ("GC", epoch))
+                    yield from sess.write(16 + 16 * len(epoch), ("GC", epoch))
                 except (Disconnected, HostDown):
-                    conns.pop(cs, None)
+                    sess.drop()
 
     # -- the scheduling loop -------------------------------------------------
     def _drive(self):

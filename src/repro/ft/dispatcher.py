@@ -70,6 +70,23 @@ class _ControlListener(ServiceBase):
     def __init__(self, dispatcher: "Dispatcher", *args: Any, **kw: Any) -> None:
         super().__init__(*args, **kw)
         self._dispatcher = dispatcher
+        self._rank_of: dict[int, int] = {}  # id(end) -> rank
+
+    def on_accept(self, end: StreamEnd, hello: Any) -> None:
+        # hello = ("HELLO", rank, incarnation); a (re)connect is itself
+        # a liveness proof, so it refreshes the heartbeat clock too
+        if type(hello) is tuple and len(hello) >= 2 and hello[0] == "HELLO":
+            self._rank_of[id(end)] = hello[1]
+            self._dispatcher.note_heartbeat(hello[1])
+        super().on_accept(end, hello)
+
+    def on_ping(self, end: StreamEnd, msg: tuple) -> None:
+        rank = self._rank_of.get(id(end))
+        if rank is not None:
+            self._dispatcher.note_heartbeat(rank)
+
+    def on_stop(self, cause: Any) -> None:
+        self._rank_of.clear()
 
     def _serve(self, end: StreamEnd, hello: Any):
         while True:
@@ -133,6 +150,13 @@ class Dispatcher:
         self._m_restarts = m.counter("ft.restarts")
         self._m_global_restarts = m.counter("ft.global_restarts")
         self._m_downtime = m.histogram("ft.downtime_s")
+        self._m_suspected = m.counter("disp.suspected")
+        self._m_suspect = m.gauge("disp.suspect")
+        # heartbeat bookkeeping: last PING (or accept) per rank, and the
+        # set of ranks whose link has gone quiet past hb_timeout —
+        # partitioned-but-alive daemons the socket detector cannot see
+        self.last_hb: dict[int, float] = {}
+        self.suspects: set[int] = set()
         self.listener = _ControlListener(
             self, self.sim, host, fabric, "dispatcher",
             tracer=cluster.tracer, metrics=cluster.metrics,
@@ -144,6 +168,43 @@ class Dispatcher:
         self.listener.start()
         for r in range(self.nprocs):
             self._spawn_rank(r, self.cn_hosts[r])
+        if self.cfg.hb_interval > 0 and self.cfg.hb_timeout > 0:
+            p = self.sim.spawn(self._hb_monitor(), name="disp.hb-monitor")
+            self.host.register(p)
+
+    # -- heartbeat monitoring ------------------------------------------------
+    def note_heartbeat(self, rank: int) -> None:
+        """A PING (or fresh control connection) arrived from ``rank``."""
+        if not (0 <= rank < self.nprocs):
+            return
+        self.last_hb[rank] = self.sim.now
+        if rank in self.suspects:
+            self.suspects.discard(rank)
+            self._m_suspect.set(float(len(self.suspects)), self.sim.now)
+            self.cluster.tracer.emit(self.sim.now, "ft.suspect_clear", rank=rank)
+
+    def _hb_monitor(self):
+        """Flag ranks whose heartbeats stopped without a socket break.
+
+        A crashed host tears its control stream down and the socket
+        detector handles it; this loop catches the *partitioned* case,
+        where the stream stays up but nothing flows."""
+        timeout = self.cfg.hb_timeout
+        while not self.done.done:
+            yield self.sim.timeout(timeout / 2)
+            now = self.sim.now
+            for st in self.states:
+                r = st.rank
+                if st.finished or st.host is None or st.host.failed:
+                    continue
+                seen = self.last_hb.get(r, st.spawn_time)
+                if now - seen > timeout and r not in self.suspects:
+                    self.suspects.add(r)
+                    self._m_suspected.inc()
+                    self._m_suspect.set(float(len(self.suspects)), now)
+                    self.cluster.tracer.emit(
+                        now, "ft.suspect", rank=r, quiet_s=now - seen
+                    )
 
     def stop(self, cause: Any = "disp-crash") -> None:
         """Withdraw the control listener and drop every daemon link."""
@@ -380,6 +441,7 @@ def run_v2_job(
     audit: bool = False,
     audit_hb: bool = False,
     mutations: Optional[frozenset] = None,
+    profile: bool = False,
 ) -> JobResult:
     """Deploy and run an MPICH-V2 job.
 
@@ -401,6 +463,12 @@ def run_v2_job(
     cluster = Cluster(cfg, seed=seed, trace=trace)
     sim = cluster.sim
     fabric = Fabric(cluster)
+    profiler = None
+    if profile:
+        from ..obs.profile import KernelProfiler
+
+        profiler = KernelProfiler()
+        profiler.install(sim)
     auditor = None
     if audit:
         from ..obs.audit import ProtocolAuditor
@@ -554,6 +622,7 @@ def run_v2_job(
         "v2",
     )
     report = auditor.finish() if auditor is not None else None
+    prof = profiler.finish() if profiler is not None else None
     return JobResult(
         nprocs=nprocs,
         device="v2",
@@ -566,6 +635,7 @@ def run_v2_job(
         checkpoints=int(cluster.metrics.total("ckpt.images")),
         metrics=cluster.metrics,
         audit=report,
+        profile=prof,
         extras={
             "global_restarts": dispatcher.global_restarts,
             "event_loggers": loggers,

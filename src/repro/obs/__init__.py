@@ -13,10 +13,19 @@ and this package measures exactly those mechanisms:
 * :mod:`~repro.obs.collect` — end-of-job folding of hot-path accounting
   into the registry;
 * :mod:`~repro.obs.audit` — the online protocol auditor: vector-clock
-  stamping and live checking of the V2 safety invariants.
+  stamping and live checking of the V2 safety invariants;
+* :mod:`~repro.obs.profile` — the event-kernel profiler (per-kind
+  dispatch counts, per-service CPU attribution, events/sec) and the
+  critical-path extraction over the auditor's happens-before graph.
 """
 
 from .collect import finalize_job
+from .profile import (
+    KernelProfile,
+    KernelProfiler,
+    classify_service,
+    critical_path,
+)
 from .registry import DEFAULT_BOUNDS, Counter, Gauge, Histogram, Metrics
 from .timeline import RestartSpan, recovery_timeline
 from .trace_export import (
@@ -41,6 +50,10 @@ __all__ = [
     "write_chrome_trace",
     "write_trace_jsonl",
     "finalize_job",
+    "KernelProfile",
+    "KernelProfiler",
+    "classify_service",
+    "critical_path",
     "AuditReport",
     "ProtocolAuditor",
     "Violation",

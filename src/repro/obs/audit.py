@@ -32,8 +32,10 @@ Every audited event is stamped with a Fidge–Mattern vector clock — the
 algebra of :class:`~repro.core.clocks.VectorClock`, kept as plain
 ``{rank: count}`` dicts on the hot path — so each violation reports the
 offending rank's causal context; with ``hb_graph=True`` the auditor also
-accumulates the happens-before graph (per-rank program order plus
-send→deliver edges) for export alongside the Chrome trace.
+accumulates the happens-before graph — per-rank program order,
+send→deliver message edges, and log_event→ack "el" edges (the EL round
+trip the WAITLOGGED gate waits on) — for export alongside the Chrome
+trace and for :func:`repro.obs.profile.critical_path`.
 
 :func:`audit_trace` runs the same checkers post-hoc over a recorded
 tracer — the invariant *logic* lives here either way — but refuses to
@@ -194,11 +196,14 @@ class ProtocolAuditor:
         self._store_commits: dict[tuple[str, int], dict[int, frozenset]] = {}
         self._store_quorum: dict[int, int] = {}
         self._n_store_gc = 0
-        # happens-before graph accumulation
+        # happens-before graph accumulation; _hb_pending_el mirrors
+        # _pending_el with node ids so an ack's "el" edges can point
+        # back at the log_event nodes it acknowledges
         self._hb_nodes: list[dict[str, Any]] = []
         self._hb_edges: list[tuple[int, int, str]] = []
         self._last_node: dict[int, int] = {}
         self._tx_node: dict[tuple[int, int], int] = {}
+        self._hb_pending_el: dict[int, deque[int]] = {}
         self._tracer: Optional[Tracer] = None
 
     # -- wiring ------------------------------------------------------------
@@ -225,15 +230,40 @@ class ProtocolAuditor:
         elif kind == "v2.tx":
             self._on_tx(time, f)
         elif kind == "v2.log_event":
-            pending = self._pending_el.get(f["rank"])
+            rank = f["rank"]
+            pending = self._pending_el.get(rank)
             if pending is None:
-                pending = self._pending_el[f["rank"]] = deque()
+                pending = self._pending_el[rank] = deque()
             pending.append(time)
+            if self.hb_graph:
+                node = self._hb_add(
+                    rank, "log_event", time, f, self._vc.get(rank, {})
+                )
+                # the reception event exists because a message arrived:
+                # give it the message edge from the sender's tx, so idle
+                # wait lands on "message" flight, not local program order
+                tx = self._tx_node.get((f["src"], f["sclock"]))
+                if tx is not None:
+                    self._hb_edges.append((tx, node, "message"))
+                self._hb_pending_el.setdefault(rank, deque()).append(node)
         elif kind == "v2.el_ack":
-            pending = self._pending_el.get(f["rank"])
+            rank = f["rank"]
+            pending = self._pending_el.get(rank)
             if pending:
                 for _ in range(min(f["n"], len(pending))):
                     pending.popleft()
+            if self.hb_graph:
+                node = self._hb_add(
+                    rank, "el_ack", time, f, self._vc.get(rank, {})
+                )
+                hb_pending = self._hb_pending_el.get(rank)
+                if hb_pending:
+                    # the ack covers a batch: one "el" edge per event it
+                    # acknowledges (the latest is the binding dependency)
+                    for _ in range(min(f["n"], len(hb_pending))):
+                        self._hb_edges.append(
+                            (hb_pending.popleft(), node, "el")
+                        )
         elif kind == "el.store":
             store = self._el_log.setdefault(f["rank"], {})
             for rclock, src, sclock in f.get("ids", ()):
@@ -261,9 +291,11 @@ class ProtocolAuditor:
             self._incarnation[rank] = f.get("incarnation", 0)
             self._pending_el[rank] = deque()
             self._seen_ids[rank] = set()
+            self._hb_pending_el.pop(rank, None)
         elif kind == "ft.fault":
             # the daemon died with its queues: nothing is pending any more
             self._pending_el[f["rank"]] = deque()
+            self._hb_pending_el.pop(f["rank"], None)
         elif kind == "ft.global_restart":
             # logs and images are wiped: the old history constrains nothing
             self._el_log.clear()
@@ -274,6 +306,7 @@ class ProtocolAuditor:
             self._msg_vc.clear()
             self._store_commits.clear()
             self._store_quorum.clear()
+            self._hb_pending_el.clear()
 
     # -- rules -------------------------------------------------------------
     def _on_tx(self, time: float, f: dict) -> None:

@@ -86,6 +86,12 @@ class TestbedConfig:
     peer_retry_tries: int = 40  # peer/dispatcher/scheduler links: give up quietly
     cs_fetch_tries: int = 6  # image fetch budget before restart-from-scratch
     svc_restart_delay: float = 0.5  # supervisor respawn delay for EL/CS crashes
+    # session heartbeat: daemons PING the dispatcher every hb_interval;
+    # a quiet link older than hb_timeout flags the peer as suspect
+    # (catches partitioned-but-alive nodes the socket detector cannot).
+    # hb_interval = 0 disables both sides.
+    hb_interval: float = 0.25
+    hb_timeout: float = 1.0
 
     # -- replicated checkpoint store (repro.store) ---------------------------------
     ckpt_servers: int = 1  # N: checkpoint-store replicas in the cluster

@@ -52,6 +52,7 @@ def run_job(
     seed: int = 0,
     limit: Optional[float] = None,
     audit: bool = False,
+    profile: bool = False,
     **device_kw: Any,
 ) -> JobResult:
     """Run ``program`` on ``nprocs`` simulated processes; block to completion.
@@ -60,28 +61,31 @@ def run_job(
     attaches the online protocol auditor to the run's live trace stream
     and reports the verdict in ``JobResult.audit`` (for p4/v1 only the
     causal-clock stamping applies — the V2 invariant checks have nothing
-    to fire on).  Extra keyword arguments are forwarded to the device
-    launcher (fault schedules, checkpoint policies, event-logger
-    counts, ...).
+    to fire on).  ``profile`` hooks the event-kernel profiler into the
+    simulator and reports the :class:`~repro.obs.profile.KernelProfile`
+    in ``JobResult.profile``.  Extra keyword arguments are forwarded to
+    the device launcher (fault schedules, checkpoint policies,
+    event-logger counts, ...).
     """
     params = params or {}
     if device == "p4":
         return _run_p4(
-            program, nprocs, cfg, params, trace, seed, limit, audit, **device_kw
+            program, nprocs, cfg, params, trace, seed, limit, audit,
+            profile=profile, **device_kw
         )
     if device == "v1":
         from ..devices.v1 import run_v1_job
 
         return run_v1_job(
             program, nprocs, cfg, params, trace, seed, limit, audit=audit,
-            **device_kw,
+            profile=profile, **device_kw,
         )
     if device == "v2":
         from ..ft.dispatcher import run_v2_job
 
         return run_v2_job(
             program, nprocs, cfg, params, trace, seed, limit, audit=audit,
-            **device_kw,
+            profile=profile, **device_kw,
         )
     raise ValueError(f"unknown device {device!r} (expected p4/v1/v2)")
 
@@ -95,9 +99,16 @@ def _run_p4(
     seed: int,
     limit: Optional[float],
     audit: bool = False,
+    profile: bool = False,
 ) -> JobResult:
     cluster = Cluster(cfg, seed=seed, trace=trace)
     sim = cluster.sim
+    profiler = None
+    if profile:
+        from ..obs.profile import KernelProfiler
+
+        profiler = KernelProfiler()
+        profiler.install(sim)
     auditor = None
     if audit:
         from ..obs.audit import ProtocolAuditor
@@ -135,6 +146,7 @@ def _run_p4(
         cluster, {r: devices[r].stats for r in range(nprocs)}, "p4"
     )
     report = auditor.finish() if auditor is not None else None
+    prof = profiler.finish() if profiler is not None else None
     return JobResult(
         nprocs=nprocs,
         device="p4",
@@ -145,4 +157,5 @@ def _run_p4(
         stats=stats,
         metrics=cluster.metrics,
         audit=report,
+        profile=prof,
     )

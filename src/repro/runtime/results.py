@@ -26,6 +26,7 @@ class JobResult:
     checkpoints: int = 0  # how many checkpoints completed
     metrics: Optional[Any] = None  # the job's obs.Metrics registry
     audit: Optional[Any] = None  # obs.AuditReport when run with audit=True
+    profile: Optional[Any] = None  # obs.KernelProfile when run with profile=True
     extras: dict[str, Any] = field(default_factory=dict)
 
     def stat(self, name: str, rank: Optional[int] = None,

@@ -42,7 +42,7 @@ from typing import Any, Callable, Generator, Optional
 
 from ..obs.registry import Metrics
 from ..simnet.kernel import Future, Simulator
-from ..simnet.node import Host
+from ..simnet.node import Host, HostDown
 from ..simnet.streams import Disconnected, StreamEnd
 from ..simnet.trace import Tracer
 from .fabric import Acceptor, Fabric
@@ -104,7 +104,25 @@ class Session:
         self.payload_types = tuple(payload_types)
         self._labels = dict(labels or {})
         m = metrics if metrics is not None else Metrics()
+        self._metrics = m
         self._m_proto = m.counter(f"{scope}.protocol_errors", **self._labels)
+        # backpressure visibility: stalled-write time and receive-queue
+        # depth of the current stream, folded on every session I/O call
+        # (the ``session.*`` family is shared across scopes; the target
+        # label separates the links)
+        _bp = dict(self._labels, target=target)
+        self._m_stall_s = m.counter("session.stalled_write_s", **_bp)
+        self._m_stalls = m.counter("session.stalled_writes", **_bp)
+        self._m_depth = m.gauge("session.queue_depth", **_bp)
+        self._bp_end: Optional[StreamEnd] = None
+        self._bp_stall_s = 0.0
+        self._bp_stalls = 0
+        # heartbeat state (armed by :meth:`heartbeat`)
+        self._hb_on = False
+        self._m_rtt: Optional[Any] = None
+        self._m_hb_timeouts: Optional[Any] = None
+        self.last_pong = 0.0
+        self.hb_suspect = False
         self.end: Optional[StreamEnd] = None
         self.epoch = 0  # bumps on every (re)adoption
         self.protocol_errors = 0
@@ -171,24 +189,121 @@ class Session:
             self.adopt(end)
         return end
 
+    # -- backpressure accounting -------------------------------------------
+    def _note_io(self, end: StreamEnd) -> None:
+        """Fold the stream's stall/backlog state into ``session.*``.
+
+        Called on every session read/write: stalled-write deltas of the
+        current end become counters (the baseline resets when the
+        session adopts a replacement stream), and the receive backlog is
+        sampled into a time-weighted gauge.
+        """
+        if end is not self._bp_end:
+            self._bp_end = end
+            self._bp_stall_s = end.stall_s
+            self._bp_stalls = end.stall_count
+        else:
+            ds = end.stall_s - self._bp_stall_s
+            if ds > 0.0:
+                self._m_stall_s.inc(ds)
+                self._bp_stall_s = end.stall_s
+            dn = end.stall_count - self._bp_stalls
+            if dn:
+                self._m_stalls.inc(dn)
+                self._bp_stalls = end.stall_count
+        self._m_depth.set(float(end.rx_depth), self.sim.now)
+
+    # -- heartbeat ---------------------------------------------------------
+    def heartbeat(
+        self, interval: float, timeout: Optional[float] = None
+    ) -> Generator[Future, Any, None]:
+        """Periodic framed PING loop (run it as a process).
+
+        Every ``interval`` simulated seconds a ``("PING", epoch, seq,
+        now)`` record goes out on the live link; the peer's PONGs are
+        absorbed by :meth:`read_record` (whichever loop is reading the
+        link) into the ``session.rtt_s`` histogram.  When no PONG has
+        arrived for ``timeout`` seconds on a link that still *looks* up
+        — the partitioned-but-alive case a socket-disconnection detector
+        cannot see — the session turns ``hb_suspect``, counts
+        ``session.hb_timeouts`` and traces ``<scope>.hb_timeout``; the
+        next PONG clears it with ``<scope>.hb_recover``.
+        """
+        self._hb_on = True
+        if self._m_rtt is None:
+            _hb = dict(self._labels, target=self.target)
+            self._m_rtt = self._metrics.histogram("session.rtt_s", **_hb)
+            self._m_hb_timeouts = self._metrics.counter(
+                "session.hb_timeouts", **_hb
+            )
+        self.last_pong = self.sim.now
+        seq = 0
+        while True:
+            yield self.sim.timeout(interval)
+            end = self.end
+            if end is None or end.broken is not None:
+                # a torn-down link is the socket detector's business,
+                # not a heartbeat timeout
+                self.last_pong = self.sim.now
+                continue
+            seq += 1
+            try:
+                yield from self.write(24, ("PING", self.epoch, seq, self.sim.now))
+            except (Disconnected, HostDown):
+                self.drop(end)
+                continue
+            if (
+                timeout is not None
+                and self.sim.now - self.last_pong > timeout
+                and not self.hb_suspect
+            ):
+                self.hb_suspect = True
+                self._m_hb_timeouts.inc()
+                self.tracer.emit(
+                    self.sim.now, f"{self.scope}.hb_timeout",
+                    target=self.target,
+                    age=self.sim.now - self.last_pong, **self._labels,
+                )
+
     # -- framed I/O --------------------------------------------------------
     def write(self, nbytes: int, record: Any) -> Generator[Future, Any, None]:
         """Send one framed record on the current stream."""
         end = self.end
         if end is None:
             raise Disconnected(self.target, "session down")
+        self._note_io(end)
         yield from end.write(nbytes, record)
+        self._note_io(end)  # fold the stall this write just paid, if any
 
     def read_record(
         self, end: Optional[StreamEnd] = None
     ) -> Generator[Future, Any, Any]:
         """Next well-formed record: skips in-flight segments, rejects
-        (counts + traces) unframed garbage instead of returning it."""
+        (counts + traces) unframed garbage instead of returning it.
+        Heartbeat PONGs are absorbed here (RTT histogram), never
+        returned to the caller."""
         src = end if end is not None else self.end
+        self._note_io(src)
         while True:
             _, msg = yield src.read()
             if msg is None:
                 continue  # an in-flight segment of a chunked transfer
+            if (
+                self._hb_on
+                and type(msg) is tuple
+                and len(msg) == 4
+                and msg[0] == "PONG"
+            ):
+                now = self.sim.now
+                self.last_pong = now
+                self._m_rtt.observe(now - msg[3])
+                if self.hb_suspect:
+                    self.hb_suspect = False
+                    self.tracer.emit(
+                        now, f"{self.scope}.hb_recover",
+                        target=self.target, **self._labels,
+                    )
+                continue
             if not framed(msg, self.payload_types):
                 self.protocol_error(
                     f"unframed record of type {type(msg).__name__}"
@@ -334,13 +449,25 @@ class ServiceBase:
             server=self.name, why=why,
         )
 
+    def on_ping(self, end: StreamEnd, msg: tuple) -> None:
+        """Hook: a client heartbeat arrived on ``end`` (before the PONG).
+
+        ``msg`` is ``("PING", epoch, seq, t_sent)``.  The dispatcher's
+        control listener uses this as its liveness signal."""
+
     def _read_record(self, end: StreamEnd) -> Generator[Future, Any, Any]:
         """Next well-formed record from a client: skips in-flight
-        segments, rejects (counts + traces) unframed garbage."""
+        segments, rejects (counts + traces) unframed garbage.
+        Heartbeat PINGs are answered in place (PONG echoing the
+        client's timestamp) and reported via :meth:`on_ping`."""
         while True:
             _, msg = yield end.read()
             if msg is None:
                 continue  # an in-flight segment of a chunked transfer
+            if type(msg) is tuple and len(msg) == 4 and msg[0] == "PING":
+                self.on_ping(end, msg)
+                yield from end.write(24, ("PONG", msg[1], msg[2], msg[3]))
+                continue
             if not framed(msg, self.payload_types):
                 self._protocol_error(
                     f"unframed record of type {type(msg).__name__}"

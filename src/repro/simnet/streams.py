@@ -159,6 +159,11 @@ class StreamEnd:
         """Is a segment waiting to be read?"""
         return len(self._rx) > 0
 
+    @property
+    def rx_depth(self) -> int:
+        """Segments received but not yet read (the receive backlog)."""
+        return len(self._rx)
+
     def when_readable(self) -> Future:
         """A future resolved when a segment is (or becomes) available."""
         return self._rx.when_nonempty()

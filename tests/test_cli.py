@@ -238,3 +238,46 @@ def test_faulty_parse_helpers():
         (1.5, (0, 3), 2.0), (4.0, (2,), 1.0)]
     assert _parse_service_faults("el:0@2.0:1.0,cs:0@3:0.5") == [
         (2.0, "el:0", 1.0), (3.0, "cs:0", 0.5)]
+
+
+def test_stats_prefix_filter(capsys):
+    rc = main(["stats", "cg", "--class", "T", "-n", "2", "--prefix", "el."])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "el.roundtrips" in out
+    assert "senderlog.bytes" not in out  # filtered out of both tables
+
+
+def test_stats_top_filter(capsys):
+    rc = main(["stats", "cg", "--class", "T", "-n", "2", "--top", "3"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    # the totals table keeps only the 3 largest metrics; byte counters
+    # dominate, so the small per-event counters must be gone
+    totals = out.split("\n\n")[-1]
+    assert len([ln for ln in totals.splitlines() if ln.strip()]) == 5
+    assert "senderlog.ram_bytes" in totals
+
+
+def test_profile_command_v2_with_critical_path(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "prof.json"
+    rc = main(["profile", "cg", "--class", "T", "-n", "2",
+               "--json-out", str(path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "events/s" in out
+    assert "service CPU decomposition" in out
+    assert "critical path" in out and "el-ack" in out
+    doc = json.loads(path.read_text())
+    assert doc["events"] > 0
+    assert doc["critical_path"]["span_s"] > 0
+
+
+def test_profile_command_p4_skips_critical_path(capsys):
+    rc = main(["profile", "cg", "--class", "T", "-n", "2", "--device", "p4"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "events/s" in out
+    assert "critical path" not in out  # no hb graph outside v2

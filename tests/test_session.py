@@ -260,3 +260,95 @@ def test_service_start_after_stop_serves_again():
     assert got["listening"] is True
     assert got["epoch"] == 2  # the relaunch link is a new epoch
     assert got["r2"] == ("ECHO", ("PING", 2))
+
+
+# -- heartbeat ---------------------------------------------------------------
+
+
+def _absorb(sess):
+    """A reader loop that only ever sees PONGs (absorbed in read_record)."""
+    while True:
+        end = sess.end
+        if end is None:
+            return
+        try:
+            yield from sess.read_record(end)
+        except Disconnected:
+            return
+
+
+def test_heartbeat_pongs_record_rtt_and_stay_invisible():
+    """PINGs are answered inside the service's _read_record (the server
+    loop never sees them), PONGs are absorbed inside the client's
+    read_record (the reader loop never sees them) — the only visible
+    effect is the RTT histogram."""
+    cluster, fabric, svc, cn = _deploy()
+    svc.start()
+    sess = _session(cluster, fabric, cn)
+    sess.connect_now()
+    cluster.sim.spawn(sess.heartbeat(0.1, timeout=1.0))
+    cluster.sim.spawn(_absorb(sess))
+    cluster.sim.run(until=2.0)
+    rtt = [m for m in cluster.metrics if m.name == "session.rtt_s"]
+    assert len(rtt) == 1 and rtt[0].count >= 15
+    assert rtt[0].min > 0  # a simulated round trip takes simulated time
+    assert sess.last_pong > 1.5
+    assert not sess.hb_suspect
+    assert cluster.metrics.total("session.hb_timeouts") == 0
+    # the 4-tuple PINGs never reached the echo loop as records
+    assert cluster.metrics.total("echo.protocol_errors") == 0
+
+
+def test_heartbeat_times_out_under_partition_and_recovers():
+    """A PartitionWindow keeps the socket up but stops the PONGs: the
+    session must turn hb_suspect past the timeout, and the first PONG
+    after the heal must clear it."""
+    cluster, fabric, svc, cn = _deploy()
+    svc.start()
+    sess = _session(cluster, fabric, cn)
+    sess.connect_now()
+    cluster.sim.spawn(sess.heartbeat(0.1, timeout=0.5))
+    cluster.sim.spawn(_absorb(sess))
+    got = {}
+
+    def chaos():
+        yield cluster.sim.timeout(1.0)
+        cluster.net.partition([cn], [svc.host], 2.0)
+        yield cluster.sim.timeout(1.5)
+        got["suspect_mid"] = sess.hb_suspect  # t=2.5: inside the cut
+
+    cluster.sim.spawn(chaos())
+    cluster.sim.run(until=6.0)
+    assert got["suspect_mid"] is True
+    assert cluster.metrics.total("session.hb_timeouts") >= 1
+    assert not sess.hb_suspect  # healed: the deferred PONGs cleared it
+    assert sess.up()  # the socket never broke — that is the point
+
+
+# -- backpressure ------------------------------------------------------------
+
+
+def test_backpressure_metrics_surface_stalled_writes():
+    """Writes bigger than the peer's window stall on credit; the session
+    folds the stall time/count and the receive backlog into the
+    ``session.*`` family."""
+    cluster, fabric, svc, cn = _deploy()
+    got = {}
+    svc.start()
+    sess = _session(cluster, fabric, cn)
+
+    def run():
+        sess.connect_now()
+        for i in range(4):
+            # 100 KB > the 64 KiB stream window: every write after the
+            # first waits for the server to drain the previous one
+            yield from sess.write(100_000, ("BULK", i))
+        got["reply"] = yield from sess.read_record()
+
+    cluster.sim.spawn(run())
+    cluster.sim.run()
+    assert got["reply"] == ("ECHO", ("BULK", 0))
+    assert cluster.metrics.total("session.stalled_writes") >= 2
+    assert cluster.metrics.total("session.stalled_write_s") > 0
+    depth = [m for m in cluster.metrics if m.name == "session.queue_depth"]
+    assert len(depth) == 1 and depth[0].peak >= 1  # echoes queued unread

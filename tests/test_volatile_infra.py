@@ -393,6 +393,72 @@ def test_partition_faults_ride_out_the_cut():
     assert res.metrics.total("net.deferred_segments") > 0
 
 
+def test_heartbeat_suspects_partitioned_rank_then_clears():
+    """A partition longer than hb_timeout must flag the quiet rank as
+    suspect on both sides — the daemon's session turns hb_suspect
+    (session.hb_timeouts) and the dispatcher's monitor counts it
+    (disp.suspected) — and the first heartbeat after the heal clears
+    the suspicion; the socket detector never fires (no restarts)."""
+    expect = run_job(ring, 4, device="v2",
+                     params={"rounds": 20, "work": 0.05}).results
+    res = run_job(
+        ring, 4, device="v2", params={"rounds": 20, "work": 0.05},
+        faults=[PartitionFaults([(0.4, (0,), 2.0)])],
+        limit=600.0,
+    )
+    assert res.results == expect
+    assert res.restarts == 0
+    assert res.stat("disp.suspected") >= 1
+    assert res.stat("session.hb_timeouts") >= 1
+    disp = res.extras["dispatcher"]
+    assert not disp.suspects  # healed: the resumed PINGs cleared it
+    assert 0 in disp.last_hb  # the partitioned rank reported back in
+
+
+def test_degrade_window_surfaces_backpressure_gauges():
+    """Bulk traffic under a DegradeWindow fills stream windows; the
+    session layer must surface the stalled-write time and counts that
+    were previously invisible."""
+    cluster = Cluster(DEFAULT_TESTBED, seed=0)
+    fabric = Fabric(cluster)
+    a = cluster.add_cn("cn0")
+    b = cluster.add_aux("svc-host")
+
+    from repro.runtime.session import ServiceBase, Session
+
+    class Sink(ServiceBase):
+        metric_ns = "sink"
+
+        def _serve(self, end, hello):
+            while True:
+                try:
+                    yield from self._read_record(end)
+                except Disconnected:
+                    return
+
+    svc = Sink(cluster.sim, b, fabric, "sink:0", metrics=cluster.metrics)
+    svc.start()
+    sess = Session(
+        cluster.sim, fabric, a, "sink:0", metrics=cluster.metrics,
+    )
+    # a 20x slower fabric: 100 KB pushes outlive the 64 KiB window
+    cluster.net.degrade(None, duration=60.0, bw_factor=20.0)
+    done = {}
+
+    def run():
+        sess.connect_now()
+        for i in range(5):
+            yield from sess.write(100_000, ("BULK", i))
+        done["ok"] = True
+
+    cluster.sim.spawn(run())
+    cluster.sim.run()
+    assert done["ok"]
+    assert cluster.metrics.total("session.stalled_writes") >= 3
+    # with a 20x bandwidth cut the stall time is macroscopic
+    assert cluster.metrics.total("session.stalled_write_s") > 0.1
+
+
 def test_link_flaps_resync_without_restarts():
     expect = run_job(ring, 4, device="v2",
                      params={"rounds": 24, "work": 0.05}).results
