@@ -1,0 +1,214 @@
+"""Recovery attribution under churn: MTTR stays flat as churn climbs.
+
+The paper's Figures 10-11 argue that a crashed rank rejoins quickly; the
+ROADMAP's cloud-scale-churn direction needs the stronger property that
+*mean time to recovery stays flat as the churn rate climbs* — each
+recovery is an independent detect / respawn / fetch / el-download /
+resync / replay arc whose cost is set by the checkpoint image and the
+replay tail, not by how often faults arrive.
+
+This benchmark sweeps the churn rate (mean node lifetime) on CG-A-8 and
+records, per rate, the phase-decomposed MTTR distribution from
+:class:`repro.obs.timeline.RecoveryAttribution`.  Three assertions:
+
+- **reconciliation** — each completed arc's contiguous phase durations
+  (detect + respawn + restore + replay) sum to ``recovery_s`` exactly
+  (< ``RECONCILE_EPS``): no phase marker went missing;
+- **flatness** — p95 MTTR across churn rates stays within
+  ``FLAT_FACTOR`` of the best rate;
+- **regression gate** — the sweep-wide median MTTR must not exceed the
+  checked-in ``BENCH_recovery.json`` baseline by more than
+  ``REGRESSION_BUDGET`` (the run is simulated time on a fixed seed, so
+  the comparison is deterministic).
+
+Results land in ``BENCH_recovery.json`` at the repository root (the CI
+artifact and the next baseline).  Run as a pytest benchmark
+(``pytest benchmarks/`` — *not* part of the tier-1 suite) or directly:
+``python benchmarks/bench_recovery.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+from repro.analysis.report import Report, format_table
+from repro.ft.failure import ChurnFaults
+from repro.obs.timeline import RecoveryAttribution, quantile
+from repro.runtime.mpirun import run_job
+from repro.workloads import nas
+
+from conftest import full_sweep, record_report
+
+OUT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_recovery.json"
+
+#: churn rates swept: mean node lifetime in simulated seconds (CG-A-8
+#: runs ~14 s fault-free, so 8 s lifetime is heavy churn)
+MEAN_LIFETIMES = (20.0, 12.0, 8.0)
+MAX_FAULTS = 4
+SEED = 1
+RECONCILE_EPS = 1e-9  # contiguous phases tile recovery_s exactly
+FLAT_FACTOR = 2.0  # p95 MTTR spread across churn rates
+REGRESSION_BUDGET = 0.15  # median MTTR vs the checked-in baseline
+
+
+def _run_rate(mean_lifetime: float, nprocs: int, klass: str) -> dict:
+    res = run_job(
+        nas.cg.program, nprocs, device="v2", params={"klass": klass},
+        limit=1e8, seed=SEED, trace=True,
+        checkpointing=True, ckpt_policy="random", ckpt_continuous=True,
+        ckpt_interval=5.0,
+        faults=ChurnFaults(
+            mean_lifetime=mean_lifetime, shape=0.7,
+            max_faults=MAX_FAULTS, seed=SEED,
+        ),
+    )
+    att = RecoveryAttribution.from_trace(res.tracer)
+    recon = [
+        e for s in att.completed if (e := att.reconcile(s)) is not None
+    ]
+    return {
+        "mean_lifetime": mean_lifetime,
+        "elapsed": res.elapsed,
+        "restarts": res.restarts,
+        "completed": len(att.completed),
+        "aborted": len(att.aborted),
+        "incomplete": len(att.incomplete),
+        "mttr": att.mttr(),
+        "phases": {
+            p: {"n": st["n"], "p50": st["p50"], "p95": st["p95"]}
+            for p, st in att.phase_stats().items()
+        },
+        "max_reconcile_err_s": max(recon, default=0.0),
+        "recoveries_s": sorted(s.recovery_s for s in att.completed),
+    }
+
+
+def measure_recovery(nprocs: int = 8, klass: str = "A") -> dict:
+    """Sweep churn rates; aggregate the MTTR distribution per rate."""
+    sweep = [_run_rate(ml, nprocs, klass) for ml in MEAN_LIFETIMES]
+    all_recoveries = sorted(
+        r for row in sweep for r in row["recoveries_s"]
+    )
+    p95s = [
+        row["mttr"]["p95"] for row in sweep if row["mttr"]["p95"] is not None
+    ]
+    return {
+        "kernel": "cg",
+        "klass": klass,
+        "nprocs": nprocs,
+        "seed": SEED,
+        "max_faults": MAX_FAULTS,
+        "sweep": sweep,
+        "median_mttr_s": quantile(all_recoveries, 0.5),
+        "p95_mttr_s": quantile(all_recoveries, 0.95),
+        "flatness_ratio": (max(p95s) / min(p95s)) if p95s else None,
+        "flat_factor_budget": FLAT_FACTOR,
+        "regression_budget": REGRESSION_BUDGET,
+    }
+
+
+def _load_baseline() -> dict:
+    """The checked-in result this run is gated against (may be absent)."""
+    if OUT_PATH.exists():
+        try:
+            return json.loads(OUT_PATH.read_text())
+        except (OSError, ValueError):
+            return {}
+    return {}
+
+
+def check_recovery(out: dict, baseline: dict) -> list[str]:
+    """All budget violations as human-readable strings (empty = pass)."""
+    problems: list[str] = []
+    for row in out["sweep"]:
+        if row["max_reconcile_err_s"] > RECONCILE_EPS:
+            problems.append(
+                f"lifetime {row['mean_lifetime']}s: phase sums miss "
+                f"recovery_s by {row['max_reconcile_err_s']:.2e}s "
+                f"(eps {RECONCILE_EPS:.0e})"
+            )
+        if row["completed"] + row["aborted"] < row["restarts"]:
+            problems.append(
+                f"lifetime {row['mean_lifetime']}s: {row['restarts']} "
+                f"restarts but only {row['completed']} completed + "
+                f"{row['aborted']} aborted spans — arcs went missing"
+            )
+    ratio = out["flatness_ratio"]
+    if ratio is not None and ratio > FLAT_FACTOR:
+        problems.append(
+            f"p95 MTTR spread {ratio:.2f}x across churn rates exceeds "
+            f"the {FLAT_FACTOR:.1f}x flatness budget"
+        )
+    base = baseline.get("median_mttr_s")
+    if base:
+        limit = base * (1.0 + REGRESSION_BUDGET)
+        if out["median_mttr_s"] > limit:
+            problems.append(
+                f"median MTTR {out['median_mttr_s']:.3f}s regresses "
+                f">{REGRESSION_BUDGET:.0%} vs baseline {base:.3f}s"
+            )
+        out["baseline_median_mttr_s"] = base
+    return problems
+
+
+def _sweep_table(out: dict) -> str:
+    rows = []
+    for row in out["sweep"]:
+        m = row["mttr"]
+        rows.append(
+            [
+                row["mean_lifetime"],
+                row["restarts"],
+                row["completed"],
+                row["aborted"],
+                m["p50"] if m["p50"] is not None else "-",
+                m["p95"] if m["p95"] is not None else "-",
+                row["phases"]["fetch"]["p95"] or 0.0,
+                row["phases"]["replay"]["p95"] or 0.0,
+                f"{row['max_reconcile_err_s']:.1e}",
+            ]
+        )
+    return format_table(
+        ["lifetime s", "restarts", "done", "aborted", "MTTR p50",
+         "MTTR p95", "fetch p95", "replay p95", "reconcile err"],
+        rows,
+    )
+
+
+def bench_recovery_attribution():
+    nprocs = 16 if full_sweep() else 8
+    baseline = _load_baseline()
+    out = measure_recovery(nprocs=nprocs)
+    problems = check_recovery(out, baseline)
+    OUT_PATH.write_text(json.dumps(out, indent=2) + "\n")
+    rep = Report(f"Recovery attribution - CG-{out['klass']}-{out['nprocs']} churn sweep")
+    rep.add(_sweep_table(out))
+    rep.add(
+        f"sweep-wide MTTR: median {out['median_mttr_s']:.3f}s, "
+        f"p95 {out['p95_mttr_s']:.3f}s; p95 spread across churn rates "
+        f"{out['flatness_ratio']:.2f}x (budget {FLAT_FACTOR:.1f}x) — "
+        "recovery cost is set by the checkpoint image and replay tail, "
+        "not the fault arrival rate"
+    )
+    record_report(rep)
+    assert not problems, "; ".join(problems)
+
+
+if __name__ == "__main__":
+    baseline = _load_baseline()
+    out = measure_recovery()
+    problems = check_recovery(out, baseline)
+    OUT_PATH.write_text(json.dumps(out, indent=2) + "\n")
+    print(json.dumps(out, indent=2))
+    print(_sweep_table(out))
+    if problems:
+        for p in problems:
+            print(f"OVER BUDGET: {p}")
+        sys.exit(1)
+    print(
+        f"OK: median MTTR {out['median_mttr_s']:.3f}s, p95 spread "
+        f"{out['flatness_ratio']:.2f}x (budget {FLAT_FACTOR:.1f}x)"
+    )
+    sys.exit(0)

@@ -6,7 +6,7 @@ from typing import Any, Optional, Sequence
 
 __all__ = [
     "format_table", "format_stats", "format_timeline", "format_audit",
-    "format_profile", "Report",
+    "format_mttr", "format_profile", "Report",
 ]
 
 
@@ -98,12 +98,23 @@ def format_stats(
 
 
 def format_timeline(spans: Sequence[Any]) -> str:
-    """Render recovery spans (see :mod:`repro.obs.timeline`) as a table."""
+    """Render recovery spans (see :mod:`repro.obs.timeline`) as a table.
+
+    A span a second fault (or a global restart) cut short shows its
+    abort cause in the ``note`` column instead of silently reading as
+    missing data."""
     if not spans:
         return "(no restarts)"
 
     def opt(x: Any) -> Any:
         return "-" if x is None else x
+
+    def note(s: Any) -> str:
+        if getattr(s, "aborted", False):
+            return f"aborted:{s.aborted_by}@{s.aborted_t:.3f}"
+        if getattr(s, "chained_from", None) is not None:
+            return f"supersedes i{s.chained_from}"
+        return ""
 
     rows = [
         [
@@ -116,14 +127,118 @@ def format_timeline(spans: Sequence[Any]) -> str:
             opt(s.downtime_s),
             opt(s.recovery_s),
             opt(s.host),
+            note(s),
         ]
         for s in spans
     ]
     return format_table(
         ["rank", "fault s", "detect s", "respawn s", "replay s",
-         "caught-up s", "downtime s", "recovery s", "host"],
+         "caught-up s", "downtime s", "recovery s", "host", "note"],
         rows,
     )
+
+
+def format_mttr(attribution: Any, per_fault: bool = True) -> str:
+    """Render a :class:`~repro.obs.timeline.RecoveryAttribution`.
+
+    One headline block (MTTR distribution, span accounting, the
+    reconciliation error), a per-fault phase-decomposition table (when
+    ``per_fault``), the aggregate per-phase p50/p95 table, and the
+    detection-latency split by detector source.
+    """
+    if attribution is None:
+        return "(no attribution: run with trace=True)"
+    att = attribution
+    if not att.spans:
+        return "(no faults: nothing to attribute)"
+
+    def opt(x: Any) -> Any:
+        return "-" if x is None else x
+
+    mttr = att.mttr()
+    head = (
+        f"recoveries: {len(att.completed)} completed, "
+        f"{len(att.aborted)} aborted, {len(att.incomplete)} incomplete"
+    )
+    if mttr["n"]:
+        head += (
+            f"\nMTTR: p50 {mttr['p50']:.3f}s  p95 {mttr['p95']:.3f}s  "
+            f"mean {mttr['mean']:.3f}s  max {mttr['max']:.3f}s"
+        )
+        err = max(
+            (e for s in att.completed
+             if (e := att.reconcile(s)) is not None),
+            default=0.0,
+        )
+        head += f"\nphase sums reconcile with recovery_s to {err:.2e}s"
+    blocks = [head]
+    if per_fault:
+        rows = []
+        for s in att.spans:
+            b = att.breakdown(s)
+            status = "ok"
+            if s.aborted:
+                status = f"aborted:{s.aborted_by}"
+            elif not s.completed:
+                status = "incomplete"
+            rows.append(
+                [
+                    s.rank,
+                    opt(s.incarnation),
+                    s.fault_t,
+                    opt(s.detect_source),
+                    opt(b["detect"]),
+                    opt(b["respawn"]),
+                    opt(b["fetch"]),
+                    opt(b["el_download"]),
+                    opt(b["resync"]),
+                    opt(b["replay"]),
+                    opt(s.recovery_s),
+                    status,
+                ]
+            )
+        blocks.append(
+            "per-fault phase decomposition (seconds):\n"
+            + format_table(
+                ["rank", "inc", "fault t", "source", "detect", "respawn",
+                 "fetch", "el-dl", "resync", "replay", "recovery", "status"],
+                rows,
+            )
+        )
+    phases = att.phase_stats()
+    prows = [
+        [p, st["n"], opt(st["p50"]), opt(st["p95"]), opt(st["mean"]),
+         opt(st["max"])]
+        for p, st in phases.items()
+    ]
+    blocks.append(
+        "per-phase distribution over completed recoveries:\n"
+        + format_table(["phase", "n", "p50 s", "p95 s", "mean s", "max s"],
+                       prows)
+    )
+    by_src = att.detect_by_source()
+    if by_src:
+        blocks.append(
+            "detection latency by source:\n"
+            + format_table(
+                ["source", "n", "p50 s", "p95 s", "mean s", "max s"],
+                [
+                    [src, st["n"], opt(st["p50"]), opt(st["p95"]),
+                     opt(st["mean"]), opt(st["max"])]
+                    for src, st in by_src.items()
+                ],
+            )
+        )
+    totals = att.totals()
+    blocks.append(
+        "recovery traffic totals: "
+        f"fetch {totals['fetch_bytes']:,} B in {totals['fetch_chunks']} "
+        f"chunks ({totals['fetch_failovers']} failovers, "
+        f"{totals['fetch_retries']} retries), "
+        f"EL {totals['el_events']} events ({totals['el_retries']} retries), "
+        f"{totals['resync_peers']} peer resyncs"
+    )
+    return "\n\n".join(blocks)
 
 
 def format_audit(report: Any) -> str:

@@ -16,7 +16,11 @@ Commands mirror the workflows of the paper's evaluation:
 * ``profile`` — run one kernel under the event-kernel profiler and
   print the overhead decomposition ("where does the time go"): per-
   service CPU, hottest event kinds, and — on v2 — the critical path
-  over the happens-before graph.
+  over the happens-before graph;
+* ``mttr`` — run one kernel under churn faults and print the
+  phase-decomposed recovery attribution ("where does recovery time
+  go"): per-fault detect/respawn/fetch/el-download/resync/replay
+  durations, per-phase p50/p95, detection latency by source.
 
 ``kernel``, ``faulty``, ``pingpong``, ``burst`` and ``stats`` also take
 ``--trace-out`` (Chrome trace-event JSON, or JSON lines when the path
@@ -35,12 +39,14 @@ from typing import Any, Optional, Sequence
 from .analysis.metrics import breakdown, mops
 from .analysis.report import (
     format_audit,
+    format_mttr,
     format_profile,
     format_stats,
     format_table,
     format_timeline,
 )
 from .obs import (
+    RecoveryAttribution,
     chrome_trace,
     merge_chrome_traces,
     recovery_timeline,
@@ -136,7 +142,14 @@ def _write_obs(args: argparse.Namespace, runs: list[tuple[str, Any]]) -> None:
                         fh.write(json.dumps(rec) + "\n")
         else:
             if len(runs) == 1:
-                doc = chrome_trace(runs[0][1].tracer)
+                res = runs[0][1]
+                # a sampled run renders its time-series as counter tracks
+                counters = (
+                    res.timeseries.counter_tracks()
+                    if getattr(res, "timeseries", None) is not None
+                    else None
+                )
+                doc = chrome_trace(res.tracer, counters=counters)
             else:
                 doc = merge_chrome_traces(
                     [(label, res.tracer) for label, res in runs]
@@ -152,6 +165,22 @@ def _write_obs(args: argparse.Namespace, runs: list[tuple[str, Any]]) -> None:
             payload = next(iter(payload.values()))
         with open(metrics_out, "w") as fh:
             json.dump(payload, fh, indent=2)
+
+
+def _print_detect_latency(res: Any) -> None:
+    """Print the fault→detection latency histogram split by source."""
+    if res.metrics is None:
+        return
+    rows = []
+    for m in res.metrics:
+        if m.name != "disp.detect_latency_s" or not m.count:
+            continue
+        rows.append(
+            [m.labels.get("source", "?"), m.count, m.mean(), m.max]
+        )
+    if rows:
+        print("\ndetection latency by source:")
+        print(format_table(["source", "n", "mean s", "max s"], sorted(rows)))
 
 
 def _print_audits(args: argparse.Namespace, runs: list[tuple[str, Any]]) -> None:
@@ -356,6 +385,8 @@ def _cmd_faulty(args: argparse.Namespace) -> int:
             f"failovers={int(res.metrics.total('store.failover'))} "
             f"gc_reclaimed={res.metrics.total('store.gc_reclaimed_bytes') / 1e6:.2f}MB"
         )
+    if res.restarts:
+        _print_detect_latency(res)
     _print_audits(args, [(f"{args.name}-{args.klass}-faulty", res)])
     _write_obs(args, [(f"{args.name}-{args.klass}-faulty", res)])
     if args.audit and res.audit is not None and not res.audit.clean:
@@ -387,6 +418,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         trace=bool(args.trace_out), audit=args.audit,
     )
     print(format_stats(res.metrics, prefix=args.prefix, top=args.top))
+    if args.prefix in (None, "disp."):
+        _print_detect_latency(res)
     _print_audits(args, [(f"{args.name}-{args.klass}", res)])
     _write_obs(args, [(f"{args.name}-{args.klass}", res)])
     return 0
@@ -418,6 +451,60 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         with open(args.json_out, "w") as fh:
             json.dump(doc, fh, indent=2)
         print(f"wrote profile to {args.json_out}")
+    return 0
+
+
+def _cmd_mttr(args: argparse.Namespace) -> int:
+    from .ft.failure import ChurnFaults, ExplicitFaults
+    from .runtime.config import DEFAULT_TESTBED
+
+    mod = nas.KERNELS[args.name]
+    cfg = _store_cfg(args, DEFAULT_TESTBED)
+    if args.kill_at:
+        faults: Any = ExplicitFaults(
+            [(float(t), int(r)) for t, r in
+             (part.split(":") for part in args.kill_at.split(","))]
+        )
+    else:
+        faults = ChurnFaults(
+            mean_lifetime=args.mean_lifetime, shape=args.shape,
+            max_faults=args.faults, seed=args.seed,
+        )
+    res = run_job(
+        mod.program, args.nprocs, device="v2", cfg=cfg,
+        params={"klass": args.klass}, limit=1e8, seed=args.seed,
+        trace=True, audit=args.audit,
+        checkpointing=True, ckpt_policy="random", ckpt_continuous=True,
+        ckpt_interval=args.ckpt_interval,
+        faults=faults,
+        timeseries=args.sample_interval,
+    )
+    att = RecoveryAttribution.from_trace(res.tracer)
+    print(
+        f"{args.name.upper()}-{args.klass} x{args.nprocs} under churn: "
+        f"elapsed {res.elapsed:.2f}s, {res.restarts} restarts, "
+        f"{res.checkpoints} checkpoints"
+    )
+    print(format_mttr(att))
+    if args.json_out:
+        doc = {
+            "kernel": f"{args.name}-{args.klass}",
+            "nprocs": args.nprocs,
+            "seed": args.seed,
+            "elapsed": res.elapsed,
+            "restarts": res.restarts,
+            "attribution": att.as_dict(),
+        }
+        with open(args.json_out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        print(f"wrote attribution to {args.json_out}")
+    if args.timeseries_out:
+        n = res.timeseries.write_jsonl(args.timeseries_out)
+        print(f"wrote {n} time-series samples to {args.timeseries_out}")
+    _print_audits(args, [(f"{args.name}-{args.klass}-mttr", res)])
+    _write_obs(args, [(f"{args.name}-{args.klass}-mttr", res)])
+    if args.audit and res.audit is not None and not res.audit.clean:
+        return 1
     return 0
 
 
@@ -576,6 +663,35 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--json-out", default=None, metavar="PATH",
                     help="write the profile (and critical path) as JSON")
     sp.set_defaults(fn=_cmd_profile)
+
+    sp = sub.add_parser(
+        "mttr",
+        help="recovery attribution under churn (where recovery time goes)",
+    )
+    sp.add_argument("name", choices=sorted(nas.KERNELS))
+    sp.add_argument("--class", dest="klass", default="A",
+                    choices=["T", "S", "A", "B", "C"])
+    sp.add_argument("-n", "--nprocs", type=int, default=8)
+    sp.add_argument("--faults", type=int, default=4,
+                    help="churn: maximum number of rank kills")
+    sp.add_argument("--mean-lifetime", type=float, default=10.0,
+                    help="churn: mean node lifetime in simulated seconds")
+    sp.add_argument("--shape", type=float, default=0.7,
+                    help="churn: Weibull shape (<1 is heavy-tailed)")
+    sp.add_argument("--kill-at", default=None, metavar="AT:RANK[,..]",
+                    help="explicit kill schedule instead of churn")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--ckpt-interval", type=float, default=5.0,
+                    help="checkpoint scheduler interval (simulated s)")
+    sp.add_argument("--sample-interval", type=float, default=0.5,
+                    help="time-series sampling cadence (simulated s)")
+    sp.add_argument("--json-out", default=None, metavar="PATH",
+                    help="write the full attribution as JSON")
+    sp.add_argument("--timeseries-out", default=None, metavar="PATH",
+                    help="write the sampled time-series as JSON lines")
+    _add_store_flags(sp)
+    _add_obs_flags(sp)
+    sp.set_defaults(fn=_cmd_mttr)
 
     sp = sub.add_parser(
         "trace", help="run one kernel with tracing; export Chrome trace"

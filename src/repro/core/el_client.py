@@ -268,6 +268,8 @@ class EventLogClient:
         self, from_rclock: int
     ) -> Generator[Future, Any, list[EventRecord]]:
         """Phase-A event download (inline replies; no reader running)."""
+        t_start = self.sim.now
+        retries = 0
         while True:
             end = self.session.end
             try:
@@ -278,9 +280,15 @@ class EventLogClient:
             except Disconnected:
                 # the EL crashed mid-download: reconnect (its event store
                 # is durable across service restarts) and re-ask
+                retries += 1
                 yield from self.connect()
                 continue
             kind, records = reply
+            self.tracer.emit(
+                self.sim.now, "v2.el_download", rank=self.rank,
+                n=len(records), wait_s=self.sim.now - t_start,
+                retries=retries, from_rclock=from_rclock,
+            )
             return list(records)
 
     def prune(self, recv_seq: int) -> Generator[Future, Any, None]:

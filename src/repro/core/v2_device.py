@@ -291,6 +291,10 @@ class V2Daemon:
             # pre-checkpoint saved messages it lacks (in-transit at crash)
             hq = msg[1]
             self.peers.needs_restart1.discard(q)
+            self.tracer.emit(
+                self.sim.now, "v2.restart2", rank=self.rank, peer=q,
+                remaining=len(self.peers.needs_restart1),
+            )
             self.clock.hs[q] = max(self.clock.hs.get(q, 0), hq)
             for m in self.saved.messages_for(q, after_sclock=hq):
                 if m.sclock <= self.restart_base_send:

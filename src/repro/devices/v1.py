@@ -287,6 +287,7 @@ def run_v1_job(
     faults: Optional[Any] = None,
     audit: bool = False,
     profile: bool = False,
+    timeseries: Any = False,
 ) -> JobResult:
     """Run a job on MPICH-V1: one reliable CM per ``cns_per_cm`` nodes.
 
@@ -305,6 +306,12 @@ def run_v1_job(
 
         profiler = KernelProfiler()
         profiler.install(sim)
+    sampler = None
+    if timeseries:
+        from ..obs.timeseries import TimeseriesSampler
+
+        sampler = TimeseriesSampler.from_flag(cluster.metrics, timeseries)
+        sampler.install(sim)
     auditor = None
     if audit:
         from ..obs.audit import ProtocolAuditor
@@ -419,6 +426,8 @@ def run_v1_job(
         sim.spawn(faults.driver(ctx), name="v1.fault-injector")
 
     results = sim.run_until(done, limit=limit)
+    if sampler is not None:
+        sampler.sample(sim.now)
     for cm in cms:
         if cm.stores:
             cluster.metrics.counter("v1.cm_stores", cm=cm.name).inc(cm.stores)
@@ -441,5 +450,6 @@ def run_v1_job(
         metrics=cluster.metrics,
         audit=report,
         profile=prof,
+        timeseries=sampler,
         extras={"channel_memories": cms},
     )

@@ -152,6 +152,18 @@ class Dispatcher:
         self._m_downtime = m.histogram("ft.downtime_s")
         self._m_suspected = m.counter("disp.suspected")
         self._m_suspect = m.gauge("disp.suspect")
+        # fault -> detection latency, split by which detector fired: the
+        # socket-disconnection detector (the paper's "trusty" one) or the
+        # heartbeat monitor that had already flagged the rank suspect
+        self._m_detect_lat = {
+            "socket": m.histogram("disp.detect_latency_s", source="socket"),
+            "heartbeat": m.histogram("disp.detect_latency_s", source="heartbeat"),
+        }
+        # ranks currently between fault and caught-up (outstanding
+        # recoveries), kept as a time-weighted gauge for the sampler
+        self.recovering: set[int] = set()
+        self._m_recovering = m.gauge("disp.recovering")
+        cluster.tracer.subscribe(self._note_caught_up, kinds={"v2.caught_up"})
         # heartbeat bookkeeping: last PING (or accept) per rank, and the
         # set of ranks whose link has gone quiet past hb_timeout —
         # partitioned-but-alive daemons the socket detector cannot see
@@ -206,6 +218,12 @@ class Dispatcher:
                         now, "ft.suspect", rank=r, quiet_s=now - seen
                     )
 
+    def _note_caught_up(self, time: float, kind: str, fields: dict) -> None:
+        rank = fields.get("rank")
+        if rank in self.recovering:
+            self.recovering.discard(rank)
+            self._m_recovering.set(float(len(self.recovering)), time)
+
     def stop(self, cause: Any = "disp-crash") -> None:
         """Withdraw the control listener and drop every daemon link."""
         self.listener.stop(cause)
@@ -220,6 +238,9 @@ class Dispatcher:
     def _global_restart(self):
         self.cluster.tracer.emit(self.sim.now, "ft.global_restart")
         self._m_global_restarts.inc()
+        # per-rank recovery arcs are superseded by the global one
+        self.recovering.clear()
+        self._m_recovering.set(0.0, self.sim.now)
         # invalidate every per-rank monitor/restart before tearing down
         for st in self.states:
             st.incarnation += 1
@@ -318,6 +339,8 @@ class Dispatcher:
         st = self.states[rank]
         if st.incarnation != incarnation or self.done.done:
             return
+        self.recovering.add(rank)
+        self._m_recovering.set(float(len(self.recovering)), self.sim.now)
         p = self.sim.spawn(
             self._restart(rank, incarnation), name=f"disp.restart{rank}"
         )
@@ -329,7 +352,16 @@ class Dispatcher:
         yield self.sim.timeout(self.cfg.restart_detect_delay)
         if self.done.done or st.incarnation != incarnation:
             return
-        self.cluster.tracer.emit(self.sim.now, "ft.detect", rank=rank)
+        # a rank already flagged by the heartbeat monitor (partitioned,
+        # then crashed) is attributed to the heartbeat detector; the
+        # common crash path is the socket-disconnection detector
+        source = "heartbeat" if rank in self.suspects else "socket"
+        latency = self.sim.now - t_crash
+        self._m_detect_lat[source].observe(latency)
+        self.cluster.tracer.emit(
+            self.sim.now, "ft.detect", rank=rank, source=source,
+            latency_s=latency,
+        )
         old_host = st.host
         if self.spare_hosts:
             host = self.spare_hosts.pop(0)
@@ -442,6 +474,7 @@ def run_v2_job(
     audit_hb: bool = False,
     mutations: Optional[frozenset] = None,
     profile: bool = False,
+    timeseries: Any = False,
 ) -> JobResult:
     """Deploy and run an MPICH-V2 job.
 
@@ -469,6 +502,12 @@ def run_v2_job(
 
         profiler = KernelProfiler()
         profiler.install(sim)
+    sampler = None
+    if timeseries:
+        from ..obs.timeseries import TimeseriesSampler
+
+        sampler = TimeseriesSampler.from_flag(cluster.metrics, timeseries)
+        sampler.install(sim)
     auditor = None
     if audit:
         from ..obs.audit import ProtocolAuditor
@@ -615,6 +654,8 @@ def run_v2_job(
         )
 
     results = sim.run_until(dispatcher.done, limit=limit)
+    if sampler is not None:
+        sampler.sample(sim.now)  # close the series at job end
     elapsed = max(s.finish_time for s in dispatcher.states)
     stats = finalize_job(
         cluster,
@@ -636,6 +677,7 @@ def run_v2_job(
         metrics=cluster.metrics,
         audit=report,
         profile=prof,
+        timeseries=sampler,
         extras={
             "global_restarts": dispatcher.global_restarts,
             "event_loggers": loggers,

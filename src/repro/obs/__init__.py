@@ -8,8 +8,12 @@ and this package measures exactly those mechanisms:
   per-rank and per-component labels (read via ``JobResult.stat(...)``);
 * :mod:`~repro.obs.trace_export` — Chrome trace-event JSON (open the
   file at https://ui.perfetto.dev) and JSONL dumps of a run's tracer;
-* :mod:`~repro.obs.timeline` — fault → detect → respawn → replay →
-  caught-up spans per restart;
+* :mod:`~repro.obs.timeline` — fault → detect → respawn → fetch /
+  el-download → resync → replay → caught-up spans per restart, and the
+  :class:`~repro.obs.timeline.RecoveryAttribution` phase-decomposed MTTR;
+* :mod:`~repro.obs.timeseries` — sampled metric snapshots on a
+  simulated-time cadence (bounded ring series, JSONL and Chrome counter
+  export);
 * :mod:`~repro.obs.collect` — end-of-job folding of hot-path accounting
   into the registry;
 * :mod:`~repro.obs.audit` — the online protocol auditor: vector-clock
@@ -27,9 +31,11 @@ from .profile import (
     critical_path,
 )
 from .registry import DEFAULT_BOUNDS, Counter, Gauge, Histogram, Metrics
-from .timeline import RestartSpan, recovery_timeline
+from .timeline import RecoveryAttribution, RestartSpan, recovery_timeline
+from .timeseries import DEFAULT_SERIES, TimeseriesSampler
 from .trace_export import (
     chrome_trace,
+    counter_events,
     merge_chrome_traces,
     trace_records,
     write_chrome_trace,
@@ -42,9 +48,13 @@ __all__ = [
     "Histogram",
     "Metrics",
     "DEFAULT_BOUNDS",
+    "DEFAULT_SERIES",
+    "RecoveryAttribution",
     "RestartSpan",
+    "TimeseriesSampler",
     "recovery_timeline",
     "chrome_trace",
+    "counter_events",
     "merge_chrome_traces",
     "trace_records",
     "write_chrome_trace",

@@ -14,21 +14,32 @@ https://ui.perfetto.dev) with **one track per host/daemon**:
 Simulated seconds become microsecond timestamps (the unit the format
 expects); every record is an instant event whose fields ride along in
 ``args``.
+
+Time-series from :class:`~repro.obs.timeseries.TimeseriesSampler` render
+as Chrome *counter* tracks (``ph: "C"``): pass its ``counter_tracks()``
+to :func:`chrome_trace`/:func:`write_chrome_trace` via ``counters=`` and
+the viewer draws queue-depth / suspected-rank / outstanding-recovery
+graphs on a ``telemetry`` process alongside the event slices.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Iterable
+from typing import Any, Iterable, Mapping, Optional, Sequence
 
 from ..simnet.trace import Tracer, TraceRecord
 
 __all__ = [
     "chrome_trace",
+    "counter_events",
     "trace_records",
     "write_chrome_trace",
     "write_trace_jsonl",
 ]
+
+#: pid reserved for the telemetry (counter-track) pseudo-process; far
+#: above anything the per-track allocator hands out
+TELEMETRY_PID = 9999
 
 
 def _track_of(rec: TraceRecord) -> str:
@@ -54,8 +65,47 @@ def _json_safe(value: Any) -> Any:
     return str(value)
 
 
+def counter_events(
+    tracks: Mapping[str, Sequence[tuple[float, float]]],
+    pid: int = TELEMETRY_PID,
+    pid_prefix: str = "",
+) -> list[dict[str, Any]]:
+    """Chrome counter events (``ph: "C"``) from sampled time-series.
+
+    ``tracks`` maps a series name to its ``[(t_seconds, value), ...]``
+    samples (the shape of ``TimeseriesSampler.counter_tracks()``).  Each
+    series becomes one counter track on a shared ``telemetry`` process.
+    """
+    if not tracks:
+        return []
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": pid_prefix + "telemetry"},
+        }
+    ]
+    for name, samples in sorted(tracks.items()):
+        for t, v in samples:
+            events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "ts": t * 1e6,
+                    "pid": pid,
+                    "args": {name: v},
+                }
+            )
+    return events
+
+
 def chrome_trace(
-    tracer: Tracer, pid_prefix: str = "", _pid_base: int = 0
+    tracer: Tracer,
+    pid_prefix: str = "",
+    _pid_base: int = 0,
+    counters: Optional[Mapping[str, Sequence[tuple[float, float]]]] = None,
 ) -> dict[str, Any]:
     """Render a tracer as a Chrome trace-event document (a plain dict).
 
@@ -109,8 +159,13 @@ def chrome_trace(
             }
         )
 
+    extra: list[dict[str, Any]] = []
+    if counters:
+        extra = counter_events(
+            counters, pid=TELEMETRY_PID + _pid_base, pid_prefix=pid_prefix
+        )
     doc: dict[str, Any] = {
-        "traceEvents": meta + events,
+        "traceEvents": meta + events + extra,
         "displayTimeUnit": "ms",
     }
     if tracer.dropped:
@@ -143,10 +198,17 @@ def trace_records(tracer: Tracer) -> list[dict[str, Any]]:
     ]
 
 
-def write_chrome_trace(tracer: Tracer, path: str) -> int:
-    """Write one run as a Chrome trace file; returns the record count."""
+def write_chrome_trace(
+    tracer: Tracer,
+    path: str,
+    counters: Optional[Mapping[str, Sequence[tuple[float, float]]]] = None,
+) -> int:
+    """Write one run as a Chrome trace file; returns the record count.
+
+    ``counters`` adds sampler time-series as counter tracks (see
+    :func:`counter_events`)."""
     with open(path, "w") as fh:
-        json.dump(chrome_trace(tracer), fh)
+        json.dump(chrome_trace(tracer, counters=counters), fh)
     return len(tracer)
 
 

@@ -53,6 +53,7 @@ def run_job(
     limit: Optional[float] = None,
     audit: bool = False,
     profile: bool = False,
+    timeseries: Any = False,
     **device_kw: Any,
 ) -> JobResult:
     """Run ``program`` on ``nprocs`` simulated processes; block to completion.
@@ -63,29 +64,33 @@ def run_job(
     causal-clock stamping applies — the V2 invariant checks have nothing
     to fire on).  ``profile`` hooks the event-kernel profiler into the
     simulator and reports the :class:`~repro.obs.profile.KernelProfile`
-    in ``JobResult.profile``.  Extra keyword arguments are forwarded to
-    the device launcher (fault schedules, checkpoint policies,
-    event-logger counts, ...).
+    in ``JobResult.profile``.  ``timeseries`` samples selected registry
+    metrics on a simulated-time cadence (``True`` for the default 0.5 s
+    interval, a number to override it) into
+    ``JobResult.timeseries`` (a
+    :class:`~repro.obs.timeseries.TimeseriesSampler`).  Extra keyword
+    arguments are forwarded to the device launcher (fault schedules,
+    checkpoint policies, event-logger counts, ...).
     """
     params = params or {}
     if device == "p4":
         return _run_p4(
             program, nprocs, cfg, params, trace, seed, limit, audit,
-            profile=profile, **device_kw
+            profile=profile, timeseries=timeseries, **device_kw
         )
     if device == "v1":
         from ..devices.v1 import run_v1_job
 
         return run_v1_job(
             program, nprocs, cfg, params, trace, seed, limit, audit=audit,
-            profile=profile, **device_kw,
+            profile=profile, timeseries=timeseries, **device_kw,
         )
     if device == "v2":
         from ..ft.dispatcher import run_v2_job
 
         return run_v2_job(
             program, nprocs, cfg, params, trace, seed, limit, audit=audit,
-            profile=profile, **device_kw,
+            profile=profile, timeseries=timeseries, **device_kw,
         )
     raise ValueError(f"unknown device {device!r} (expected p4/v1/v2)")
 
@@ -100,6 +105,7 @@ def _run_p4(
     limit: Optional[float],
     audit: bool = False,
     profile: bool = False,
+    timeseries: Any = False,
 ) -> JobResult:
     cluster = Cluster(cfg, seed=seed, trace=trace)
     sim = cluster.sim
@@ -109,6 +115,12 @@ def _run_p4(
 
         profiler = KernelProfiler()
         profiler.install(sim)
+    sampler = None
+    if timeseries:
+        from ..obs.timeseries import TimeseriesSampler
+
+        sampler = TimeseriesSampler.from_flag(cluster.metrics, timeseries)
+        sampler.install(sim)
     auditor = None
     if audit:
         from ..obs.audit import ProtocolAuditor
@@ -141,6 +153,8 @@ def _run_p4(
 
     done = all_of(sim, [p.done for p in procs])
     outcome = sim.run_until(done, limit=limit)
+    if sampler is not None:
+        sampler.sample(sim.now)
     finish_times = [t for t, _ in outcome]
     stats = finalize_job(
         cluster, {r: devices[r].stats for r in range(nprocs)}, "p4"
@@ -158,4 +172,5 @@ def _run_p4(
         metrics=cluster.metrics,
         audit=report,
         profile=prof,
+        timeseries=sampler,
     )

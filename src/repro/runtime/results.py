@@ -27,6 +27,7 @@ class JobResult:
     metrics: Optional[Any] = None  # the job's obs.Metrics registry
     audit: Optional[Any] = None  # obs.AuditReport when run with audit=True
     profile: Optional[Any] = None  # obs.KernelProfile when run with profile=True
+    timeseries: Optional[Any] = None  # obs.TimeseriesSampler when sampled
     extras: dict[str, Any] = field(default_factory=dict)
 
     def stat(self, name: str, rank: Optional[int] = None,

@@ -254,6 +254,20 @@ class StoreClient:
         policy = RetryPolicy.from_config(self.cfg, max_tries=self.cfg.cs_fetch_tries)
         have: dict[int, Chunk] = {}
         failed_over = False
+        t_start = self.sim.now
+        n_failovers = n_retries = 0
+        self.tracer.emit(t_start, "store.fetch_start", rank=self.rank)
+
+        def _done(found: bool) -> None:
+            # one completion marker per fetch, on every exit path, so the
+            # recovery timeline can attribute the restore window
+            self.tracer.emit(
+                self.sim.now, "store.fetch_done", rank=self.rank,
+                found=found, bytes=sum(c.nbytes for c in have.values()),
+                chunks=len(have), failovers=n_failovers, retries=n_retries,
+                wait_s=self.sim.now - t_start,
+            )
+
         for attempt in range(policy.max_tries):
             # probe every replica for its newest sequence; fetch the best
             best_name: Optional[str] = None
@@ -278,9 +292,11 @@ class StoreClient:
                     best_name, best_sess, best_seq = name, sess, reply[1]
             if best_name is None:
                 if refused < len(self.names):
+                    _done(False)
                     return None  # replicas answered; none has an image
                 delay = policy.delay(attempt, self._rng)
                 self._note_retry(attempt, delay)
+                n_retries += 1
                 yield self.sim.timeout(delay)
                 continue
             if refused and not failed_over:
@@ -288,6 +304,7 @@ class StoreClient:
                 # restart is being served by a failover target
                 failed_over = True
                 self._m_failover.inc()
+                n_failovers += 1
                 self.tracer.emit(
                     self.sim.now, "store.failover", rank=self.rank,
                     serving=best_name, dead=refused, mode="probe",
@@ -315,6 +332,7 @@ class StoreClient:
                     needed.discard(chunk.digest)
                 if needed:
                     continue
+                _done(True)
                 return assemble_image(manifest, have)
             except (Disconnected, HostDown):
                 # mid-stream crash: keep what arrived, fail over
@@ -322,6 +340,7 @@ class StoreClient:
                 if not failed_over:
                     failed_over = True
                 self._m_failover.inc()
+                n_failovers += 1
                 self.tracer.emit(
                     self.sim.now, "store.failover", rank=self.rank,
                     serving=best_name, dead=refused, mode="midstream",
@@ -329,6 +348,7 @@ class StoreClient:
                 )
                 delay = policy.delay(attempt, self._rng)
                 self._note_retry(attempt, delay)
+                n_retries += 1
                 yield self.sim.timeout(delay)
             finally:
                 if desync and sess.end is not None:
@@ -339,4 +359,5 @@ class StoreClient:
                     sess.drop()
                     if not end.stream.dead:
                         end.stream.break_both("fetch-desync")
+        _done(False)
         return None
