@@ -1,0 +1,237 @@
+"""Event-logger scaling: sharding and replication under a replica kill.
+
+The paper prices the pessimistic-logging tax as the event-logger round
+trip gating every send (Table 1) — and assumes the logger itself is
+reliable.  This benchmark drops both simplifications at once: it sweeps
+the EL replication group's two knobs (``el_servers`` shards ×
+``el_replicas`` copies) on CG-A-8 and, for every replicated
+configuration, kills one replica mid-run.  Three claims are gated:
+
+- **availability** — with K=3 (majority quorum 2) the kill is absorbed:
+  the job completes with a clean audit, zero rank restarts, and the
+  relaunched replica resyncs from its peers;
+- **scaling** — sharding ranks across EL servers reduces the el-ack
+  share of the protocol's critical path (the WAITLOGGED tax) versus the
+  single-server baseline, because each shard serves fewer ranks;
+- **regression gate** — the killed-replica run's elapsed time must not
+  exceed the checked-in ``BENCH_el_scale.json`` baseline by more than
+  ``REGRESSION_BUDGET`` (simulated time on a fixed seed: deterministic).
+
+Results land in ``BENCH_el_scale.json`` at the repository root (the CI
+artifact and the next baseline).  Run as a pytest benchmark
+(``pytest benchmarks/`` — *not* part of the tier-1 suite) or directly:
+``python benchmarks/bench_el_scale.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+from repro.analysis.report import Report, format_table
+from repro.ft.failure import ServiceFaults
+from repro.obs.profile import critical_path
+from repro.runtime.config import DEFAULT_TESTBED
+from repro.runtime.mpirun import run_job
+from repro.workloads import nas
+
+from conftest import full_sweep, record_report
+
+OUT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_el_scale.json"
+
+#: (el_servers, el_replicas) swept; (1, 1) is the paper's reliable-EL shape
+CONFIGS = ((1, 1), (2, 1), (1, 3), (2, 3))
+FULL_CONFIGS = CONFIGS + ((4, 3),)
+KILL_AT = 1.0  # simulated seconds; CG-A-8 runs ~3.3 s
+DOWNTIME = 0.8  # relaunch + peer resync land well before the job ends
+SEED = 1
+REGRESSION_BUDGET = 0.20  # killed-run elapsed vs the checked-in baseline
+
+
+def _el_ack_share(res) -> float:
+    cp = critical_path(res.audit.hb)
+    return next(
+        (c["share"] for c in cp["contributions"] if c["category"] == "el-ack"),
+        0.0,
+    )
+
+
+def _run_config(servers: int, replicas: int, nprocs: int, klass: str) -> dict:
+    cfg = DEFAULT_TESTBED.with_(el_servers=servers, el_replicas=replicas)
+    # replicated configurations take a mid-run replica kill (replica 1 of
+    # shard 0); K=1 has no redundant copy to lose without data loss
+    faults = (
+        [ServiceFaults([(KILL_AT, "el:0.1", DOWNTIME)])]
+        if replicas > 1
+        else None
+    )
+    res = run_job(
+        nas.cg.program, nprocs, device="v2", cfg=cfg,
+        params={"klass": klass}, limit=1e8, seed=SEED,
+        faults=faults, audit=True, audit_hb=True,
+    )
+    m = res.metrics
+    shard_cpu = {}
+    for metric in m:
+        if metric.name == "el.cpu_s":
+            key = str(metric.labels.get("shard", 0))
+            shard_cpu[key] = shard_cpu.get(key, 0.0) + metric.value
+    return {
+        "el_servers": servers,
+        "el_replicas": replicas,
+        "quorum": min(replicas, cfg.el_quorum),
+        "killed_replica": "el:0.1" if replicas > 1 else None,
+        "elapsed": res.elapsed,
+        "restarts": res.restarts,
+        "audit_clean": res.audit.clean,
+        "el_ack_share": _el_ack_share(res),
+        "quorum_wait_p95_s": m.quantile("el.quorum_wait_s", 0.95),
+        "failovers": int(m.total("el.failovers")),
+        "resyncs": int(m.total("el.resyncs")),
+        "events_resynced": int(m.total("el.events_resynced")),
+        "shard_cpu_s": shard_cpu,
+    }
+
+
+def measure_el_scale(nprocs: int = 8, klass: str = "A") -> dict:
+    """Sweep shard/replica configurations; one replica kill per K>1 run."""
+    configs = FULL_CONFIGS if full_sweep() else CONFIGS
+    sweep = [_run_config(s, k, nprocs, klass) for s, k in configs]
+    base = next(
+        r for r in sweep if r["el_servers"] == 1 and r["el_replicas"] == 1
+    )
+    multi = [r for r in sweep if r["el_servers"] > 1]
+    return {
+        "kernel": "cg",
+        "klass": klass,
+        "nprocs": nprocs,
+        "seed": SEED,
+        "kill_at_s": KILL_AT,
+        "downtime_s": DOWNTIME,
+        "sweep": sweep,
+        "baseline_el_ack_share": base["el_ack_share"],
+        "best_sharded_el_ack_share": min(r["el_ack_share"] for r in multi),
+        "regression_budget": REGRESSION_BUDGET,
+    }
+
+
+def _load_baseline() -> dict:
+    """The checked-in result this run is gated against (may be absent)."""
+    if OUT_PATH.exists():
+        try:
+            return json.loads(OUT_PATH.read_text())
+        except (OSError, ValueError):
+            return {}
+    return {}
+
+
+def check_el_scale(out: dict, baseline: dict) -> list[str]:
+    """All budget violations as human-readable strings (empty = pass)."""
+    problems: list[str] = []
+    for row in out["sweep"]:
+        tag = f"{row['el_servers']}x{row['el_replicas']}"
+        if not row["audit_clean"]:
+            problems.append(f"{tag}: audit reported violations")
+        if row["el_replicas"] > 1:
+            if row["restarts"] != 0:
+                problems.append(
+                    f"{tag}: a replica kill triggered {row['restarts']} "
+                    f"rank restart(s) — the quorum must absorb it"
+                )
+            if row["failovers"] < 1:
+                problems.append(
+                    f"{tag}: the kill produced no client failover — "
+                    f"the fault did not land"
+                )
+            if row["resyncs"] < 1:
+                problems.append(
+                    f"{tag}: the relaunched replica never resynced"
+                )
+    if out["best_sharded_el_ack_share"] >= out["baseline_el_ack_share"]:
+        problems.append(
+            f"sharding never reduced the el-ack critical-path share: "
+            f"best sharded {out['best_sharded_el_ack_share']:.3f} vs "
+            f"single-server {out['baseline_el_ack_share']:.3f}"
+        )
+    killed = next(
+        (r for r in out["sweep"]
+         if r["el_servers"] == 2 and r["el_replicas"] == 3), None
+    )
+    base_rows = {
+        f"{r['el_servers']}x{r['el_replicas']}": r
+        for r in baseline.get("sweep", ())
+    }
+    if killed is not None and "2x3" in base_rows:
+        base_elapsed = base_rows["2x3"]["elapsed"]
+        limit = base_elapsed * (1.0 + REGRESSION_BUDGET)
+        if killed["elapsed"] > limit:
+            problems.append(
+                f"2x3 killed-replica elapsed {killed['elapsed']:.2f}s "
+                f"regresses >{REGRESSION_BUDGET:.0%} vs baseline "
+                f"{base_elapsed:.2f}s"
+            )
+        killed["baseline_elapsed"] = base_elapsed
+    return problems
+
+
+def _sweep_table(out: dict) -> str:
+    base_elapsed = out["sweep"][0]["elapsed"]
+    rows = []
+    for row in out["sweep"]:
+        rows.append(
+            [
+                f"{row['el_servers']}x{row['el_replicas']}",
+                row["quorum"],
+                row["killed_replica"] or "-",
+                row["elapsed"],
+                row["elapsed"] / base_elapsed,
+                row["el_ack_share"],
+                row["quorum_wait_p95_s"] * 1e6,
+                row["failovers"],
+                row["resyncs"],
+                "clean" if row["audit_clean"] else "VIOLATIONS",
+            ]
+        )
+    return format_table(
+        ["SxK", "quorum", "killed", "elapsed s", "vs 1x1", "el-ack share",
+         "qwait p95 us", "failovers", "resyncs", "audit"],
+        rows,
+    )
+
+
+def bench_el_scale():
+    baseline = _load_baseline()
+    out = measure_el_scale()
+    problems = check_el_scale(out, baseline)
+    OUT_PATH.write_text(json.dumps(out, indent=2) + "\n")
+    rep = Report(
+        f"EL scaling - CG-{out['klass']}-{out['nprocs']} shard/replica sweep"
+    )
+    rep.add(_sweep_table(out))
+    rep.add(
+        f"el-ack critical-path share: {out['baseline_el_ack_share']:.3f} "
+        f"single-server -> {out['best_sharded_el_ack_share']:.3f} best "
+        f"sharded; every K=3 run absorbed a replica kill with a clean "
+        f"audit and zero rank restarts"
+    )
+    record_report(rep)
+    assert not problems, "; ".join(problems)
+
+
+if __name__ == "__main__":
+    baseline = _load_baseline()
+    out = measure_el_scale()
+    problems = check_el_scale(out, baseline)
+    OUT_PATH.write_text(json.dumps(out, indent=2) + "\n")
+    print(json.dumps(out, indent=2))
+    print(_sweep_table(out))
+    if problems:
+        for p in problems:
+            print(f"OVER BUDGET: {p}")
+        sys.exit(1)
+    print(
+        f"OK: el-ack share {out['baseline_el_ack_share']:.3f} -> "
+        f"{out['best_sharded_el_ack_share']:.3f}; replica kills absorbed"
+    )
+    sys.exit(0)

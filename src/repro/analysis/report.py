@@ -235,7 +235,8 @@ def format_mttr(attribution: Any, per_fault: bool = True) -> str:
         f"fetch {totals['fetch_bytes']:,} B in {totals['fetch_chunks']} "
         f"chunks ({totals['fetch_failovers']} failovers, "
         f"{totals['fetch_retries']} retries), "
-        f"EL {totals['el_events']} events ({totals['el_retries']} retries), "
+        f"EL {totals['el_events']} events ({totals['el_retries']} retries, "
+        f"{totals['el_failovers']} replica failovers), "
         f"{totals['resync_peers']} peer resyncs"
     )
     return "\n\n".join(blocks)

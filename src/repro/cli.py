@@ -96,10 +96,19 @@ def _add_store_flags(sp: argparse.ArgumentParser) -> None:
         "--ckpt-chunk-kib", type=int, default=None, metavar="KIB",
         help="checkpoint store chunk size in KiB (default 64)",
     )
+    sp.add_argument(
+        "--el-servers", type=int, default=None, metavar="N",
+        help="shard ranks across N event-logger groups (default 1)",
+    )
+    sp.add_argument(
+        "--el-replicas", type=int, default=None, metavar="K",
+        help="run K replicas per event-logger shard; the WAITLOGGED "
+             "gate clears on a majority quorum of acks (default 1)",
+    )
 
 
 def _store_cfg(args: argparse.Namespace, cfg):
-    """Apply the ``--ckpt-*`` store flags to a TestbedConfig."""
+    """Apply the ``--ckpt-*`` / ``--el-*`` store flags to a TestbedConfig."""
     changes: dict[str, Any] = {}
     if getattr(args, "ckpt_servers", None) is not None:
         changes["ckpt_servers"] = max(1, args.ckpt_servers)
@@ -109,6 +118,10 @@ def _store_cfg(args: argparse.Namespace, cfg):
         changes["ckpt_incremental"] = True
     if getattr(args, "ckpt_chunk_kib", None) is not None:
         changes["ckpt_chunk_kib"] = max(1, args.ckpt_chunk_kib)
+    if getattr(args, "el_servers", None) is not None:
+        changes["el_servers"] = max(1, args.el_servers)
+    if getattr(args, "el_replicas", None) is not None:
+        changes["el_replicas"] = max(1, args.el_replicas)
     return cfg.with_(**changes) if changes else cfg
 
 
@@ -305,10 +318,17 @@ def _cmd_faulty(args: argparse.Namespace) -> int:
         ServiceFaults,
     )
 
-    if args.device != "v2":
+    if args.device not in ("v1", "v2"):
         print(
-            f"repro: faulty requires the fault-tolerant device "
-            f"(--device v2), not {args.device!r}",
+            f"repro: faulty requires a fault-tolerant device "
+            f"(--device v2 or v1), not {args.device!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.device == "v1" and args.partitions:
+        print(
+            "repro: --partitions requires --device v2 "
+            "(V1 has no partition hook)",
             file=sys.stderr,
         )
         return 2
@@ -329,7 +349,7 @@ def _cmd_faulty(args: argparse.Namespace) -> int:
     cfg = _store_cfg(args, DEFAULT_TESTBED)
     mod = nas.KERNELS[args.name]
     base = run_job(
-        mod.program, args.nprocs, device="v2", cfg=cfg,
+        mod.program, args.nprocs, device=args.device, cfg=cfg,
         params={"klass": args.klass}, limit=1e8,
     )
     plans: list[Any] = []
@@ -351,13 +371,20 @@ def _cmd_faulty(args: argparse.Namespace) -> int:
         plans.append(PartitionFaults(partition_sched))
     if service_sched:
         plans.append(ServiceFaults(service_sched))
+    # V1's recovery is its own (restart-from-scratch + CM replay):
+    # checkpointing kwargs belong to the v2 launcher only
+    ckpt_kw = (
+        dict(checkpointing=True, ckpt_policy="random", ckpt_continuous=True)
+        if args.device == "v2"
+        else {}
+    )
     res = run_job(
-        mod.program, args.nprocs, device="v2", cfg=cfg,
+        mod.program, args.nprocs, device=args.device, cfg=cfg,
         params={"klass": args.klass},
-        checkpointing=True, ckpt_policy="random", ckpt_continuous=True,
         faults=plans or None,
         limit=1e8,
         trace=bool(args.trace_out), audit=args.audit,
+        **ckpt_kw,
     )
     print(
         format_table(
@@ -384,6 +411,21 @@ def _cmd_faulty(args: argparse.Namespace) -> int:
             f"fetched={res.metrics.total('store.fetch_bytes') / 1e6:.2f}MB "
             f"failovers={int(res.metrics.total('store.failover'))} "
             f"gc_reclaimed={res.metrics.total('store.gc_reclaimed_bytes') / 1e6:.2f}MB"
+        )
+    if args.device == "v1" and service_sched and res.metrics is not None:
+        print(
+            f"cm: crashes={int(res.metrics.total('svc.crashes'))} "
+            f"relaunches={int(res.metrics.total('svc.restarts'))} "
+            f"client_reconnects={int(res.metrics.total('v1.cm_reconnects'))}"
+        )
+    if res.metrics is not None and (cfg.el_servers > 1 or cfg.el_replicas > 1):
+        print(
+            f"el: shards={cfg.el_servers} replicas={cfg.el_replicas} "
+            f"quorum={cfg.el_quorum} "
+            f"failovers={int(res.metrics.total('el.failovers'))} "
+            f"resyncs={int(res.metrics.total('el.resyncs'))} "
+            f"quorum_wait_p95="
+            f"{res.metrics.quantile('el.quorum_wait_s', 0.95) * 1e6:.0f}us"
         )
     if res.restarts:
         _print_detect_latency(res)

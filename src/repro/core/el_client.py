@@ -1,33 +1,44 @@
-"""The daemon's event-logger client: the WAITLOGGED gate and re-push.
+"""The daemon's event-logger client: quorum fan-out and the WAITLOGGED gate.
 
 One :class:`EventLogClient` per daemon incarnation owns everything the
 pessimistic protocol needs from the event logger side of the node:
 
 * the **WAITLOGGED gate** — closed the instant a reception event is
-  queued, reopened only when every outstanding event is acknowledged;
-  :meth:`EventLogClient.wait_sendable` is where the transmit loops park
-  (and where the stall is measured — V2's small-message latency);
-* the **writer/reader pair** — events batched up to ``el_batch_cap``
-  per stream write, acknowledgements counted down on the read side;
-* **outage survival** — batches written but not yet acknowledged sit in
-  ``unacked`` and are re-pushed, in order, after a reconnect (the server
-  dedups by ``(rank, rclock)``, so the at-least-once re-push is
-  idempotent); the gate stays closed throughout, so no application
-  message escapes while its reception event is in doubt — the
-  pessimistic property holds across the outage by construction.
+  queued, reopened only when every outstanding event has a *quorum* of
+  replica acknowledgements; :meth:`EventLogClient.wait_sendable` is
+  where the transmit loops park (and where the stall is measured —
+  V2's small-message latency);
+* the **fan-out** — events batched up to ``el_batch_cap``, each batch
+  pushed to every replica of the rank's EL shard; per-replica readers
+  count acknowledgements into the shared quorum ledger, and a batch
+  completes (``v2.el_ack``) once ``cfg.el_quorum`` distinct replicas
+  acknowledged it — in batch order, because each replica acks in order
+  and the q-th order statistic of monotone sequences is monotone;
+* **failover survival** — batches written to a replica but not yet
+  acknowledged by it sit in that replica's ``unacked`` ledger and are
+  re-pushed, in order, after its reconnect (the server dedups by
+  ``(rank, rclock)``, so the at-least-once re-push is idempotent); a
+  single replica crash is a *failover* (``el.failovers``): the gate
+  keeps clearing on the surviving quorum and no global stall occurs.
+  Only when live replicas drop below quorum does the client enter the
+  outage regime the single-EL deployment knows: the gate holds until a
+  quorum is re-established, so no application message escapes while
+  its reception event is in doubt — the pessimistic property holds by
+  construction.
 
-The link itself is a :class:`~repro.runtime.session.Session` (framing,
-epochs, integrated backoff); this module adds only the protocol above.
+Each replica link is a :class:`~repro.runtime.session.Session`
+(framing, epochs, integrated backoff); this module adds only the
+protocol above.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Generator, Optional, Sequence, Union
 
 from ..obs.registry import Metrics
 from ..runtime.config import TestbedConfig
-from ..runtime.fabric import Fabric
+from ..runtime.fabric import ConnectionRefused, Fabric
 from ..runtime.retry import RetryPolicy
 from ..runtime.session import Session
 from ..simnet.kernel import Future, Gate, Queue, Simulator
@@ -39,9 +50,30 @@ from .clocks import EventRecord
 __all__ = ["EventLogClient"]
 
 
+class _ReplicaLink:
+    """Client-side state for one replica of the rank's EL shard."""
+
+    def __init__(
+        self, sim: Simulator, idx: int, name: str, session: Session, rank: int
+    ) -> None:
+        self.idx = idx
+        self.name = name
+        self.session = session
+        # closed while this replica's link is down; its writer parks here
+        self.up = Gate(sim, opened=False, name=f"d{rank}.el{idx}.up")
+        # batches handed to this replica by the batcher, in batch order
+        self.sendq: Queue = Queue(sim, name=f"d{rank}.el{idx}.q")
+        # (batch id, batch) written on this link but not yet acked *by
+        # this replica* — re-pushed after its reconnect
+        self.unacked: deque[tuple[int, list[EventRecord]]] = deque()
+        # write times of batches awaiting this replica's ack (RTT)
+        self.inflight: deque[float] = deque()
+        self.reconnecting = False
+
+
 class EventLogClient:
-    """One rank's connection to the event logger (phase-A downloads,
-    event pushes, acknowledgement-gated sending)."""
+    """One rank's fan-out to its event-logger shard (phase-A downloads,
+    quorum-acked event pushes, acknowledgement-gated sending)."""
 
     def __init__(
         self,
@@ -50,45 +82,66 @@ class EventLogClient:
         fabric: Fabric,
         host: Host,
         rank: int,
-        el_name: str,
+        el_names: Union[str, Sequence[str]],
         *,
         spawn: Callable[[Any, str], Any],
         tracer: Optional[Tracer] = None,
         metrics: Optional[Metrics] = None,
         rng: Optional[Any] = None,
         on_retry: Optional[Callable[[int, float], None]] = None,
+        mutations: frozenset = frozenset(),
     ) -> None:
         self.sim = sim
         self.cfg = cfg
         self.rank = rank
-        self.el_name = el_name
+        if isinstance(el_names, str):
+            el_names = [el_names]
+        self.el_names = list(el_names)
+        self.el_name = self.el_names[0]  # the shard's primary name
+        self.nreps = len(self.el_names)
+        #: replica acks required before a batch clears the gate
+        self.quorum = min(self.nreps, cfg.el_quorum)
         self._spawn = spawn
+        self.mutations = mutations
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
-        self.session = Session(
-            sim, fabric, host, el_name,
-            policy=RetryPolicy.from_config(cfg), rng=rng, on_retry=on_retry,
-            tracer=self.tracer, metrics=metrics, scope="el",
-            labels={"rank": rank},
-        )
+        self._policy = RetryPolicy.from_config(cfg)
+        self._rng = rng
+        self._on_retry = on_retry
+        self.replicas = [
+            _ReplicaLink(
+                sim, i, name,
+                Session(
+                    sim, fabric, host, name,
+                    policy=self._policy, rng=rng, on_retry=on_retry,
+                    tracer=self.tracer, metrics=metrics, scope="el",
+                    labels={"rank": rank},
+                ),
+                rank,
+            )
+            for i, name in enumerate(self.el_names)
+        ]
 
-        # the pessimistic gate: closed while any reception event is
-        # unacknowledged; no application message leaves the node then
+        # the pessimistic gate: closed while any reception event lacks a
+        # quorum of acks; no application message leaves the node then
         self.gate = Gate(sim, opened=True, name=f"d{rank}.elgate")
         self.outstanding = 0
         self._q: Queue = Queue(sim, name=f"d{rank}.elq")
-        # EL outage state: batches written but not yet acknowledged (re-pushed
-        # idempotently after a reconnect; the server dedups by rclock), and
-        # the connection-up gate the writer parks on during an outage
-        self.unacked: deque[list[EventRecord]] = deque()
-        self._up = Gate(sim, opened=False, name=f"d{rank}.elup")
+        # quorum ledger: batch id -> {n, t0, ids, acked (replica set),
+        # done}; entries retire once every replica acked (or never, for
+        # a replica that stays dead — bounded by the job's event count)
+        self._pend: dict[int, dict] = {}
+        self._order: deque[int] = deque()  # pending batch ids, in order
+        self._next_bid = 0
+        # quorum-outage state: set while live replicas < quorum (for the
+        # single-replica deployment this is exactly "the EL is down")
         self._down_since: Optional[float] = None
-        # (send time, batch size) of EL batches awaiting acknowledgement
-        self._inflight: deque[tuple[float, int]] = deque()
         self.events_pushed = 0
 
         m = metrics if metrics is not None else Metrics()
         self._m_roundtrips = m.counter("el.roundtrips", rank=rank)
         self._m_rtt = m.histogram("el.rtt_s", rank=rank)
+        self._m_quorum_wait = m.histogram("el.quorum_wait_s", rank=rank)
+        self._m_failovers = m.counter("el.failovers", rank=rank)
         self._m_gate_stalls = m.counter("gate.stalls", rank=rank)
         self._m_gate_stall_s = m.counter("gate.stall_s", rank=rank)
         self._m_outage_reconnects = m.counter("outage.reconnects", rank=rank)
@@ -98,80 +151,149 @@ class EventLogClient:
     # ------------------------------------------------------------------
     # connection lifecycle
     # ------------------------------------------------------------------
-    def connect(self) -> Generator[Future, Any, StreamEnd]:
-        """Connect to the event logger, retrying with capped backoff.
+    def _live(self) -> int:
+        """Replicas with a live stream right now."""
+        return sum(1 for rep in self.replicas if rep.session.up())
 
-        Exhausting the budget means the EL never came back within ~2
-        minutes of simulated backoff: that violates the deployment
-        contract (the supervisor restarts crashed services), so fail the
-        simulation loudly rather than deadlock silently.
+    def _connect_until(self, need: int) -> Generator[Future, Any, None]:
+        """Round-robin (re)connect down replicas until ``need`` are live.
+
+        Exhausting the budget means the shard never recovered a quorum
+        within ~2 minutes of simulated backoff: that violates the
+        deployment contract (the supervisor restarts crashed replicas),
+        so fail the simulation loudly rather than deadlock silently.
         """
-        end = yield from self.session.connect()
-        if end is None:
-            raise RuntimeError(
-                f"rank {self.rank}: event logger {self.el_name} unreachable "
-                f"after {self.session.policy.max_tries} attempts"
-            )
-        return end
+        for rep in self.replicas:
+            if rep.session.up():
+                continue
+            try:
+                rep.session.connect_now()
+            except ConnectionRefused:
+                pass
+        attempt = 0
+        while self._live() < need:
+            if attempt >= self._policy.max_tries:
+                raise RuntimeError(
+                    f"rank {self.rank}: event logger shard "
+                    f"{'/'.join(self.el_names)} below quorum "
+                    f"({self._live()}/{need} live) after "
+                    f"{self._policy.max_tries} attempts"
+                )
+            d = self._policy.delay(attempt, self._rng)
+            if self._on_retry is not None:
+                self._on_retry(attempt, d)
+            yield self.sim.timeout(d)
+            attempt += 1
+            for rep in self.replicas:
+                if rep.session.up():
+                    continue
+                try:
+                    rep.session.connect_now()
+                except ConnectionRefused:
+                    pass
+
+    def connect(self) -> Generator[Future, Any, None]:
+        """Connect to the shard's replicas, retrying with capped backoff
+        until at least a quorum of them is live (replicas still down
+        are picked up by :meth:`start_io`'s background reconnectors)."""
+        yield from self._connect_until(self.quorum)
 
     def online(self) -> None:
-        """Declare the freshly-connected link usable by the writer."""
-        self._up.open()
+        """Declare the freshly-connected links usable by the writers."""
+        for rep in self.replicas:
+            if rep.session.up():
+                rep.up.open()
 
     def start_io(self) -> None:
-        """Spawn the steady-state writer and reader loops."""
-        self._spawn(self._writer(), "el.tx")
-        self._spawn(self._reader(self.session.end), "el.rx")
+        """Spawn the steady-state batcher plus per-replica writer/reader
+        loops; replicas that missed the initial connect get a background
+        reconnector instead of a reader."""
+        self._spawn(self._batcher(), "el.tx")
+        for rep in self.replicas:
+            self._spawn(self._rep_writer(rep), f"el.tx{rep.idx}")
+            if rep.session.up():
+                self._spawn(
+                    self._rep_reader(rep, rep.session.end), f"el.rx{rep.idx}"
+                )
+            elif not rep.reconnecting:
+                rep.reconnecting = True
+                self._spawn(self._rep_reconnect(rep), f"el.re{rep.idx}")
 
-    def down(self, end: Optional[StreamEnd]) -> None:
-        """Mark the EL connection lost and start the reconnect process."""
-        if end is None or not self.session.drop(end):
+    def _rep_down(self, rep: _ReplicaLink, end: Optional[StreamEnd]) -> None:
+        """Mark one replica link lost; start its reconnect process."""
+        if end is None or not rep.session.drop(end):
             return  # a stale loop noticed an already-replaced stream
-        self._up.close()
-        self._down_since = self.sim.now
-        self.tracer.emit(
-            self.sim.now, "v2.el_down", rank=self.rank,
-            outstanding=self.outstanding, unacked=len(self.unacked),
-        )
-        self._spawn(self._reconnect(), "el.re")
+        rep.up.close()
+        if self.nreps > 1:
+            # one replica down, quorum (usually) alive: a failover, not
+            # an outage — the gate keeps clearing on the survivors
+            self._m_failovers.inc()
+            self.tracer.emit(
+                self.sim.now, "v2.el_failover", rank=self.rank,
+                replica=rep.name, unacked=len(rep.unacked),
+            )
+        if self._live() < self.quorum and self._down_since is None:
+            self._down_since = self.sim.now
+            self.tracer.emit(
+                self.sim.now, "v2.el_down", rank=self.rank,
+                outstanding=self.outstanding,
+                unacked=sum(
+                    1 for e in self._pend.values() if not e["done"]
+                ),
+            )
+        if not rep.reconnecting:
+            rep.reconnecting = True
+            self._spawn(self._rep_reconnect(rep), f"el.re{rep.idx}")
 
-    def _reconnect(self):
-        """Re-establish the EL link and re-push written-but-unacked batches.
+    def _rep_reconnect(self, rep: _ReplicaLink):
+        """Re-establish one replica link and re-push its unacked batches.
 
-        The WAITLOGGED gate stays closed throughout (``outstanding``
-        still counts the lost acknowledgements), so no application
-        message escapes while its reception event is in doubt — the
-        pessimistic property holds across the outage by construction.
-        The server dedups re-pushed events by ``(rank, rclock)``, so the
-        at-least-once re-push is idempotent; it still acknowledges every
-        batch, which is what re-earns the lost acks.
+        The quorum ledger keeps counting the lost acknowledgements
+        against ``outstanding``, so the WAITLOGGED gate cannot clear a
+        batch early; the server dedups re-pushed events by
+        ``(rank, rclock)``, so the at-least-once re-push is idempotent
+        — it still acknowledges every batch, which is what re-earns the
+        lost acks.
         """
-        down_since = self._down_since
-        end = yield from self.connect()
-        # acks of the old stream died with it: every unacked batch is
-        # re-pushed, in order, ahead of anything the writer sends next
-        repush = list(self.unacked)
-        self._inflight.clear()
-        self._spawn(self._reader(end), "el.rx")
-        for batch in repush:
+        end = yield from rep.session.connect()
+        if end is None:
+            rep.reconnecting = False
+            if self._live() < self.quorum:
+                raise RuntimeError(
+                    f"rank {self.rank}: event logger {rep.name} unreachable "
+                    f"after {rep.session.policy.max_tries} attempts with the "
+                    f"shard below quorum"
+                )
+            return  # the replica never came back; the quorum carries on
+        # acks of the old stream died with it: every batch unacked *by
+        # this replica* is re-pushed, in order, ahead of anything its
+        # writer sends next
+        repush = list(rep.unacked)
+        rep.inflight.clear()
+        self._spawn(self._rep_reader(rep, end), f"el.rx{rep.idx}")
+        for _bid, batch in repush:
             t0 = self.sim.now
             try:
                 yield from end.write(
-                    self.cfg.event_bytes * len(batch), ("EVENT", self.rank, batch)
+                    self.cfg.event_bytes * len(batch),
+                    ("EVENT", self.rank, batch),
                 )
             except (Disconnected, HostDown):
-                self.down(end)  # crashed again: the next round re-pushes
+                rep.reconnecting = False
+                self._rep_down(rep, end)  # crashed again: next round re-pushes
                 return
-            self._inflight.append((t0, len(batch)))
-        outage_s = self.sim.now - down_since if down_since is not None else 0.0
-        self._m_outage_reconnects.inc()
-        self._m_outage_el_down_s.inc(outage_s)
-        self._down_since = None
-        self.tracer.emit(
-            self.sim.now, "v2.el_reconnect", rank=self.rank,
-            outage_s=outage_s, repushed=len(repush),
-        )
-        self._up.open()
+            rep.inflight.append(t0)
+        rep.reconnecting = False
+        if self._down_since is not None and self._live() >= self.quorum:
+            outage_s = self.sim.now - self._down_since
+            self._m_outage_reconnects.inc()
+            self._m_outage_el_down_s.inc(outage_s)
+            self._down_since = None
+            self.tracer.emit(
+                self.sim.now, "v2.el_reconnect", rank=self.rank,
+                outage_s=outage_s, repushed=len(repush),
+            )
+        rep.up.open()
 
     # ------------------------------------------------------------------
     # the pessimistic protocol
@@ -191,7 +313,7 @@ class EventLogClient:
         )
 
     def wait_sendable(self) -> Generator[Future, Any, None]:
-        """Park until every logged event is acknowledged (WAITLOGGED)."""
+        """Park until every logged event is quorum-acked (WAITLOGGED)."""
         if self.gate.is_open:
             yield self.gate.waitfor()  # gate open: free
         else:
@@ -202,11 +324,12 @@ class EventLogClient:
             yield self.gate.waitfor()
             self._m_gate_stall_s.inc(self.sim.now - t0)
             if down0 is not None or self._down_since is not None:
-                # the stall overlapped an EL outage: the gate held
-                # because acknowledgements could not arrive at all
+                # the stall overlapped a below-quorum outage: the gate
+                # held because a quorum of acks could not arrive at all
                 self._m_outage_stalled.inc(self.sim.now - t0)
 
-    def _writer(self):
+    def _batcher(self):
+        """Drain the record queue into batches and fan them out."""
         while True:
             first = yield self._q.get()
             batch = [first]
@@ -215,13 +338,37 @@ class EventLogClient:
                 if not ok:
                     break
                 batch.append(more)
+            bid = self._next_bid
+            self._next_bid += 1
+            self._pend[bid] = {
+                "n": len(batch),
+                "t0": self.sim.now,
+                "ids": tuple(rec.rclock for rec in batch),
+                "acked": set(),
+                "done": False,
+            }
+            self._order.append(bid)
+            self.events_pushed += len(batch)
+            if "bypass_quorum" in self.mutations:
+                # test-only sabotage: clear the gate the moment the
+                # batch is queued, before any replica stored it — the
+                # el-quorum auditor rule must catch the resulting acks
+                self._order.pop()
+                self._complete(bid)
+            for rep in self.replicas:
+                rep.sendq.put((bid, batch))
+
+    def _rep_writer(self, rep: _ReplicaLink):
+        while True:
+            bid, batch = yield rep.sendq.get()
             # exactly-once hand-off per stream generation: a batch joins
-            # ``unacked`` only once written, so the reconnector (which
-            # re-pushes ``unacked``) and this writer never both send it
+            # the replica's ``unacked`` only once written, so the
+            # reconnector (which re-pushes ``unacked``) and this writer
+            # never both send it
             while True:
-                if not self._up.is_open:
-                    yield self._up.waitfor()
-                end = self.session.end
+                if not rep.up.is_open:
+                    yield rep.up.waitfor()
+                end = rep.session.end
                 if end is None:
                     continue  # raced with another disconnect; wait again
                 t0 = self.sim.now
@@ -231,35 +378,66 @@ class EventLogClient:
                         ("EVENT", self.rank, batch),
                     )
                 except (Disconnected, HostDown):
-                    self.down(end)
+                    self._rep_down(rep, end)
                     continue  # batch not in ``unacked``: resend it here
-                self.unacked.append(batch)
-                self._inflight.append((t0, len(batch)))
-                self.events_pushed += len(batch)
+                rep.unacked.append((bid, batch))
+                rep.inflight.append(t0)
                 break
 
-    def _reader(self, end: StreamEnd):
+    def _rep_reader(self, rep: _ReplicaLink, end: StreamEnd):
         while True:
             try:
-                msg = yield from self.session.read_record(end)
+                msg = yield from rep.session.read_record(end)
             except Disconnected:
-                self.down(end)
+                self._rep_down(rep, end)
                 return
             kind, n = msg
             if kind == "ACK":
-                if self.unacked:
-                    self.unacked.popleft()
-                self.outstanding = max(0, self.outstanding - n)
-                self.tracer.emit(
-                    self.sim.now, "v2.el_ack", rank=self.rank, n=n,
-                    outstanding=self.outstanding,
-                )
-                if self._inflight:
-                    t0, _batch = self._inflight.popleft()
+                if not rep.unacked:
+                    continue  # ack of a batch a reconnect already re-owned
+                bid, _batch = rep.unacked.popleft()
+                if rep.inflight:
+                    t0 = rep.inflight.popleft()
                     self._m_roundtrips.inc()
                     self._m_rtt.observe(self.sim.now - t0)
-                if self.outstanding == 0 and len(self._q) == 0:
-                    self.gate.open()
+                self._on_ack(rep, bid)
+
+    def _on_ack(self, rep: _ReplicaLink, bid: int) -> None:
+        """Fold one replica's ack into the quorum ledger.
+
+        Batches complete strictly in batch order: each replica acks in
+        order, so the head of ``_order`` always reaches quorum no later
+        than anything behind it — draining from the head keeps the
+        ``v2.el_ack`` stream ordered for the auditor.
+        """
+        ent = self._pend.get(bid)
+        if ent is None:
+            return  # a fully-retired batch's late duplicate ack
+        ent["acked"].add(rep.idx)
+        while self._order:
+            head = self._pend[self._order[0]]
+            if not head["done"] and len(head["acked"]) < self.quorum:
+                break
+            if not head["done"]:
+                self._complete(self._order[0])
+            self._order.popleft()
+        if ent["done"] and len(ent["acked"]) >= self.nreps:
+            del self._pend[bid]  # every replica holds it: retire the entry
+
+    def _complete(self, bid: int) -> None:
+        """A batch reached quorum: release its events from the gate."""
+        ent = self._pend[bid]
+        ent["done"] = True
+        n = ent["n"]
+        self.outstanding = max(0, self.outstanding - n)
+        self._m_quorum_wait.observe(self.sim.now - ent["t0"])
+        self.tracer.emit(
+            self.sim.now, "v2.el_ack", rank=self.rank, n=n,
+            outstanding=self.outstanding, ids=ent["ids"],
+            quorum=self.quorum,
+        )
+        if self.outstanding == 0 and len(self._q) == 0:
+            self.gate.open()
 
     # ------------------------------------------------------------------
     # recovery downloads / pruning
@@ -267,38 +445,64 @@ class EventLogClient:
     def download(
         self, from_rclock: int
     ) -> Generator[Future, Any, list[EventRecord]]:
-        """Phase-A event download (inline replies; no reader running)."""
+        """Phase-A event download (inline replies; no readers running).
+
+        Fans the request out to the live replicas and unions the
+        replies by ``rclock``: any ``K - quorum + 1`` replicas together
+        hold every quorum-acked event, so that is the read quorum (a
+        freshly-restarted replica defers downloads until its peer
+        catch-up completes, keeping the intersection argument sound).
+        """
         t_start = self.sim.now
         retries = 0
+        failovers = 0
+        need = self.nreps - self.quorum + 1
         while True:
-            end = self.session.end
-            try:
-                yield from end.write(
-                    16, ("DOWNLOAD", self.rank, from_rclock)
+            merged: dict[int, EventRecord] = {}
+            got = 0
+            for rep in self.replicas:
+                end = rep.session.end
+                if end is None or end.broken is not None:
+                    continue
+                try:
+                    yield from end.write(
+                        16, ("DOWNLOAD", self.rank, from_rclock)
+                    )
+                    reply = yield from rep.session.read_record(end)
+                except (Disconnected, HostDown):
+                    # this replica crashed mid-download: another quorum
+                    # member serves it
+                    rep.session.drop(end)
+                    failovers += 1
+                    continue
+                _kind, records = reply
+                for rec in records:
+                    merged.setdefault(rec.rclock, rec)
+                got += 1
+            if got >= need:
+                records = [merged[rc] for rc in sorted(merged)]
+                self.tracer.emit(
+                    self.sim.now, "v2.el_download", rank=self.rank,
+                    n=len(records), wait_s=self.sim.now - t_start,
+                    retries=retries, failovers=failovers,
+                    from_rclock=from_rclock,
                 )
-                reply = yield from self.session.read_record(end)
-            except Disconnected:
-                # the EL crashed mid-download: reconnect (its event store
-                # is durable across service restarts) and re-ask
-                retries += 1
-                yield from self.connect()
-                continue
-            kind, records = reply
-            self.tracer.emit(
-                self.sim.now, "v2.el_download", rank=self.rank,
-                n=len(records), wait_s=self.sim.now - t_start,
-                retries=retries, from_rclock=from_rclock,
-            )
-            return list(records)
+                return records
+            # below the read quorum: reconnect (the event store survives
+            # service restarts — durably or via peer catch-up) and re-ask
+            retries += 1
+            yield from self._connect_until(need)
 
     def prune(self, recv_seq: int) -> Generator[Future, Any, None]:
-        """Ask the EL to drop events a checkpoint now covers (best-effort)."""
-        end = self.session.end
-        if end is None:
-            return
-        try:
-            yield from end.write(16, ("PRUNE", self.rank, recv_seq))
-        except Disconnected:
-            # PRUNE is a best-effort space optimization: un-pruned
-            # events only cost the (restarted) EL memory
-            self.down(end)
+        """Ask every live replica to drop events a checkpoint now covers
+        (best-effort)."""
+        for rep in self.replicas:
+            end = rep.session.end
+            if end is None:
+                continue
+            try:
+                yield from end.write(16, ("PRUNE", self.rank, recv_seq))
+            except Disconnected:
+                # PRUNE is a best-effort space optimization: un-pruned
+                # events only cost the (restarted) replica memory
+                self._rep_down(rep, end)

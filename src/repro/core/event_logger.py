@@ -1,24 +1,42 @@
-"""The Event Logger: reliable storage of reception events.
+"""The Event Logger: quorum-replicated storage of reception events.
 
-"The event logger is a repository executed on a reliable component of the
-system. It stores and delivers dependency information about messages
-exchanged by the computing nodes." (Section 4.5)
+The paper runs "the event logger [as] a repository executed on a
+reliable component of the system" (Section 4.5).  This implementation
+drops that assumption: the logger is itself a fault domain.  Ranks shard
+across ``cfg.el_servers`` logger groups and each group keeps
+``cfg.el_replicas`` in-memory copies of its shard's event tuples
+(ReStore-style peer replication).  Safety comes from the client side:
+the WAITLOGGED gate clears only once a majority quorum of the shard's
+replicas has acknowledged an event, so any surviving quorum can
+reconstruct every dependency a sender was allowed to act on.
 
-Each computing-node daemon holds one stream to its event logger and
+Each computing-node daemon holds one stream to every replica of its
+shard and
 
-* pushes reception events asynchronously (~20 bytes each on the wire);
+* pushes reception events asynchronously (~20 bytes each on the wire)
+  to all of them;
 * receives acknowledgements — the daemon may not emit application
-  messages while events are unacknowledged (the pessimistic gate);
-* on restart, downloads every event with receiver-clock greater than its
-  checkpoint clock (``DownloadEL`` of Appendix A);
-* after a completed checkpoint, asks the logger to prune old events.
+  messages while events lack a quorum of acks (the pessimistic gate);
+* on restart, downloads every event with receiver-clock greater than
+  its checkpoint clock (``DownloadEL`` of Appendix A) from the live
+  replicas, unioned so any quorum member can serve it;
+* after a completed checkpoint, asks the replicas to prune old events.
 
-Several event loggers can serve one system (each daemon connects to
-exactly one); they never communicate with each other.  The service
-lifecycle (listen/accept/stop) comes from
-:class:`~repro.runtime.session.ServiceBase`: a stopped logger drops its
-listener and every connection, but the durable ``events`` store
-survives for the supervised relaunch.
+Replica roles:
+
+* A **single-replica** logger (``el_replicas == 1``, the classic
+  deployment) keeps its ``events`` store durable across service
+  crashes — the pre-replication stop/start contract, still exercised
+  by the supervisor tests.
+* A **replicated** logger (peers configured) loses its in-memory copy
+  when it crashes.  On supervised relaunch it re-fills by asking its
+  peers for their full store (``SYNC``/``SYNCSET``) and reconciling
+  high-water marks; client re-pushes arriving concurrently are merged
+  by the same ``(rank, rclock)`` dedup, so catch-up and live traffic
+  compose.
+
+The service lifecycle (listen/accept/stop) comes from
+:class:`~repro.runtime.session.ServiceBase`.
 """
 
 from __future__ import annotations
@@ -28,9 +46,10 @@ from typing import Any, Optional
 from ..obs.registry import Metrics
 from ..runtime.config import TestbedConfig
 from ..runtime.fabric import Fabric
-from ..runtime.session import ServiceBase
+from ..runtime.retry import RetryPolicy
+from ..runtime.session import ServiceBase, Session
 from ..simnet.kernel import Simulator
-from ..simnet.node import Host
+from ..simnet.node import Host, HostDown
 from ..simnet.streams import Disconnected, StreamEnd
 from ..simnet.trace import Tracer
 from .clocks import EventRecord
@@ -39,7 +58,7 @@ __all__ = ["EventLoggerServer"]
 
 
 class EventLoggerServer(ServiceBase):
-    """One event-logger service instance."""
+    """One event-logger replica (a shard member of the replication group)."""
 
     metric_ns = "el"
 
@@ -52,37 +71,123 @@ class EventLoggerServer(ServiceBase):
         name: str = "el:0",
         tracer: Optional[Tracer] = None,
         metrics: Optional[Metrics] = None,
+        shard: int = 0,
+        peer_names: tuple = (),
     ) -> None:
         super().__init__(sim, host, fabric, name, tracer=tracer, metrics=metrics)
         self.cfg = cfg
+        self.shard = shard
+        #: the other replicas of this shard (empty = unreplicated)
+        self.peer_names = tuple(peer_names)
+        self.replicated = bool(self.peer_names)
         m = self.metrics
-        self._m_stored = m.counter("el.events_stored", server=name)
-        self._m_acks = m.counter("el.acks", server=name)
-        self._m_cpu_s = m.counter("el.cpu_s", server=name)
-        self._m_dups = m.counter("el.dup_events", server=name)
-        # rank -> {rclock -> EventRecord}; survives daemon incarnations
-        # *and* crashes of this service (durable storage)
+        self._m_stored = m.counter("el.events_stored", server=name, shard=shard)
+        self._m_acks = m.counter("el.acks", server=name, shard=shard)
+        self._m_cpu_s = m.counter("el.cpu_s", server=name, shard=shard)
+        self._m_dups = m.counter("el.dup_events", server=name, shard=shard)
+        self._m_resyncs = m.counter("el.resyncs", server=name, shard=shard)
+        self._m_resynced = m.counter(
+            "el.events_resynced", server=name, shard=shard
+        )
+        # rank -> {rclock -> EventRecord}.  Unreplicated: survives daemon
+        # incarnations *and* crashes of this service (durable storage).
+        # Replicated: in-memory only — a crash loses it and the relaunch
+        # re-fills from the shard's live peers (the quorum holds the data).
         self.events: dict[int, dict[int, EventRecord]] = {}
         self.acks_sent = 0
         self.events_stored = 0
         self.records_received = 0
         self.dup_events = 0
+        self.events_resynced = 0
+        self.resyncs = 0
         # rank -> highest rclock ever stored fresh; with no restarts the
         # invariant events_stored == sum(rclock_hw.values()) certifies that
         # reconnect re-pushes never double-store an event
         self.rclock_hw: dict[int, int] = {}
         self._cpu_free = 0.0  # host-CPU serialization across connections
+        self._lost_store = False  # replicated crash: relaunch must resync
+        self._resyncing = False  # defer DOWNLOADs until catch-up completes
 
     def stop(self, cause: Any = "el-crash") -> None:
         """Service-level crash: drop the listener and every connection.
 
-        The durable event store survives — only in-flight requests and
-        unacknowledged pushes are lost, which clients must re-push.
+        Unreplicated, the durable event store survives — only in-flight
+        requests and unacknowledged pushes are lost, which clients must
+        re-push.  Replicated, the in-memory copy dies with the crash;
+        the shard's surviving quorum keeps every acknowledged event and
+        the supervised relaunch resyncs from it.
         """
         super().stop(cause)
 
     def on_stop(self, cause: Any) -> None:
         self._cpu_free = 0.0
+        if self.replicated:
+            self.events.clear()
+            self.rclock_hw.clear()
+            self._lost_store = True
+
+    def on_start(self) -> None:
+        if self.replicated and self._lost_store:
+            self._lost_store = False
+            self._resyncing = True
+            self._spawn(self._resync(), f"{self.name}.resync")
+
+    # -- replica catch-up ----------------------------------------------------
+    def _resync(self):
+        """Re-fill a restarted replica's store from its live peers.
+
+        Asks every peer for its full shard copy and unions the replies;
+        client re-pushes racing the catch-up are merged by the same
+        ``(rank, rclock)`` dedup.  A peer that is itself down is skipped
+        — its own relaunch runs the symmetric catch-up later.
+        """
+        merged = 0
+        peers_seen = 0
+        for peer in self.peer_names:
+            sess = Session(
+                self.sim, self.fabric, self.host, peer,
+                policy=RetryPolicy.from_config(self.cfg, max_tries=8),
+                tracer=self.tracer, metrics=self.metrics,
+                scope="el", labels={"server": self.name},
+            )
+            end = yield from sess.connect()
+            if end is None:
+                continue
+            try:
+                yield from sess.write(16, ("SYNC", {}))
+                reply = yield from sess.read_record(end)
+            except (Disconnected, HostDown):
+                continue
+            if not (isinstance(reply, tuple) and reply[0] == "SYNCSET"):
+                self._protocol_error(f"resync got {reply!r}")
+                continue
+            merged += self._merge(reply[1])
+            peers_seen += 1
+            if end.broken is None:
+                end.stream.break_both("el-sync-done")
+        self._resyncing = False
+        self.resyncs += 1
+        self._m_resyncs.inc()
+        self.tracer.emit(
+            self.sim.now, "el.resync", server=self.name, shard=self.shard,
+            n=merged, peers=peers_seen,
+        )
+
+    def _merge(self, by_rank: dict[int, list[EventRecord]]) -> int:
+        """Union peer records into the store; returns the fresh count."""
+        fresh = 0
+        for rank, records in by_rank.items():
+            store = self.events.setdefault(rank, {})
+            hw = self.rclock_hw.get(rank, 0)
+            for rec in records:
+                if rec.rclock not in store:
+                    store[rec.rclock] = rec
+                    fresh += 1
+                    hw = max(hw, rec.rclock)
+            self.rclock_hw[rank] = hw
+        self.events_resynced += fresh
+        self._m_resynced.inc(fresh)
+        return fresh
 
     # -- the serve loop ------------------------------------------------------
     def _serve(self, end: StreamEnd, hello: Any):
@@ -96,8 +201,8 @@ class EventLoggerServer(ServiceBase):
                 _, rank, records = msg
                 # the event logger runs on an auxiliary PIII: storing and
                 # acknowledging events costs real CPU there, serialized
-                # across every daemon it serves (a contention point that
-                # grows with the computing-node count)
+                # across every daemon it serves (the contention point that
+                # sharding across el_servers groups dilutes)
                 cost = self.cfg.el_cpu_per_event * len(records)
                 begin = max(self.sim.now, self._cpu_free)
                 self._cpu_free = begin + cost
@@ -122,6 +227,7 @@ class EventLoggerServer(ServiceBase):
                 self._m_cpu_s.inc(cost)
                 self.tracer.emit(
                     self.sim.now, "el.store", rank=rank, n=len(records),
+                    server=self.name, shard=self.shard,
                     ids=tuple(
                         (rec.rclock, rec.src, rec.sclock) for rec in records
                     ),
@@ -134,18 +240,43 @@ class EventLoggerServer(ServiceBase):
                     return  # the daemon re-pushes the batch after reconnect
             elif kind == "DOWNLOAD":
                 _, rank, after_clock = msg
+                # a freshly-restarted replica must not answer downloads
+                # from a store it has not finished re-filling: that would
+                # break the read-quorum intersection argument
+                while self._resyncing:
+                    yield self.sim.timeout(0.01)
                 store = self.events.get(rank, {})
                 records = sorted(
                     rec for rc, rec in store.items() if rc > after_clock
                 )
                 nbytes = self.cfg.event_bytes * max(1, len(records))
                 self.tracer.emit(
-                    self.sim.now, "el.download", rank=rank, n=len(records)
+                    self.sim.now, "el.download", rank=rank, n=len(records),
+                    server=self.name,
                 )
                 try:
                     yield from end.write(nbytes, ("EVENTS", records))
                 except Disconnected:
                     return  # the restarting daemon retries its download
+            elif kind == "SYNC":
+                # a restarted peer replica catching up: everything above
+                # its per-rank high-water marks (empty dict = everything)
+                _, hw_by_rank = msg
+                out: dict[int, list[EventRecord]] = {}
+                n = 0
+                for rank, store in self.events.items():
+                    after = hw_by_rank.get(rank, 0)
+                    recs = sorted(
+                        rec for rc, rec in store.items() if rc > after
+                    )
+                    if recs:
+                        out[rank] = recs
+                        n += len(recs)
+                nbytes = self.cfg.event_bytes * max(1, n)
+                try:
+                    yield from end.write(nbytes, ("SYNCSET", out))
+                except Disconnected:
+                    return  # the peer retries its catch-up
             elif kind == "PRUNE":
                 _, rank, upto_clock = msg
                 store = self.events.get(rank, {})

@@ -62,7 +62,7 @@ class V2Daemon:
         size: int,
         host: Host,
         incarnation: int = 0,
-        el_name: str = "el:0",
+        el_names: Any = ("el:0",),
         cs_names: Any = ("cs:0",),
         sched_name: Optional[str] = None,
         dispatcher_name: Optional[str] = "dispatcher",
@@ -79,7 +79,10 @@ class V2Daemon:
         self.size = size
         self.host = host
         self.incarnation = incarnation
-        self.el_name = el_name
+        if isinstance(el_names, str):
+            el_names = (el_names,)
+        #: every replica of this rank's EL shard (one = the classic EL)
+        self.el_names: tuple[str, ...] = tuple(el_names)
         if isinstance(cs_names, str):
             cs_names = (cs_names,)
         self.cs_names: tuple[str, ...] = tuple(cs_names) if cs_names else ()
@@ -87,8 +90,9 @@ class V2Daemon:
         self.dispatcher_name = dispatcher_name
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         #: test-only protocol sabotage (``bypass_waitlogged``,
-        #: ``reorder_replay``, ``premature_gc``): each seeds one safety
-        #: violation the online auditor must catch — never set in production
+        #: ``reorder_replay``, ``premature_gc``, ``bypass_quorum``): each
+        #: seeds one safety violation the online auditor must catch —
+        #: never set in production
         self.mutations = frozenset(mutations or ())
         self._mut_prev_replay: Optional[tuple[int, int]] = None
         #: jitter source for reconnect backoff (a named sim RNG stream in
@@ -134,9 +138,10 @@ class V2Daemon:
 
         # the daemon's I/O components, over the shared session layer
         self.el = EventLogClient(
-            sim, cfg, fabric, host, rank, el_name,
+            sim, cfg, fabric, host, rank, self.el_names,
             spawn=self._spawn, tracer=self.tracer, metrics=m,
             rng=rng, on_retry=self._note_outage_retry,
+            mutations=self.mutations,
         )
         self.peers = PeerManager(
             self, sim, fabric, host,

@@ -27,12 +27,13 @@ from ..obs.collect import finalize_job
 from ..obs.registry import Metrics
 from ..runtime.cluster import Cluster
 from ..runtime.config import TestbedConfig
-from ..runtime.fabric import Fabric
+from ..runtime.fabric import ConnectionRefused, Fabric
 from ..runtime.mpirun import rank_main
 from ..runtime.results import JobResult
+from ..runtime.retry import RetryPolicy
 from ..runtime.session import ServiceBase, Session
 from ..simnet.kernel import Future, Killed, Simulator
-from ..simnet.node import Host
+from ..simnet.node import Host, HostDown
 from ..simnet.streams import Disconnected, StreamEnd
 from ..simnet.trace import Tracer
 from .base import ChannelDevice, segment_sizes
@@ -79,6 +80,12 @@ class ChannelMemory(ServiceBase):
         self._waiting: dict[int, StreamEnd] = {}
         self.stores = 0
         self.serves = 0
+
+    def on_stop(self, cause: Any) -> None:
+        # pending GETs died with their streams (the receivers re-issue
+        # them after reconnecting); the log, the msgid dedup set and the
+        # serve cursors are the durable state the relaunch serves from
+        self._waiting.clear()
 
     def _serve(self, end: StreamEnd, hello: Any = None):
         while True:
@@ -161,32 +168,82 @@ class V1Device(ChannelDevice):
         self._get_outstanding = False
         self.fabric: Optional[Fabric] = None
         self.replay_cursor = 0  # messages consumed (checkpointing hook)
+        # per CM: every packet stored there by this incarnation.  A CM
+        # service crash drops in-flight segments without telling the
+        # writer (STOREs carry no acknowledgement), so after a reconnect
+        # the whole history is re-emitted — exactly what a re-executed V1
+        # sender does — and the CM's durable msgid set discards the bulk
+        # of it as duplicates.
+        self._sent_history: dict[str, list[Packet]] = {}
+        self._dialed: set[str] = set()  # CMs connected at least once
+        self.cm_reconnects = 0
 
     def wire(self, fabric: Fabric) -> None:
         """Attach the connection fabric (done by the launcher)."""
         self.fabric = fabric
 
     def _session_for_cm(self, cm: str) -> Session:
-        """The (lazily dialled) session to one Channel Memory.
-
-        CMs run on reliable nodes, so a refused connect is a deployment
-        bug and raises; a *broken* stream (our own host restarting mid-
-        write) is re-dialled on next use."""
+        """The session object for one Channel Memory (not yet dialled)."""
         sess = self._sessions.get(cm)
         if sess is None:
             sess = Session(
                 self.sim, self.fabric, self.host, cm,
                 hello=("CN", self.rank), tracer=self.tracer,
                 metrics=self._metrics, scope="v1",
+                policy=RetryPolicy.from_config(self.cfg),
                 payload_types=(Packet,), labels={"rank": self.rank},
             )
             self._sessions[cm] = sess
-        if not sess.up():
-            sess.connect_now()
         return sess
 
+    def _cm_up(self, cm: str) -> Generator[Future, Any, Session]:
+        """The live session to ``cm``, reconnecting with backoff.
+
+        The fast path (CM up, or first dial of a running CM) is a single
+        synchronous connect, as before.  A CM that is down — a supervised
+        service crash — is retried under the session's backoff policy;
+        exhausting the budget breaks the deployment contract (the
+        supervisor restarts crashed CMs) and fails the run loudly."""
+        sess = self._session_for_cm(cm)
+        if sess.up():
+            return sess
+        redial = cm in self._dialed
+        try:
+            sess.connect_now()
+        except ConnectionRefused:
+            end = yield from sess.connect()
+            if end is None:
+                raise RuntimeError(
+                    f"rank {self.rank}: channel memory {cm} unreachable "
+                    f"after {sess.policy.max_tries} attempts"
+                )
+        self._dialed.add(cm)
+        if redial:
+            self.cm_reconnects += 1
+            yield from self._after_reconnect(cm, sess)
+        return sess
+
+    def _after_reconnect(
+        self, cm: str, sess: Session
+    ) -> Generator[Future, Any, None]:
+        """Restore the state a broken CM stream carried.
+
+        Our own CM's serve cursor may sit past a message whose delivery
+        died in flight: rewind it to what we actually consumed, and
+        forget the lost GET.  Then re-emit our store history (the CM
+        dedups by msgid), covering any STORE dropped mid-transfer."""
+        if cm == self.cm_of.get(self.rank):
+            yield from sess.write(16, ("RESET", self.rank, self.replay_cursor))
+            self._get_outstanding = False
+        for pkt in self._sent_history.get(cm, ()):
+            total = pkt.payload_bytes + self.cfg.packet_header_bytes
+            sizes = segment_sizes(total, self.cfg.chunk_bytes)
+            last = len(sizes) - 1
+            for i, nbytes in enumerate(sizes):
+                yield from sess.end.write(nbytes, pkt if i == last else None)
+
     def piinit(self) -> Generator[Future, Any, None]:
-        self._own = self._session_for_cm(self.cm_of[self.rank])
+        self._own = yield from self._cm_up(self.cm_of[self.rank])
         if self.incarnation > 0:
             # uncoordinated restart: replay the reception stream from the
             # beginning -- "a process re-execution is independent of the
@@ -198,19 +255,30 @@ class V1Device(ChannelDevice):
     def _own_end(self) -> StreamEnd:
         return self._own.end
 
-    def _end_for(self, dst: int) -> StreamEnd:
-        return self._session_for_cm(self.cm_of[dst]).end
-
     # -- sending: store on the receiver's CM ------------------------------------
     def pibsend(self, dst: int, pkt: Packet) -> Generator[Future, Any, bool]:
         """Store the message on the *receiver's* Channel Memory."""
         self.stamp(pkt.env)
-        end = self._end_for(dst)
+        cm = self.cm_of[dst]
         total = pkt.payload_bytes + self.cfg.packet_header_bytes
         sizes = segment_sizes(total, self.cfg.chunk_bytes)
         last = len(sizes) - 1
-        for i, nbytes in enumerate(sizes):
-            yield from end.write(nbytes, pkt if i == last else None)
+        while True:
+            sess = self._session_for_cm(cm)
+            end = sess.end
+            try:
+                sess = yield from self._cm_up(cm)
+                end = sess.end
+                for i, nbytes in enumerate(sizes):
+                    yield from end.write(nbytes, pkt if i == last else None)
+            except (Disconnected, HostDown):
+                # the CM went down mid-store: drop the link and redo the
+                # whole STORE on the relaunched CM (msgid-deduped there)
+                if end is not None:
+                    sess.drop(end)
+                continue
+            break
+        self._sent_history.setdefault(cm, []).append(pkt)
         self.stats.bytes_sent += pkt.payload_bytes
         self.stats.msgs_sent += 1
         return True
@@ -223,13 +291,27 @@ class V1Device(ChannelDevice):
     # -- receiving: pull from our own CM ------------------------------------------
     def pibrecv(self) -> Generator[Future, Any, tuple[int, Packet]]:
         """Pull the next stored message from our Channel Memory."""
-        if not self._get_outstanding:
-            yield from self._own.write(
-                self.cfg.cm_request_bytes, ("GET", self.rank)
-            )
-            self._get_outstanding = True
+        own_cm = self.cm_of[self.rank]
         while True:
-            payload = yield from self._own.read_record()
+            sess = self._sessions.get(own_cm)
+            end = sess.end if sess is not None else None
+            try:
+                sess = yield from self._cm_up(own_cm)
+                self._own = sess
+                end = sess.end
+                if not self._get_outstanding:
+                    yield from sess.write(
+                        self.cfg.cm_request_bytes, ("GET", self.rank)
+                    )
+                    self._get_outstanding = True
+                payload = yield from sess.read_record(end)
+            except (Disconnected, HostDown):
+                # the CM crashed holding our GET; reconnect rewinds the
+                # serve cursor to ``replay_cursor`` and we ask again
+                self._get_outstanding = False
+                if end is not None:
+                    sess.drop(end)
+                continue
             if isinstance(payload, Packet):
                 self._get_outstanding = False
                 self.replay_cursor += 1
@@ -250,6 +332,8 @@ class V1Device(ChannelDevice):
     def poll(self) -> list[tuple[int, Packet]]:
         """Drain already-arrived CM replies without blocking."""
         out = []
+        if self._own is None or not self._own.up():
+            return out  # CM link down: pibrecv will reconnect and replay
         while True:
             ok, _n, payload = self._own_end.try_read()
             if not ok:
@@ -271,7 +355,15 @@ class V1Device(ChannelDevice):
         return False
 
     def _wait_for_traffic(self) -> Generator[Future, Any, None]:
-        yield self._own_end.when_readable()
+        if self._own is None or not self._own.up():
+            # CM link down: poll until the supervised relaunch lets the
+            # next pibrecv reconnect
+            yield self.sim.timeout(0.001)
+            return
+        try:
+            yield self._own_end.when_readable()
+        except Disconnected:
+            pass  # link broke while we slept; the recv path reconnects
 
 
 def run_v1_job(
@@ -318,6 +410,11 @@ def run_v1_job(
 
         auditor = ProtocolAuditor().attach(cluster.tracer)
 
+    from ..ft.services import ServiceSupervisor
+
+    supervisor = ServiceSupervisor(
+        sim, cfg, tracer=cluster.tracer, metrics=cluster.metrics
+    )
     n_cm = max(1, (nprocs + cns_per_cm - 1) // cns_per_cm)
     cms = []
     cm_of: dict[int, str] = {}
@@ -328,6 +425,7 @@ def run_v1_job(
             tracer=cluster.tracer, metrics=cluster.metrics,
         )
         cm.start()
+        supervisor.register(cm.name, cm)
         cms.append(cm)
     for r in range(nprocs):
         cm_of[r] = f"cm:{r // cns_per_cm}"
@@ -409,7 +507,16 @@ def run_v1_job(
         spawn_rank(r)
 
     if faults is not None:
-        from ..ft.failure import FaultContext
+        from ..ft.failure import ComposedFaults, FaultContext
+
+        if isinstance(faults, (list, tuple)):
+            faults = ComposedFaults(tuple(faults))
+
+        def spawn_proc(gen, label: str):
+            p = sim.spawn(gen, name=label)
+            # fault-driver helpers live on the first CM's (reliable) host
+            cms[0].host.register(p)
+            return p
 
         ctx = FaultContext(
             sim=sim,
@@ -422,6 +529,10 @@ def run_v1_job(
                 else (hosts[r].crash() or True)
             ),
             job_running=lambda: not done.done,
+            crash_service=supervisor.crash,
+            restart_service=supervisor.restart,
+            spawn=spawn_proc,
+            service_names=tuple(sorted(supervisor.services)),
         )
         sim.spawn(faults.driver(ctx), name="v1.fault-injector")
 
@@ -433,6 +544,11 @@ def run_v1_job(
             cluster.metrics.counter("v1.cm_stores", cm=cm.name).inc(cm.stores)
         if cm.serves:
             cluster.metrics.counter("v1.cm_serves", cm=cm.name).inc(cm.serves)
+    reconnects = sum(
+        s_.device.cm_reconnects for s_ in slots if s_.device is not None
+    )
+    if reconnects:
+        cluster.metrics.counter("v1.cm_reconnects").inc(reconnects)
     stats = finalize_job(
         cluster, {r: slots[r].device.stats for r in range(nprocs)}, "v1"
     )

@@ -117,7 +117,7 @@ class Dispatcher:
         nprocs: int,
         cn_hosts: list[Host],
         spare_hosts: list[Host],
-        el_names: list[str],
+        el_groups: list[list[str]],
         sched_name: Optional[str],
         cs_names: Optional[list[str]],
         wipe_logs: Optional[Callable[[], None]] = None,
@@ -134,7 +134,9 @@ class Dispatcher:
         self.nprocs = nprocs
         self.cn_hosts = cn_hosts
         self.spare_hosts = list(spare_hosts)
-        self.el_names = el_names
+        # one name list per EL shard (all replicas of the rank's shard);
+        # ranks shard by rank % len(el_groups)
+        self.el_groups = [list(g) for g in el_groups]
         self.sched_name = sched_name
         self.cs_names = tuple(cs_names) if cs_names else ()
         self.wipe_logs = wipe_logs
@@ -281,7 +283,7 @@ class Dispatcher:
             self.nprocs,
             host,
             incarnation=incarnation,
-            el_name=self.el_names[rank % len(self.el_names)],
+            el_names=self.el_groups[rank % len(self.el_groups)],
             cs_names=self.cs_names,
             sched_name=self.sched_name,
             dispatcher_name="dispatcher",
@@ -521,6 +523,8 @@ def run_v2_job(
         )
 
     n_cs = max(1, cfg.ckpt_servers)
+    n_event_loggers = max(n_event_loggers, cfg.el_servers)
+    n_el_replicas = max(1, cfg.el_replicas)
     if plan is None:
         service = cluster.add_aux("service")  # dispatcher + EL(s) + scheduler
         cs_hosts = [
@@ -558,17 +562,39 @@ def run_v2_job(
         sim, cfg, tracer=cluster.tracer, metrics=cluster.metrics
     )
 
-    el_names = []
+    # the EL replication group: n_event_loggers shards (ranks shard by
+    # rank % N), each kept as cfg.el_replicas service instances.  Replica
+    # 0 keeps the classic "el:<shard>" name (single-replica deployments
+    # and their fault plans are unchanged); extra replicas are
+    # "el:<shard>.<r>".  Each replica registers with the supervisor
+    # individually, so ServiceFaults can crash one replica of a shard.
+    el_groups: list[list[str]] = []
     loggers = []
-    for i in range(n_event_loggers):
-        el = EventLoggerServer(
-            sim, el_hosts[i], fabric, cfg, name=f"el:{i}",
-            tracer=cluster.tracer, metrics=cluster.metrics,
-        )
-        el.start()
-        loggers.append(el)
-        el_names.append(el.name)
-        supervisor.register(el.name, el)
+    for s in range(n_event_loggers):
+        names = [
+            f"el:{s}" if r == 0 else f"el:{s}.{r}"
+            for r in range(n_el_replicas)
+        ]
+        for r, el_name in enumerate(names):
+            # replica 0 keeps the shard's classic placement; extra
+            # replicas each get their own machine — colocated replicas
+            # would share a NIC (and fate, under host faults), defeating
+            # the independence the replication group exists to buy
+            host = (
+                el_hosts[s]
+                if r == 0
+                else cluster.add_aux(f"el-host{s}.{r}", site=el_hosts[s].site)
+            )
+            el = EventLoggerServer(
+                sim, host, fabric, cfg, name=el_name,
+                tracer=cluster.tracer, metrics=cluster.metrics,
+                shard=s,
+                peer_names=tuple(n for n in names if n != el_name),
+            )
+            el.start()
+            loggers.append(el)
+            supervisor.register(el.name, el)
+        el_groups.append(names)
 
     servers = []
     for i in range(n_cs):
@@ -619,7 +645,7 @@ def run_v2_job(
         nprocs,
         cn_hosts,
         spare_hosts,
-        el_names,
+        el_groups,
         sched_name,
         cs_names,
         wipe_logs=wipe_logs,

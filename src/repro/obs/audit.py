@@ -26,7 +26,12 @@ Rules checked (names appear in reports and violation records):
 * ``store-gc`` — the chunk-granular extension of the same invariant to
   the replicated checkpoint store: a replica reclaimed a chunk that some
   rank's latest *quorum-complete* manifest (on that replica) still
-  references, i.e. storage a restart may be about to fetch.
+  references, i.e. storage a restart may be about to fetch;
+* ``el-quorum`` — a quorum-replicated event logger deployment cleared
+  the WAITLOGGED gate for an event that fewer than ``quorum`` distinct
+  EL replicas had stored (``el.store``) by acknowledgement time: a
+  send gated on such an ack could outrun the replication the recovery
+  path depends on.
 
 Every audited event is stamped with a Fidge–Mattern vector clock — the
 algebra of :class:`~repro.core.clocks.VectorClock`, kept as plain
@@ -54,7 +59,10 @@ from ..simnet.trace import Tracer, TraceRecord
 __all__ = ["RULES", "Violation", "AuditReport", "ProtocolAuditor", "audit_trace"]
 
 #: the safety rules the auditor evaluates, in reporting order
-RULES = ("waitlogged", "replay-order", "orphan", "gc-safety", "store-gc")
+RULES = (
+    "waitlogged", "replay-order", "orphan", "gc-safety", "store-gc",
+    "el-quorum",
+)
 
 
 @dataclass(frozen=True)
@@ -183,6 +191,9 @@ class ProtocolAuditor:
         self._msg_vc: dict[tuple[int, int], dict[int, int]] = {}
         # waitlogged: per-rank emit times of still-unacknowledged events
         self._pending_el: dict[int, deque[float]] = {}
+        # el-quorum: which EL replicas have stored each (rank, rclock)
+        self._el_stores: dict[tuple[int, int], set[str]] = {}
+        self._n_quorum = 0
         # logged order: EL contents and per-rank delivery history by rclock
         self._el_log: dict[int, dict[int, tuple[int, int]]] = {}
         self._hist: dict[int, dict[int, tuple[int, int]]] = {}
@@ -252,6 +263,27 @@ class ProtocolAuditor:
             if pending:
                 for _ in range(min(f["n"], len(pending))):
                     pending.popleft()
+            # el-quorum: every event this ack releases from the gate must
+            # already sit on at least `quorum` distinct replicas
+            quorum = f.get("quorum", 0)
+            if quorum > 1 and "ids" in f:
+                for rclock in f["ids"]:
+                    self._n_quorum += 1
+                    stored_on = self._el_stores.get((rank, rclock), ())
+                    if len(stored_on) < quorum:
+                        vc = self._vc.setdefault(rank, {})
+                        self._flag(
+                            time,
+                            "el-quorum",
+                            rank,
+                            f"rank {rank}'s WAITLOGGED gate cleared rclock "
+                            f"{rclock} with {len(stored_on)} of the "
+                            f"required {quorum} replica store(s)",
+                            vc,
+                            rclock=rclock,
+                            stored=len(stored_on),
+                            quorum=quorum,
+                        )
             if self.hb_graph:
                 node = self._hb_add(
                     rank, "el_ack", time, f, self._vc.get(rank, {})
@@ -266,8 +298,14 @@ class ProtocolAuditor:
                         )
         elif kind == "el.store":
             store = self._el_log.setdefault(f["rank"], {})
+            server = f.get("server")
+            rank = f["rank"]
             for rclock, src, sclock in f.get("ids", ()):
                 store.setdefault(rclock, (src, sclock))
+                if server is not None:
+                    self._el_stores.setdefault(
+                        (rank, rclock), set()
+                    ).add(server)
         elif kind == "v2.gc":
             self._on_gc(time, f)
         elif kind == "v2.ckpt":
@@ -299,6 +337,7 @@ class ProtocolAuditor:
         elif kind == "ft.global_restart":
             # logs and images are wiped: the old history constrains nothing
             self._el_log.clear()
+            self._el_stores.clear()
             self._hist.clear()
             self._ckpt_hr.clear()
             self._pending_el.clear()
@@ -549,6 +588,7 @@ class ProtocolAuditor:
                 "orphan": self._n_orphan,
                 "gc-safety": self._n_gc,
                 "store-gc": self._n_store_gc,
+                "el-quorum": self._n_quorum,
             },
             events_seen=self.events_seen,
             truncated=dropped > 0,

@@ -135,6 +135,23 @@ class Histogram:
         """Mean of the observed samples (0 when empty)."""
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (0 when empty).
+
+        Returns the upper bound of the bucket holding the q-th sample,
+        clamped to the observed max (so the overflow bucket and the
+        extremes stay honest).
+        """
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        acc = 0
+        for bound, n in zip(self.bounds, self.buckets):
+            acc += n
+            if acc >= target:
+                return min(bound, self.max)
+        return self.max
+
     def scalar(self) -> float:
         return self.sum
 
@@ -214,6 +231,37 @@ class Metrics:
             acc += m.scalar()
             found = True
         return acc if found else default
+
+    def quantile(self, name: str, q: float, default: float = 0.0) -> float:
+        """Bucket-quantile of one histogram merged across its label sets.
+
+        The per-label histograms share bucket bounds (they are bound with
+        the same call site), so their buckets sum into one distribution.
+        """
+        merged: Optional[list[int]] = None
+        bounds: tuple[float, ...] = ()
+        count = 0
+        hi = float("-inf")
+        for m in self._metrics.values():
+            if m.name != name or m.kind != "histogram":
+                continue
+            if merged is None:
+                bounds = m.bounds
+                merged = [0] * len(m.buckets)
+            for i, n in enumerate(m.buckets):
+                merged[i] += n
+            count += m.count
+            if m.count:
+                hi = max(hi, m.max)
+        if merged is None or not count:
+            return default
+        target = q * count
+        acc = 0
+        for bound, n in zip(bounds, merged):
+            acc += n
+            if acc >= target:
+                return min(bound, hi)
+        return hi
 
     def snapshot(self) -> dict[str, float]:
         """Merged view: metric name -> scalar summed across all labels."""

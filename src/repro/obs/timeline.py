@@ -90,6 +90,8 @@ class RestartSpan:
     el_events: Optional[int] = None
     el_download_s: Optional[float] = None
     el_retries: int = 0
+    # replica links lost mid-download (another quorum member served it)
+    el_failovers: int = 0
     # RESTART1/RESTART2 peer re-sync
     resync_t: Optional[float] = None  # when the last RESTART2 landed
     resync_peers: int = 0
@@ -195,6 +197,7 @@ class RestartSpan:
             "el_download_s": self.el_download_s,
             "el_events": self.el_events,
             "el_retries": self.el_retries,
+            "el_failovers": self.el_failovers,
             "resync_s": self.resync_s,
             "resync_peers": self.resync_peers,
             "resync_complete": self.resync_complete,
@@ -280,6 +283,7 @@ def recovery_timeline(tracer: Tracer) -> list[RestartSpan]:
                 span.el_events = rec.fields.get("n")
                 span.el_download_s = rec.fields.get("wait_s")
                 span.el_retries = rec.fields.get("retries", 0)
+                span.el_failovers = rec.fields.get("failovers", 0)
         elif kind == "v2.restart":
             span = oldest_open(rank, "replay_start_t")
             if span is not None:
@@ -383,6 +387,7 @@ class RecoveryAttribution:
             "fetch_retries": sum(s.fetch_retries for s in self.spans),
             "el_events": sum(s.el_events or 0 for s in self.spans),
             "el_retries": sum(s.el_retries for s in self.spans),
+            "el_failovers": sum(s.el_failovers for s in self.spans),
             "resync_peers": sum(s.resync_peers for s in self.spans),
         }
 

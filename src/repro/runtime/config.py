@@ -100,6 +100,19 @@ class TestbedConfig:
     ckpt_chunk_kib: int = 64  # content-addressed chunk size (KiB)
     ckpt_dirty_ops: int = 32  # ops per phase of the deterministic dirty model
 
+    # -- replicated event logger ---------------------------------------------------
+    # Ranks shard across el_servers logger groups (rank % el_servers); each
+    # group keeps el_replicas in-memory copies of its shard's event tuples.
+    # The WAITLOGGED gate clears on a majority quorum of replica acks, so a
+    # replica crash costs a failover rather than a stalled job.
+    el_servers: int = 1  # N: shards (logger groups) in the cluster
+    el_replicas: int = 1  # K: replicas per shard (1 = the classic single EL)
+
+    @property
+    def el_quorum(self) -> int:
+        """Majority write quorum per EL shard (K=3 -> 2; K=1 -> 1)."""
+        return self.el_replicas // 2 + 1
+
     @property
     def ckpt_chunk_bytes(self) -> int:
         """Content-addressed chunk size in bytes."""

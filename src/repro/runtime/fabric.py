@@ -79,5 +79,10 @@ class Fabric:
             # streams (which ride the partition out), a connect times out
             raise ConnectionRefused(f"{name} (partitioned)")
         stream = self.cluster.connect(from_host, acc.host, window=window)
+        if acc.host is from_host:
+            # loopback: ``end_for`` cannot tell the two ends apart when
+            # both belong to the same host — hand them out explicitly
+            acc.queue.put((stream.b, hello))
+            return stream.a
         acc.queue.put((stream.end_for(acc.host), hello))
         return stream.end_for(from_host)

@@ -268,36 +268,52 @@ class Process:
         if not self.alive:
             return
         self._waiting_on = None
-        try:
-            if exc is not None:
-                yielded = self.gen.throw(exc)
-            else:
-                yielded = self.gen.send(value)
-        except StopIteration as stop:
-            self.alive = False
-            self.done.resolve_if_pending(stop.value)
+        while True:
+            try:
+                if exc is not None:
+                    yielded = self.gen.throw(exc)
+                else:
+                    yielded = self.gen.send(value)
+            except StopIteration as stop:
+                self.alive = False
+                self.done.resolve_if_pending(stop.value)
+                return
+            except Killed as killed:
+                self.alive = False
+                self.done.fail_if_pending(killed)
+                return
+            except BaseException as err:
+                self.alive = False
+                self.done.fail_if_pending(err)
+                if not self.supervised:
+                    self.sim._crashes.append((self, err))
+                return
+            if not isinstance(yielded, Future):
+                err2 = SimError(
+                    f"process {self.name!r} yielded {type(yielded).__name__}, "
+                    "expected a Future"
+                )
+                self.alive = False
+                self.done.fail_if_pending(err2)
+                self.sim._crashes.append((self, err2))
+                return
+            if yielded._done:
+                # an already-resolved future: continue the process inline,
+                # iteratively.  The callback path below would recurse
+                # (add_done_callback fires synchronously when done), and a
+                # process draining a long backlog of immediately-ready
+                # futures — a queue refilled during a connection outage,
+                # say — would exhaust the interpreter stack.
+                if not self.alive or self.sim._stopped:
+                    return
+                if yielded._exc is not None:
+                    value, exc = None, yielded._exc
+                else:
+                    value, exc = yielded._value, None
+                continue
+            self._waiting_on = yielded
+            yielded.add_done_callback(self._resume)
             return
-        except Killed as killed:
-            self.alive = False
-            self.done.fail_if_pending(killed)
-            return
-        except BaseException as err:
-            self.alive = False
-            self.done.fail_if_pending(err)
-            if not self.supervised:
-                self.sim._crashes.append((self, err))
-            return
-        if not isinstance(yielded, Future):
-            err2 = SimError(
-                f"process {self.name!r} yielded {type(yielded).__name__}, "
-                "expected a Future"
-            )
-            self.alive = False
-            self.done.fail_if_pending(err2)
-            self.sim._crashes.append((self, err2))
-            return
-        self._waiting_on = yielded
-        yielded.add_done_callback(self._resume)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "alive" if self.alive else "dead"

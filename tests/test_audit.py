@@ -177,6 +177,27 @@ def test_mutation_premature_store_gc_is_flagged():
     assert v.context["chunks"] >= 1
 
 
+def test_mutation_bypass_quorum_is_flagged():
+    """A batcher that clears the WAITLOGGED gate at queue time — before
+    any replica stored the events — must trip the ``el-quorum`` rule."""
+    from repro.runtime.config import DEFAULT_TESTBED
+
+    cfg = DEFAULT_TESTBED.with_(el_replicas=3)
+    res = run_job(
+        traffic_prog, 4, device="v2", cfg=cfg, audit=True,
+        mutations=frozenset({"bypass_quorum"}),
+    )
+    rep = res.audit
+    assert rep.verdict == "violations"
+    assert rep.count("el-quorum") > 0
+    v = next(x for x in rep.violations if x.rule == "el-quorum")
+    assert v.rank in range(4)
+    assert "WAITLOGGED gate cleared rclock" in v.detail
+    assert "replica store(s)" in v.detail
+    assert v.context["quorum"] == 2  # majority of 3
+    assert v.context["stored"] < v.context["quorum"]
+
+
 def test_unmutated_twin_of_each_mutation_run_is_clean():
     """The mutation runs above differ from clean runs only by the seeded
     sabotage: the same configurations without mutations audit clean."""
@@ -199,7 +220,12 @@ def test_unmutated_twin_of_each_mutation_run_is_clean():
         params={"rounds": 40}, audit=True,
         checkpointing=True, ckpt_interval=0.01, ckpt_continuous=True,
     )
-    for res in (a, b, c, d):
+    e = run_job(
+        traffic_prog, 4, device="v2",
+        cfg=DEFAULT_TESTBED.with_(el_replicas=3), audit=True,
+    )
+    assert e.audit.checks["el-quorum"] > 0  # the rule actually evaluated
+    for res in (a, b, c, d, e):
         assert res.audit.clean, res.audit.violations
         assert res.audit.checks["store-gc"] >= 0
 

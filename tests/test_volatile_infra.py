@@ -533,6 +533,131 @@ def test_service_faults_skip_unknown_services():
     assert plan.injected == []
 
 
+# -- event-logger replication -------------------------------------------------
+
+
+def test_el_replica_kill_quorum_rides_through():
+    """Kill one of three replicas mid-run: the quorum (2 of 3) keeps the
+    WAITLOGGED gate moving, the relaunch resyncs from its peers, and the
+    job finishes with correct results, a clean audit and no restarts."""
+    cfg = DEFAULT_TESTBED.with_(el_replicas=3)
+    expect = run_job(ring, 3, device="v2", cfg=cfg,
+                     params={"rounds": 30, "work": 0.05}).results
+    res = run_job(
+        ring, 3, device="v2", cfg=cfg, params={"rounds": 30, "work": 0.05},
+        faults=[ServiceFaults([(0.3, "el:0.1", 0.4)])],
+        limit=600.0, audit=True,
+    )
+    assert res.results == expect
+    assert res.audit.clean
+    assert res.audit.checks["el-quorum"] > 0
+    assert res.restarts == 0  # no rank ever restarted for an EL fault
+    sup = res.extras["supervisor"]
+    assert sup.crashes == 1 and sup.restarts == 1
+    assert res.metrics.total("el.failovers") >= 1
+    assert res.metrics.total("el.resyncs") == 1
+    assert res.metrics.total("el.events_resynced") > 0
+
+
+def test_el_back_to_back_crashes_no_double_delivery():
+    """A second crash landing while clients are still re-pushing events
+    unacked from the first: the (rank, rclock) dedup must keep every
+    replica's store exact, and no gate may clear below quorum."""
+    cfg = DEFAULT_TESTBED.with_(el_replicas=3)
+    expect = run_job(ring, 3, device="v2", cfg=cfg,
+                     params={"rounds": 30, "work": 0.05}).results
+    res = run_job(
+        ring, 3, device="v2", cfg=cfg, params={"rounds": 30, "work": 0.05},
+        faults=[ServiceFaults([(0.3, "el:0", 0.3), (0.7, "el:0", 0.3)])],
+        limit=600.0, audit=True,
+    )
+    assert res.results == expect
+    assert res.audit.clean  # el-quorum: no early WAITLOGGED clears
+    assert res.restarts == 0
+    sup = res.extras["supervisor"]
+    assert sup.crashes == 2 and sup.restarts == 2
+    # the second relaunch may still be resyncing when the job completes
+    assert res.metrics.total("el.resyncs") >= 1
+    # per-replica store exactness: every rank's events form the contiguous
+    # prefix 1..hw — a double-delivered re-push would inflate dup counts,
+    # a lost one would leave a hole below the high-water mark
+    for el in res.extras["event_loggers"]:
+        for rank, evs in el.events.items():
+            hw = el.rclock_hw.get(rank, 0)
+            assert sorted(evs) == list(range(1, hw + 1))
+
+
+def test_el_replica_resync_pulls_missing_events():
+    """A restarted replica whose in-memory store died refills from a live
+    peer before serving: DOWNLOADs against it see the full log."""
+    cluster = Cluster(DEFAULT_TESTBED, seed=0)
+    sim = cluster.sim
+    fabric = Fabric(cluster)
+    host_a = cluster.add_aux("ela")
+    host_b = cluster.add_aux("elb")
+    cn = cluster.add_cn("cn0")
+    el_a = EventLoggerServer(sim, host_a, fabric, cluster.cfg, name="el:0",
+                             shard=0, peer_names=("el:0.1",))
+    el_b = EventLoggerServer(sim, host_b, fabric, cluster.cfg, name="el:0.1",
+                             shard=0, peer_names=("el:0",))
+    el_a.start()
+    el_b.start()
+    got = {}
+
+    def recs(lo, hi):
+        return [EventRecord(i, src=1, sclock=i, probes=0)
+                for i in range(lo, hi + 1)]
+
+    def client():
+        ends = {}
+        for name in ("el:0", "el:0.1"):
+            ends[name] = fabric.connect(cn, name, hello=("DAEMON", 0, 0))
+        for name in ("el:0", "el:0.1"):
+            yield from ends[name].write(60, ("EVENT", 0, recs(1, 3)))
+            yield ends[name].read()
+        # replica b crashes (store lost) while 4..6 land on a only
+        el_b.stop()
+        yield from ends["el:0"].write(60, ("EVENT", 0, recs(4, 6)))
+        yield ends["el:0"].read()
+        el_b.start()  # relaunch resyncs from el:0
+        end = fabric.connect(cn, "el:0.1", hello=("DAEMON", 0, 1))
+        yield from end.write(16, ("DOWNLOAD", 0, 0))
+        _, (tag, events) = yield end.read()
+        got["events"] = events
+
+    sim.spawn(client())
+    sim.run()
+    assert [e.rclock for e in got["events"]] == [1, 2, 3, 4, 5, 6]
+    assert el_b.rclock_hw == {0: 6}
+
+
+# -- V1 channel-memory supervision ---------------------------------------------
+
+
+def test_v1_supervised_cm_crash_replays_through():
+    """A supervised Channel Memory crash/relaunch: clients reconnect with
+    backoff, re-push their store history (msgid-deduped) and rewind the
+    serve cursor — the job finishes with faultless results and no rank
+    restarts."""
+    expect = run_job(ring, 4, device="v1",
+                     params={"rounds": 16, "work": 0.05}).results
+    res = run_job(
+        ring, 4, device="v1", params={"rounds": 16, "work": 0.05},
+        faults=[ServiceFaults([(0.25, "cm:0", 0.8)])],
+        limit=600.0,
+    )
+    assert res.results == expect
+    assert res.restarts == 0
+    assert res.metrics.total("svc.crashes") == 1
+    assert res.metrics.total("svc.restarts") == 1
+    assert res.metrics.total("v1.cm_reconnects") >= 1
+    # the CM's durable msgid dedup absorbed the history re-push: serve
+    # cursors never ran past what the durable log holds
+    cm = res.extras["channel_memories"][0]
+    for rank, cur in cm.cursor.items():
+        assert cur <= len(cm.log.get(rank, ()))
+
+
 def test_supervisor_ignores_replaced_or_dead_services():
     cluster = Cluster(DEFAULT_TESTBED, seed=0)
     fabric = Fabric(cluster)
