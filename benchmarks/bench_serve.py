@@ -1,0 +1,259 @@
+"""Control-plane serving: a thousand-job admission sweep on one cluster.
+
+The paper runs one MPI job per dedicated deployment; the serve layer
+(``repro.serve``) multiplexes many jobs over a single shared cluster
+with gang scheduling, fair-share admission and per-job namespaces on
+the shared event-logger and checkpoint-store services.  This benchmark
+drives the plane with 1000 jobs from two tenants (weights 3:1),
+submitted all at once — a pure admission storm — with a v2 slice that
+includes rank-kill faults recovering mid-traffic.  Four claims are
+gated:
+
+- **completion** — every job of the storm runs to completion: 1000
+  completed, zero timeouts;
+- **isolation** — zero audit violations across all audited jobs: the
+  per-job namespaces keep co-resident EL events, checkpoint manifests
+  and GC floors disjoint even while kills recover next door;
+- **fairness** — over the saturation window (admissions while both
+  tenants still have queued work), each tenant's rank-weighted share
+  of admitted capacity is within 20% of its fair-share weight;
+- **regression gate** — makespan must not exceed the checked-in
+  ``BENCH_serve.json`` baseline by more than ``REGRESSION_BUDGET``
+  (simulated time on a fixed seed: deterministic).
+
+Results land in ``BENCH_serve.json`` at the repository root (the CI
+artifact and the next baseline).  Run as a pytest benchmark
+(``pytest benchmarks/`` — *not* part of the tier-1 suite) or directly:
+``python benchmarks/bench_serve.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import sys
+
+from repro.analysis.report import Report, format_table
+from repro.serve import ControlPlane, JobSpec
+
+from conftest import record_report
+
+OUT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_serve.json"
+
+N_JOBS = 1000
+#: v2-device job slots per 20-job window — one even (alpha) and one odd
+#: (beta) index, so both tenants carry the same v2/p4 mix and fairness
+#: is measured on workload-symmetric queues
+V2_SLOTS = (0, 11)
+FAULTY_SLOTS = (3, 6)  # of every 8 v2 jobs, one alpha and one beta kill
+CAPACITY = 8
+SVC_SLOTS = 2
+WEIGHTS = {"alpha": 3.0, "beta": 1.0}
+SEED = 1
+FAIRNESS_BUDGET = 0.20  # tenant share vs weight, saturation window
+REGRESSION_BUDGET = 0.20  # makespan vs the checked-in baseline
+
+
+def _specs(rng: random.Random) -> list[JobSpec]:
+    """The deterministic 1000-job storm: ~90% p4, ~10% v2, some killed."""
+    specs = []
+    v2_seen = 0
+    for i in range(N_JOBS):
+        tenant = "alpha" if i % 2 == 0 else "beta"
+        nranks = rng.choice((1, 2, 2, 4))
+        if i % 20 in V2_SLOTS:
+            v2_seen += 1
+            if v2_seen % 8 in FAULTY_SLOTS:
+                # hot enough that the kill lands mid-traffic and recovery
+                # replays from a checkpoint plus logged events
+                specs.append(JobSpec(
+                    workload="token_ring", nranks=max(2, nranks),
+                    device="v2", tenant=tenant,
+                    params={"rounds": 200, "nbytes": 8192},
+                    checkpointing=True, ckpt_interval=0.05,
+                    fault={"kind": "kill", "rank": 1,
+                           "at": round(0.05 + 0.01 * (v2_seen % 5), 3)},
+                ))
+            else:
+                specs.append(JobSpec(
+                    workload="token_ring", nranks=nranks,
+                    device="v2", tenant=tenant,
+                    params={"rounds": rng.randint(10, 30),
+                            "nbytes": rng.choice((512, 1024, 2048))},
+                ))
+        else:
+            specs.append(JobSpec(
+                workload="token_ring", nranks=nranks,
+                device="p4", tenant=tenant,
+                params={"rounds": rng.randint(2, 6),
+                        "nbytes": rng.choice((256, 512, 1024))},
+            ))
+    return specs
+
+
+def _saturation_shares(handles) -> dict[str, float]:
+    """Rank-weighted admission share per tenant over the window where
+    every tenant still has queued jobs (admission order = start time)."""
+    remaining = {"alpha": 0, "beta": 0}
+    for h in handles:
+        remaining[h.spec.tenant] += 1
+    admitted = {"alpha": 0.0, "beta": 0.0}
+    for h in sorted(handles, key=lambda h: (h.start_t, h.job_id)):
+        admitted[h.spec.tenant] += h.spec.nranks
+        remaining[h.spec.tenant] -= 1
+        if remaining[h.spec.tenant] == 0:
+            break
+    total = sum(admitted.values())
+    return {t: admitted[t] / total for t in admitted}
+
+
+def measure_serve() -> dict:
+    rng = random.Random(SEED)
+    specs = _specs(rng)
+    plane = ControlPlane(
+        seed=SEED, capacity=CAPACITY, svc_slots=SVC_SLOTS, tenants=WEIGHTS,
+    )
+    handles = [plane.submit(spec) for spec in specs]
+    plane.drain()
+    summary = plane.finish()
+
+    shares = _saturation_shares(handles)
+    weight_total = sum(WEIGHTS.values())
+    per_tenant: dict[str, dict] = {}
+    for name, weight in WEIGHTS.items():
+        hs = [h for h in handles if h.spec.tenant == name]
+        waits = sorted(h.wait_s for h in hs)
+        per_tenant[name] = {
+            "weight": weight,
+            "fair_share": weight / weight_total,
+            "saturation_share": shares[name],
+            "jobs": len(hs),
+            "mean_wait_s": sum(waits) / len(waits),
+            "p95_wait_s": waits[int(0.95 * (len(waits) - 1))],
+        }
+    faulty = [
+        h for h in handles
+        if h.spec.fault is not None or h.result.restarts
+    ]
+    return {
+        "jobs": N_JOBS,
+        "capacity": CAPACITY,
+        "svc_slots": SVC_SLOTS,
+        "seed": SEED,
+        "completed": summary["completed"],
+        "timeouts": summary["timeouts"],
+        "audit_violations": summary["audit_violations"],
+        "makespan_s": summary["elapsed"],
+        "v2_jobs": sum(1 for h in handles if h.spec.device == "v2"),
+        "faulted_jobs": len(faulty),
+        "total_restarts": sum(h.result.restarts for h in handles),
+        "unrecovered_faults": sum(
+            1 for h in faulty if h.result.restarts < 1
+        ),
+        "tenants": per_tenant,
+        "fairness_budget": FAIRNESS_BUDGET,
+        "regression_budget": REGRESSION_BUDGET,
+    }
+
+
+def _load_baseline() -> dict:
+    """The checked-in result this run is gated against (may be absent)."""
+    if OUT_PATH.exists():
+        try:
+            return json.loads(OUT_PATH.read_text())
+        except (OSError, ValueError):
+            return {}
+    return {}
+
+
+def check_serve(out: dict, baseline: dict) -> list[str]:
+    """All budget violations as human-readable strings (empty = pass)."""
+    problems: list[str] = []
+    if out["completed"] != out["jobs"]:
+        problems.append(
+            f"only {out['completed']}/{out['jobs']} jobs completed"
+        )
+    if out["timeouts"]:
+        problems.append(f"{out['timeouts']} job(s) timed out")
+    if out["audit_violations"]:
+        problems.append(
+            f"{out['audit_violations']} cross-job audit violation(s) — "
+            f"namespace isolation broke"
+        )
+    if out["unrecovered_faults"]:
+        problems.append(
+            f"{out['unrecovered_faults']} killed job(s) never restarted"
+        )
+    for name, t in out["tenants"].items():
+        drift = abs(t["saturation_share"] - t["fair_share"])
+        if drift > FAIRNESS_BUDGET * t["fair_share"]:
+            problems.append(
+                f"tenant {name}: saturation share "
+                f"{t['saturation_share']:.3f} drifts >{FAIRNESS_BUDGET:.0%} "
+                f"from fair share {t['fair_share']:.3f}"
+            )
+    base_makespan = baseline.get("makespan_s")
+    if base_makespan:
+        limit = base_makespan * (1.0 + REGRESSION_BUDGET)
+        if out["makespan_s"] > limit:
+            problems.append(
+                f"makespan {out['makespan_s']:.2f}s regresses "
+                f">{REGRESSION_BUDGET:.0%} vs baseline {base_makespan:.2f}s"
+            )
+        out["baseline_makespan_s"] = base_makespan
+    return problems
+
+
+def _tenant_table(out: dict) -> str:
+    rows = [
+        [
+            name, t["weight"], t["jobs"], t["fair_share"],
+            t["saturation_share"], t["mean_wait_s"], t["p95_wait_s"],
+        ]
+        for name, t in sorted(out["tenants"].items())
+    ]
+    return format_table(
+        ["tenant", "weight", "jobs", "fair share", "sat share",
+         "mean wait s", "p95 wait s"],
+        rows,
+    )
+
+
+def bench_serve():
+    baseline = _load_baseline()
+    out = measure_serve()
+    problems = check_serve(out, baseline)
+    OUT_PATH.write_text(json.dumps(out, indent=2) + "\n")
+    rep = Report(
+        f"Serve - {out['jobs']}-job admission storm on "
+        f"{out['capacity']} CN / {out['svc_slots']} svc slots"
+    )
+    rep.add(_tenant_table(out))
+    rep.add(
+        f"{out['completed']}/{out['jobs']} jobs in {out['makespan_s']:.2f} "
+        f"simulated s ({out['v2_jobs']} on v2, {out['faulted_jobs']} "
+        f"killed and recovered with {out['total_restarts']} restarts); "
+        f"{out['audit_violations']} audit violations"
+    )
+    record_report(rep)
+    assert not problems, "; ".join(problems)
+
+
+if __name__ == "__main__":
+    baseline = _load_baseline()
+    out = measure_serve()
+    problems = check_serve(out, baseline)
+    OUT_PATH.write_text(json.dumps(out, indent=2) + "\n")
+    print(json.dumps(out, indent=2))
+    print(_tenant_table(out))
+    if problems:
+        for p in problems:
+            print(f"OVER BUDGET: {p}")
+        sys.exit(1)
+    print(
+        f"OK: {out['completed']}/{out['jobs']} jobs, "
+        f"{out['audit_violations']} violations, "
+        f"makespan {out['makespan_s']:.2f}s"
+    )
+    sys.exit(0)

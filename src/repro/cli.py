@@ -20,7 +20,10 @@ Commands mirror the workflows of the paper's evaluation:
 * ``mttr`` — run one kernel under churn faults and print the
   phase-decomposed recovery attribution ("where does recovery time
   go"): per-fault detect/respawn/fetch/el-download/resync/replay
-  durations, per-phase p50/p95, detection latency by source.
+  durations, per-phase p50/p95, detection latency by source;
+* ``serve`` — run a whole plan of jobs concurrently over one shared
+  cluster through the gang-scheduling control plane, with fair-share
+  tenancy and per-job audits (exit 1 on any violation).
 
 ``kernel``, ``faulty``, ``pingpong``, ``burst`` and ``stats`` also take
 ``--trace-out`` (Chrome trace-event JSON, or JSON lines when the path
@@ -77,7 +80,26 @@ def _parse_devices(spec: str) -> Optional[list[str]]:
     return devices
 
 
-def _add_store_flags(sp: argparse.ArgumentParser) -> None:
+KLASSES = ("T", "S", "A", "B", "C")
+
+
+def _workload_parent(
+    klass: str = "A", nprocs: int = 4, device: Optional[str] = "v2"
+) -> argparse.ArgumentParser:
+    """Parent parser: the shared kernel/--class/-n/--device block
+    (``device=None`` omits ``--device`` for commands pinned to v2)."""
+    sp = argparse.ArgumentParser(add_help=False)
+    sp.add_argument("name", choices=sorted(nas.KERNELS))
+    sp.add_argument("--class", dest="klass", default=klass, choices=KLASSES)
+    sp.add_argument("-n", "--nprocs", type=int, default=nprocs)
+    if device is not None:
+        sp.add_argument("--device", default=device, choices=DEVICES)
+    return sp
+
+
+def _store_parent() -> argparse.ArgumentParser:
+    """Parent parser: the shared EL / checkpoint-store deployment flags."""
+    sp = argparse.ArgumentParser(add_help=False)
     sp.add_argument(
         "--ckpt-servers", type=int, default=None, metavar="N",
         help="deploy N checkpoint-store replicas (default 1)",
@@ -105,6 +127,7 @@ def _add_store_flags(sp: argparse.ArgumentParser) -> None:
         help="run K replicas per event-logger shard; the WAITLOGGED "
              "gate clears on a majority quorum of acks (default 1)",
     )
+    return sp
 
 
 def _store_cfg(args: argparse.Namespace, cfg):
@@ -125,7 +148,9 @@ def _store_cfg(args: argparse.Namespace, cfg):
     return cfg.with_(**changes) if changes else cfg
 
 
-def _add_obs_flags(sp: argparse.ArgumentParser) -> None:
+def _obs_parent() -> argparse.ArgumentParser:
+    """Parent parser: the trace/metrics export and audit flags."""
+    sp = argparse.ArgumentParser(add_help=False)
     sp.add_argument(
         "--trace-out", default=None, metavar="PATH",
         help="write the run's trace (Chrome trace-event JSON; "
@@ -139,6 +164,7 @@ def _add_obs_flags(sp: argparse.ArgumentParser) -> None:
         "--audit", action="store_true",
         help="attach the online protocol auditor and print its verdict",
     )
+    return sp
 
 
 def _write_obs(args: argparse.Namespace, runs: list[tuple[str, Any]]) -> None:
@@ -611,6 +637,11 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 1 if res.audit.violations else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.cli import cmd_serve
+    return cmd_serve(args, _store_cfg, format_table)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for ``python -m repro``."""
     p = argparse.ArgumentParser(
@@ -618,35 +649,28 @@ def build_parser() -> argparse.ArgumentParser:
         description="MPICH-V2 reproduction: run the paper's experiments",
     )
     sub = p.add_subparsers(dest="command", required=True)
+    obs = _obs_parent()
+    store = _store_parent()
 
-    sp = sub.add_parser("pingpong", help="latency/bandwidth (Figures 5/6)")
+    sp = sub.add_parser("pingpong", parents=[obs],
+                        help="latency/bandwidth (Figures 5/6)")
     sp.add_argument("--sizes", default="0,1024,65536,1048576")
     sp.add_argument("--devices", default="p4,v1,v2")
     sp.add_argument("--reps", type=int, default=8)
-    _add_obs_flags(sp)
     sp.set_defaults(fn=_cmd_pingpong)
 
-    sp = sub.add_parser("burst", help="nonblocking burst bandwidth (Figure 9)")
+    sp = sub.add_parser("burst", parents=[obs],
+                        help="nonblocking burst bandwidth (Figure 9)")
     sp.add_argument("--sizes", default="1024,16384,65536")
     sp.add_argument("--reps", type=int, default=4)
-    _add_obs_flags(sp)
     sp.set_defaults(fn=_cmd_burst)
 
-    sp = sub.add_parser("kernel", help="run one NPB proxy")
-    sp.add_argument("name", choices=sorted(nas.KERNELS))
-    sp.add_argument("--class", dest="klass", default="A",
-                    choices=["T", "S", "A", "B", "C"])
-    sp.add_argument("-n", "--nprocs", type=int, default=4)
-    sp.add_argument("--device", default="v2", choices=DEVICES)
-    _add_store_flags(sp)
-    _add_obs_flags(sp)
+    sp = sub.add_parser("kernel", parents=[_workload_parent(), store, obs],
+                        help="run one NPB proxy")
     sp.set_defaults(fn=_cmd_kernel)
 
-    sp = sub.add_parser("faulty", help="kernel under faults (Figure 11 setup)")
-    sp.add_argument("name", choices=sorted(nas.KERNELS))
-    sp.add_argument("--class", dest="klass", default="A",
-                    choices=["T", "S", "A", "B", "C"])
-    sp.add_argument("-n", "--nprocs", type=int, default=4)
+    sp = sub.add_parser("faulty", parents=[_workload_parent(), store, obs],
+                        help="kernel under faults (Figure 11 setup)")
     sp.add_argument("--faults", type=int, default=3)
     sp.add_argument("--seed", type=int, default=0)
     sp.add_argument("--plan", default="random", choices=["random", "churn"],
@@ -663,39 +687,25 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="NAME@AT:DOWN[,..]",
                     help="crash service NAME (el:0, cs:0) at time AT for "
                          "DOWN seconds; durable state survives")
-    sp.add_argument("--device", default="v2", choices=DEVICES,
-                    help="must be v2 (the fault-tolerant device)")
-    _add_store_flags(sp)
-    _add_obs_flags(sp)
     sp.set_defaults(fn=_cmd_faulty)
 
     sp = sub.add_parser("sched", help="checkpoint-scheduling policies (§4.6.2)")
     sp.add_argument("--nodes", type=int, default=16)
     sp.set_defaults(fn=_cmd_sched)
 
-    sp = sub.add_parser("stats", help="mechanism-level metrics for one run")
-    sp.add_argument("name", choices=sorted(nas.KERNELS))
-    sp.add_argument("--class", dest="klass", default="A",
-                    choices=["T", "S", "A", "B", "C"])
-    sp.add_argument("-n", "--nprocs", type=int, default=4)
-    sp.add_argument("--device", default="v2", choices=DEVICES)
+    sp = sub.add_parser("stats", parents=[_workload_parent(), obs],
+                        help="mechanism-level metrics for one run")
     sp.add_argument("--prefix", default=None, metavar="NS",
                     help="only metrics under this namespace prefix "
                          "(e.g. el. / session. / store.)")
     sp.add_argument("--top", type=int, default=None, metavar="N",
                     help="only the N largest totals (default: all)")
-    _add_obs_flags(sp)
     sp.set_defaults(fn=_cmd_stats)
 
     sp = sub.add_parser(
-        "profile",
+        "profile", parents=[_workload_parent()],
         help="kernel-profiler overhead decomposition (where the time goes)",
     )
-    sp.add_argument("name", choices=sorted(nas.KERNELS))
-    sp.add_argument("--class", dest="klass", default="A",
-                    choices=["T", "S", "A", "B", "C"])
-    sp.add_argument("-n", "--nprocs", type=int, default=4)
-    sp.add_argument("--device", default="v2", choices=DEVICES)
     sp.add_argument("--seed", type=int, default=0)
     sp.add_argument("--top", type=int, default=10,
                     help="event kinds shown in the hot-kind table")
@@ -707,13 +717,9 @@ def build_parser() -> argparse.ArgumentParser:
     sp.set_defaults(fn=_cmd_profile)
 
     sp = sub.add_parser(
-        "mttr",
+        "mttr", parents=[_workload_parent(nprocs=8, device=None), store, obs],
         help="recovery attribution under churn (where recovery time goes)",
     )
-    sp.add_argument("name", choices=sorted(nas.KERNELS))
-    sp.add_argument("--class", dest="klass", default="A",
-                    choices=["T", "S", "A", "B", "C"])
-    sp.add_argument("-n", "--nprocs", type=int, default=8)
     sp.add_argument("--faults", type=int, default=4,
                     help="churn: maximum number of rank kills")
     sp.add_argument("--mean-lifetime", type=float, default=10.0,
@@ -731,18 +737,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the full attribution as JSON")
     sp.add_argument("--timeseries-out", default=None, metavar="PATH",
                     help="write the sampled time-series as JSON lines")
-    _add_store_flags(sp)
-    _add_obs_flags(sp)
     sp.set_defaults(fn=_cmd_mttr)
 
     sp = sub.add_parser(
-        "trace", help="run one kernel with tracing; export Chrome trace"
+        "trace", parents=[_workload_parent()],
+        help="run one kernel with tracing; export Chrome trace",
     )
-    sp.add_argument("name", choices=sorted(nas.KERNELS))
-    sp.add_argument("--class", dest="klass", default="A",
-                    choices=["T", "S", "A", "B", "C"])
-    sp.add_argument("-n", "--nprocs", type=int, default=4)
-    sp.add_argument("--device", default="v2", choices=DEVICES)
     sp.add_argument("--out", default="trace.json",
                     help="output path (*.jsonl writes JSON lines)")
     sp.add_argument("--faults", type=int, default=0)
@@ -753,13 +753,9 @@ def build_parser() -> argparse.ArgumentParser:
     sp.set_defaults(fn=_cmd_trace)
 
     sp = sub.add_parser(
-        "audit",
+        "audit", parents=[_workload_parent(klass="S", device=None)],
         help="check the V2 safety invariants live (exit 1 on violations)",
     )
-    sp.add_argument("name", choices=sorted(nas.KERNELS))
-    sp.add_argument("--class", dest="klass", default="S",
-                    choices=["T", "S", "A", "B", "C"])
-    sp.add_argument("-n", "--nprocs", type=int, default=4)
     sp.add_argument("--faults", type=int, default=0,
                     help="inject this many random faults (with checkpointing)")
     sp.add_argument("--fault-interval", type=float, default=5.0)
@@ -769,6 +765,23 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--hb-out", default=None, metavar="PATH",
                     help="write the happens-before graph as JSON")
     sp.set_defaults(fn=_cmd_audit)
+
+    sp = sub.add_parser(
+        "serve", parents=[store],
+        help="run a multi-job plan over one shared cluster (gang scheduling)",
+    )
+    sp.add_argument("--jobs", required=True, metavar="PLAN.json",
+                    help="plan file: tenants (with weights) and jobs")
+    sp.add_argument("--capacity", type=int, default=None, metavar="N",
+                    help="computing-node slots in the shared pool")
+    sp.add_argument("--svc-slots", type=int, default=None, metavar="N",
+                    help="service hosts (one per running v2 job)")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--limit", type=float, default=None, metavar="S",
+                    help="total simulated-seconds budget")
+    sp.add_argument("--json-out", default=None, metavar="PATH",
+                    help="write the per-job and per-tenant summary as JSON")
+    sp.set_defaults(fn=_cmd_serve)
 
     return p
 

@@ -50,10 +50,16 @@ class CheckpointClient:
         metrics: Optional[Metrics] = None,
         rng: Optional[Any] = None,
         on_retry: Optional[Callable[[int, float], None]] = None,
+        key: Optional[Any] = None,
     ) -> None:
         self.core = core
         self.sim = sim
         self.cfg = cfg
+        #: the identity this rank's images carry on the (possibly shared)
+        #: store.  Captured images stamp it into ``CheckpointImage.rank``
+        #: — the mem/hdr chunk digests derive from it, so two jobs with
+        #: identical footprints cannot collide on restore-critical chunks
+        self.key = core.rank if key is None else key
         self.requested = False
         self.seq = 0
         self.done = 0
@@ -78,6 +84,7 @@ class CheckpointClient:
             self.store = StoreClient(
                 sim, cfg, fabric, host, cs_names, rank,
                 tracer=self.tracer, metrics=m, rng=rng, on_retry=on_retry,
+                key=self.key,
             )
 
     # ------------------------------------------------------------------
@@ -120,7 +127,7 @@ class CheckpointClient:
         core = self.core
         self.seq += 1
         return CheckpointImage(
-            rank=core.rank,
+            rank=self.key,
             seq=self.seq,
             op_count=core.op_index,
             clock=core.clock.snapshot(),

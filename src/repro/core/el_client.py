@@ -90,10 +90,17 @@ class EventLogClient:
         rng: Optional[Any] = None,
         on_retry: Optional[Callable[[int, float], None]] = None,
         mutations: frozenset = frozenset(),
+        key: Optional[Any] = None,
     ) -> None:
         self.sim = sim
         self.cfg = cfg
         self.rank = rank
+        #: the identity this client stores events under on the (possibly
+        #: shared) EL servers.  Single-job runs use the bare rank; under
+        #: the control plane the job namespace supplies a job-qualified
+        #: key so N jobs share one shard without cross-talk.  Traces and
+        #: metrics keep the bare rank — they live in per-job registries.
+        self.key = rank if key is None else key
         if isinstance(el_names, str):
             el_names = [el_names]
         self.el_names = list(el_names)
@@ -276,7 +283,7 @@ class EventLogClient:
             try:
                 yield from end.write(
                     self.cfg.event_bytes * len(batch),
-                    ("EVENT", self.rank, batch),
+                    ("EVENT", self.key, batch),
                 )
             except (Disconnected, HostDown):
                 rep.reconnecting = False
@@ -375,7 +382,7 @@ class EventLogClient:
                 try:
                     yield from end.write(
                         self.cfg.event_bytes * len(batch),
-                        ("EVENT", self.rank, batch),
+                        ("EVENT", self.key, batch),
                     )
                 except (Disconnected, HostDown):
                     self._rep_down(rep, end)
@@ -466,7 +473,7 @@ class EventLogClient:
                     continue
                 try:
                     yield from end.write(
-                        16, ("DOWNLOAD", self.rank, from_rclock)
+                        16, ("DOWNLOAD", self.key, from_rclock)
                     )
                     reply = yield from rep.session.read_record(end)
                 except (Disconnected, HostDown):
@@ -501,7 +508,7 @@ class EventLogClient:
             if end is None:
                 continue
             try:
-                yield from end.write(16, ("PRUNE", self.rank, recv_seq))
+                yield from end.write(16, ("PRUNE", self.key, recv_seq))
             except Disconnected:
                 # PRUNE is a best-effort space optimization: un-pruned
                 # events only cost the (restarted) replica memory

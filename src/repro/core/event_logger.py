@@ -132,6 +132,17 @@ class EventLoggerServer(ServiceBase):
             self._resyncing = True
             self._spawn(self._resync(), f"{self.name}.resync")
 
+    def evict(self, ranks) -> None:
+        """Forget the given rank keys' events (a finished job's reclaim).
+
+        The control plane calls this per job at completion; co-resident
+        jobs' keys are untouched, so a long-lived shared shard does not
+        accumulate the history of every job it ever served.
+        """
+        for r in ranks:
+            self.events.pop(r, None)
+            self.rclock_hw.pop(r, None)
+
     # -- replica catch-up ----------------------------------------------------
     def _resync(self):
         """Re-fill a restarted replica's store from its live peers.

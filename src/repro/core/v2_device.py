@@ -71,6 +71,7 @@ class V2Daemon:
         metrics: Optional[Metrics] = None,
         mutations: Optional[frozenset] = None,
         rng: Optional[Any] = None,
+        job_key: Optional[Any] = None,
     ) -> None:
         self.sim = sim
         self.cfg = cfg
@@ -79,6 +80,11 @@ class V2Daemon:
         self.size = size
         self.host = host
         self.incarnation = incarnation
+        #: identity on *shared* infrastructure (EL shards, store
+        #: replicas): ``None`` means the bare rank — the single-job
+        #: deployment.  The control plane passes a job-qualified key so
+        #: N jobs' daemons share those services without cross-talk.
+        self.job_key = job_key
         if isinstance(el_names, str):
             el_names = (el_names,)
         #: every replica of this rank's EL shard (one = the classic EL)
@@ -141,7 +147,7 @@ class V2Daemon:
             sim, cfg, fabric, host, rank, self.el_names,
             spawn=self._spawn, tracer=self.tracer, metrics=m,
             rng=rng, on_retry=self._note_outage_retry,
-            mutations=self.mutations,
+            mutations=self.mutations, key=job_key,
         )
         self.peers = PeerManager(
             self, sim, fabric, host,
@@ -152,6 +158,7 @@ class V2Daemon:
             self, sim, cfg, fabric, host, self.cs_names,
             tracer=self.tracer, metrics=m,
             rng=rng, on_retry=self._note_outage_retry,
+            key=job_key,
         )
         self.ckpt.resize_regions(self.app_footprint)
         self.ctrl = ControlPlaneClient(

@@ -64,6 +64,7 @@ class CheckpointScheduler(ServiceBase):
         tracer: Optional[Tracer] = None,
         cs_names: tuple[str, ...] = (),
         metrics: Optional[Metrics] = None,
+        key_of: Optional[Any] = None,
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; pick from {POLICIES}")
@@ -88,6 +89,11 @@ class CheckpointScheduler(ServiceBase):
         # (CKPT_DONE only arrives once the write quorum committed), so it
         # owns the GC epochs broadcast to the store replicas
         self.cs_names = tuple(cs_names)
+        #: rank -> store key translation for the GC broadcast.  Daemons
+        #: report CKPT_DONE with their bare rank (the scheduler is per
+        #: job), but on a *shared* store the floors must name the
+        #: job-qualified keys the manifests were committed under.
+        self._key_of = key_of if key_of is not None else (lambda r: r)
         self.quorum_seq: dict[int, int] = {}
         self._gc_q: Queue = Queue(sim, name="sched.gcq")
         # persistent session per store replica (framed records, epochs,
@@ -173,7 +179,7 @@ class CheckpointScheduler(ServiceBase):
                 ok, _ = self._gc_q.try_get()
                 if not ok:
                     break
-            epoch = dict(self.quorum_seq)
+            epoch = {self._key_of(r): s for r, s in self.quorum_seq.items()}
             if not epoch:
                 continue
             for cs, sess in self._gc_sessions.items():

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from ..core.event_logger import EventLoggerServer
 from ..core.v2_device import V2Daemon, V2Device
 from ..mpi.api import MPI
 from ..obs.collect import finalize_job
@@ -32,7 +31,7 @@ from ..simnet.kernel import Future, Killed
 from ..simnet.node import Host
 from ..simnet.streams import Disconnected, StreamEnd
 from .ckpt_scheduler import CheckpointScheduler
-from .ckpt_server import CheckpointServer
+from .deploy import deploy_el_groups, deploy_store
 from .failure import ComposedFaults, FaultContext
 from .services import ServiceSupervisor
 
@@ -123,11 +122,24 @@ class Dispatcher:
         wipe_logs: Optional[Callable[[], None]] = None,
         mutations: Optional[frozenset] = None,
         supervisor: Optional[Any] = None,
+        tracer: Optional[Any] = None,
+        metrics: Optional[Any] = None,
+        job_key: Optional[Callable[[int], Any]] = None,
+        rng_ns: str = "",
     ) -> None:
         self.cluster = cluster
         self.sim = cluster.sim
         self.cfg = cluster.cfg
         self.fabric = fabric
+        # per-job observability: the control plane hands each dispatcher
+        # its job's own tracer/metrics so concurrent jobs never share a
+        # registry; a single-job deployment keeps the cluster's
+        self.tracer = tracer if tracer is not None else cluster.tracer
+        self.metrics = metrics if metrics is not None else cluster.metrics
+        #: rank -> identity on shared EL/store services (None = bare rank)
+        self.job_key = job_key
+        #: disambiguates named RNG streams when jobs share one registry
+        self.rng_ns = rng_ns
         self.host = host
         self.program = program
         self.params = params
@@ -147,7 +159,7 @@ class Dispatcher:
         self.total_restarts = 0
         self.global_restarts = 0
         self._global_restarting = False
-        m = cluster.metrics
+        m = self.metrics
         self._m_faults = m.counter("ft.faults")
         self._m_restarts = m.counter("ft.restarts")
         self._m_global_restarts = m.counter("ft.global_restarts")
@@ -165,7 +177,7 @@ class Dispatcher:
         # recoveries), kept as a time-weighted gauge for the sampler
         self.recovering: set[int] = set()
         self._m_recovering = m.gauge("disp.recovering")
-        cluster.tracer.subscribe(self._note_caught_up, kinds={"v2.caught_up"})
+        self.tracer.subscribe(self._note_caught_up, kinds={"v2.caught_up"})
         # heartbeat bookkeeping: last PING (or accept) per rank, and the
         # set of ranks whose link has gone quiet past hb_timeout —
         # partitioned-but-alive daemons the socket detector cannot see
@@ -173,7 +185,7 @@ class Dispatcher:
         self.suspects: set[int] = set()
         self.listener = _ControlListener(
             self, self.sim, host, fabric, "dispatcher",
-            tracer=cluster.tracer, metrics=cluster.metrics,
+            tracer=self.tracer, metrics=self.metrics,
         )
 
     # -- launch --------------------------------------------------------------
@@ -195,7 +207,7 @@ class Dispatcher:
         if rank in self.suspects:
             self.suspects.discard(rank)
             self._m_suspect.set(float(len(self.suspects)), self.sim.now)
-            self.cluster.tracer.emit(self.sim.now, "ft.suspect_clear", rank=rank)
+            self.tracer.emit(self.sim.now, "ft.suspect_clear", rank=rank)
 
     def _hb_monitor(self):
         """Flag ranks whose heartbeats stopped without a socket break.
@@ -216,7 +228,7 @@ class Dispatcher:
                     self.suspects.add(r)
                     self._m_suspected.inc()
                     self._m_suspect.set(float(len(self.suspects)), now)
-                    self.cluster.tracer.emit(
+                    self.tracer.emit(
                         now, "ft.suspect", rank=r, quiet_s=now - seen
                     )
 
@@ -238,7 +250,7 @@ class Dispatcher:
         self.host.register(p)
 
     def _global_restart(self):
-        self.cluster.tracer.emit(self.sim.now, "ft.global_restart")
+        self.tracer.emit(self.sim.now, "ft.global_restart")
         self._m_global_restarts.inc()
         # per-rank recovery arcs are superseded by the global one
         self.recovering.clear()
@@ -287,16 +299,17 @@ class Dispatcher:
             cs_names=self.cs_names,
             sched_name=self.sched_name,
             dispatcher_name="dispatcher",
-            tracer=self.cluster.tracer,
-            metrics=self.cluster.metrics,
+            tracer=self.tracer,
+            metrics=self.metrics,
             mutations=self.mutations,
-            rng=self.cluster.rng.stream(f"reconnect:d{rank}"),
+            rng=self.cluster.rng.stream(f"{self.rng_ns}reconnect:d{rank}"),
+            job_key=self.job_key(rank) if self.job_key is not None else None,
         )
         device = V2Device(
             self.sim, self.cfg, rank, self.nprocs, host, daemon,
-            tracer=self.cluster.tracer,
+            tracer=self.tracer,
         )
-        mpi = MPI(self.sim, rank, self.nprocs, device, tracer=self.cluster.tracer)
+        mpi = MPI(self.sim, rank, self.nprocs, device, tracer=self.tracer)
         st.daemon = daemon
         st.mpi = mpi
 
@@ -360,7 +373,7 @@ class Dispatcher:
         source = "heartbeat" if rank in self.suspects else "socket"
         latency = self.sim.now - t_crash
         self._m_detect_lat[source].observe(latency)
-        self.cluster.tracer.emit(
+        self.tracer.emit(
             self.sim.now, "ft.detect", rank=rank, source=source,
             latency_s=latency,
         )
@@ -379,7 +392,7 @@ class Dispatcher:
         self.total_restarts += 1
         self._m_restarts.inc()
         self._m_downtime.observe(self.sim.now - t_crash)
-        self.cluster.tracer.emit(
+        self.tracer.emit(
             self.sim.now, "ft.restart", rank=rank, incarnation=incarnation + 1,
             host=host.name,
         )
@@ -399,7 +412,7 @@ class Dispatcher:
             st = self.states[rank]
             if st.host is None or st.host.failed or self.done.done:
                 return False
-            self.cluster.tracer.emit(self.sim.now, "ft.fault", rank=rank)
+            self.tracer.emit(self.sim.now, "ft.fault", rank=rank)
             self._m_faults.inc()
             st.host.crash()
             return True
@@ -524,7 +537,6 @@ def run_v2_job(
 
     n_cs = max(1, cfg.ckpt_servers)
     n_event_loggers = max(n_event_loggers, cfg.el_servers)
-    n_el_replicas = max(1, cfg.el_replicas)
     if plan is None:
         service = cluster.add_aux("service")  # dispatcher + EL(s) + scheduler
         cs_hosts = [
@@ -562,51 +574,18 @@ def run_v2_job(
         sim, cfg, tracer=cluster.tracer, metrics=cluster.metrics
     )
 
-    # the EL replication group: n_event_loggers shards (ranks shard by
-    # rank % N), each kept as cfg.el_replicas service instances.  Replica
-    # 0 keeps the classic "el:<shard>" name (single-replica deployments
-    # and their fault plans are unchanged); extra replicas are
-    # "el:<shard>.<r>".  Each replica registers with the supervisor
-    # individually, so ServiceFaults can crash one replica of a shard.
-    el_groups: list[list[str]] = []
-    loggers = []
-    for s in range(n_event_loggers):
-        names = [
-            f"el:{s}" if r == 0 else f"el:{s}.{r}"
-            for r in range(n_el_replicas)
-        ]
-        for r, el_name in enumerate(names):
-            # replica 0 keeps the shard's classic placement; extra
-            # replicas each get their own machine — colocated replicas
-            # would share a NIC (and fate, under host faults), defeating
-            # the independence the replication group exists to buy
-            host = (
-                el_hosts[s]
-                if r == 0
-                else cluster.add_aux(f"el-host{s}.{r}", site=el_hosts[s].site)
-            )
-            el = EventLoggerServer(
-                sim, host, fabric, cfg, name=el_name,
-                tracer=cluster.tracer, metrics=cluster.metrics,
-                shard=s,
-                peer_names=tuple(n for n in names if n != el_name),
-            )
-            el.start()
-            loggers.append(el)
-            supervisor.register(el.name, el)
-        el_groups.append(names)
-
-    servers = []
-    for i in range(n_cs):
-        cs = CheckpointServer(
-            sim, cs_hosts[i], fabric, cfg, name=f"cs:{i}",
-            tracer=cluster.tracer, metrics=cluster.metrics,
-            mutations=mutations,
-        )
-        cs.start()
-        servers.append(cs)
-        supervisor.register(cs.name, cs)
-    cs_names = [s.name for s in servers]
+    # the EL replication group and the store replica set come from the
+    # shared deploy helpers, so the control plane (repro.serve) builds
+    # the exact same topology when it shares one deployment between
+    # many concurrent jobs
+    el_groups, loggers = deploy_el_groups(
+        cluster, fabric, cfg, el_hosts,
+        n_shards=n_event_loggers, supervisor=supervisor,
+    )
+    cs_names, servers = deploy_store(
+        cluster, fabric, cfg, cs_hosts,
+        supervisor=supervisor, mutations=mutations,
+    )
 
     sched_name = None
     scheduler = None

@@ -8,6 +8,12 @@ those floats, plus the per-rank device counters, into the cluster's
 :class:`~repro.obs.registry.Metrics`, then returns the per-rank stats
 dicts that :class:`~repro.runtime.results.JobResult` exposes.
 
+The two halves are separable because the control plane needs them
+separately: :func:`fold_cluster` folds the *shared* accounting (network,
+NICs, streams) exactly once per cluster, while :func:`fold_device_stats`
+folds one job's device counters into that job's own registry — called
+once per job over a shared cluster.
+
 The returned dicts are backward compatible: the device-stat keys
 (``bytes_sent``, ...) stay at top level, and the per-rank registry
 totals (``el.roundtrips``, ``gate.stall_s``, ``senderlog.bytes``, ...)
@@ -18,15 +24,16 @@ from __future__ import annotations
 
 from typing import Any
 
-__all__ = ["finalize_job"]
+__all__ = ["finalize_job", "fold_cluster", "fold_device_stats"]
 
 
-def finalize_job(
-    cluster: Any,
-    device_stats: dict[int, Any],
-    device: str,
-) -> dict[int, dict[str, Any]]:
-    """Fold residual accounting into ``cluster.metrics``; build rank stats."""
+def fold_cluster(cluster: Any) -> None:
+    """Fold shared network/NIC/stream accounting into ``cluster.metrics``.
+
+    Must run exactly once per cluster — the floats it drains are
+    cumulative, so folding per job on a shared cluster would double
+    count every byte the earlier jobs moved.
+    """
     m = cluster.metrics
     net = cluster.net
 
@@ -60,6 +67,13 @@ def finalize_job(
                         end.stall_count
                     )
 
+
+def fold_device_stats(
+    metrics: Any,
+    device_stats: dict[int, Any],
+    device: str,
+) -> dict[int, dict[str, Any]]:
+    """Fold one job's device counters into ``metrics``; build rank stats."""
     stats: dict[int, dict[str, Any]] = {}
     for rank, dev_stats in device_stats.items():
         snap = dev_stats.snapshot() if hasattr(dev_stats, "snapshot") else dict(
@@ -67,12 +81,24 @@ def finalize_job(
         )
         for key, value in snap.items():
             if value:
-                m.counter(f"dev.{key}", rank=rank, device=device).inc(value)
+                metrics.counter(f"dev.{key}", rank=rank, device=device).inc(
+                    value
+                )
         stats[rank] = dict(snap)
 
     # merge per-rank registry totals next to the raw device counters
-    for rank, totals in m.by_label("rank").items():
+    for rank, totals in metrics.by_label("rank").items():
         if rank in stats:
             for name, value in totals.items():
                 stats[rank].setdefault(name, value)
     return stats
+
+
+def finalize_job(
+    cluster: Any,
+    device_stats: dict[int, Any],
+    device: str,
+) -> dict[int, dict[str, Any]]:
+    """Fold residual accounting into ``cluster.metrics``; build rank stats."""
+    fold_cluster(cluster)
+    return fold_device_stats(cluster.metrics, device_stats, device)

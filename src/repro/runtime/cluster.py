@@ -42,17 +42,19 @@ class Cluster:
 
     # -- hosts -------------------------------------------------------------
     def add_cn(self, name: str, full_duplex: bool = True,
-               site: str = "site0") -> Host:
+               site: str = "site0", namespace: str = "") -> Host:
         """A computing node (volatile).
 
         ``full_duplex=False`` models the P4 driver, whose process does not
         service receptions while pushing a message.  ``site`` places the
         machine in a Grid deployment: traffic between sites runs over the
-        link's wide-area parameters.
+        link's wide-area parameters.  ``namespace`` prefixes the host
+        name, so two concurrent deployments on one cluster cannot claim
+        the same machine name (the network rejects duplicates).
         """
         host = Host(
             self.sim,
-            name,
+            namespace + name,
             cpu_flops=self.cfg.cn_flops,
             ram_bytes=self.cfg.cn_ram,
             swap_bytes=self.cfg.cn_swap,
@@ -63,11 +65,18 @@ class Cluster:
         )
         return self.net.add_host(host)
 
-    def add_aux(self, name: str, site: str = "site0") -> Host:
-        """An auxiliary machine (event logger / checkpoint server / ...)."""
+    def add_aux(self, name: str, site: str = "site0",
+                namespace: str = "") -> Host:
+        """An auxiliary machine (event logger / checkpoint server / ...).
+
+        ``namespace`` prefixes the host name exactly as for
+        :meth:`add_cn`: per-deployment EL / store / scheduler hosts must
+        carry their deployment's namespace or a second deployment on the
+        same cluster would collide on the shared network's host table.
+        """
         host = Host(
             self.sim,
-            name,
+            namespace + name,
             cpu_flops=self.cfg.aux_flops,
             ram_bytes=self.cfg.cn_ram,
             swap_bytes=self.cfg.cn_swap,

@@ -108,6 +108,12 @@ class TestbedConfig:
     el_servers: int = 1  # N: shards (logger groups) in the cluster
     el_replicas: int = 1  # K: replicas per shard (1 = the classic single EL)
 
+    # -- multi-job control plane (repro.serve) -------------------------------------
+    serve_capacity: int = 16  # computing-node slots in the shared pool
+    serve_svc_slots: int = 4  # service hosts (one per running v2 job)
+    serve_starve_s: float = 30.0  # reserve capacity for a head job this starved
+    serve_job_limit: float = 3600.0  # per-job simulated-seconds budget
+
     @property
     def el_quorum(self) -> int:
         """Majority write quorum per EL shard (K=3 -> 2; K=1 -> 1)."""

@@ -18,7 +18,7 @@ from ..simnet.node import Host, HostDown
 from ..simnet.streams import StreamEnd
 from .cluster import Cluster
 
-__all__ = ["Acceptor", "Fabric", "ConnectionRefused"]
+__all__ = ["Acceptor", "Fabric", "ScopedFabric", "ConnectionRefused"]
 
 
 class ConnectionRefused(Exception):
@@ -86,3 +86,42 @@ class Fabric:
             return stream.a
         acc.queue.put((stream.end_for(acc.host), hello))
         return stream.end_for(from_host)
+
+
+class ScopedFabric:
+    """A per-job view of a shared fabric: names are prefixed unless shared.
+
+    The control plane runs many jobs over one :class:`Fabric`; each job's
+    components see the naming service through this wrapper, so
+    "daemon:3", "dispatcher" or "sched:0" resolve to job-private names
+    (``j7/daemon:3``) while the shared infrastructure — event-logger
+    replicas, checkpoint-store replicas — passes through untranslated.
+    No component below this layer knows whether it runs alone or as one
+    tenant of many; the wrapper is the single interception point, just
+    as the fabric itself is for connection establishment.
+    """
+
+    def __init__(
+        self, fabric: Fabric, prefix: str, shared: frozenset = frozenset()
+    ) -> None:
+        self._fabric = fabric
+        self.cluster = fabric.cluster
+        self.prefix = prefix
+        self.shared = frozenset(shared)
+
+    def scoped(self, name: str) -> str:
+        """The shared-fabric name this scope maps ``name`` to."""
+        return name if name in self.shared else self.prefix + name
+
+    def listen(self, name: str, host: Host) -> Acceptor:
+        return self._fabric.listen(self.scoped(name), host)
+
+    def unlisten(self, name: str, acceptor: Acceptor) -> None:
+        self._fabric.unlisten(self.scoped(name), acceptor)
+
+    def connect(
+        self, from_host: Host, name: str, hello: Any = None, window: Optional[int] = None
+    ) -> StreamEnd:
+        return self._fabric.connect(
+            from_host, self.scoped(name), hello=hello, window=window
+        )

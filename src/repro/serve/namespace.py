@@ -1,0 +1,107 @@
+"""Per-job identity over shared infrastructure.
+
+One control plane runs many jobs over a single simulated cluster, a
+single fabric name table, and shared event-logger / checkpoint-store
+deployments.  Everything those share is keyed, and the key is the
+:class:`JobNamespace`:
+
+* **fabric names** — each job sees the fabric through a
+  :class:`~repro.runtime.fabric.ScopedFabric` that prefixes every
+  service name with ``j<id>/`` except the shared ones (the plane's EL
+  shards and store replicas), so two dispatchers both listening on
+  ``"dispatcher"`` land on different names instead of silently stealing
+  each other's listeners;
+* **server-side state** — the EL and store servers key their state by
+  whatever opaque "rank" value the client sent; the namespace's
+  :meth:`~JobNamespace.key` turns a job's rank ``r`` into the tuple
+  ``("j<id>", r)`` so co-resident jobs' events, manifests and GC floors
+  never collide (and a finished job's keys can be evicted precisely);
+* **traces** — the shared servers emit onto the *cluster* tracer with
+  tuple-keyed ranks; the :class:`TraceRouter` translates those back to
+  bare ranks and forwards each record into the owning job's private
+  tracer, so per-job auditors and MTTR attribution see exactly the
+  stream a dedicated deployment would have produced.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..runtime.fabric import Fabric, ScopedFabric
+from ..simnet.trace import Tracer
+
+__all__ = ["JobNamespace", "TraceRouter"]
+
+
+class JobNamespace:
+    """The identity of one job on the shared cluster."""
+
+    def __init__(self, job_id: int) -> None:
+        self.job_id = job_id
+        #: opaque tag carried in server-side keys ("j3")
+        self.tag = f"j{job_id}"
+        #: fabric-name prefix ("j3/") — also the job's RNG-stream prefix
+        self.prefix = f"{self.tag}/"
+
+    def key(self, rank: int) -> tuple:
+        """The rank's identity on shared EL/store services."""
+        return (self.tag, rank)
+
+    def fabric_view(self, fabric: Fabric, shared: frozenset) -> ScopedFabric:
+        """The job's view of the shared fabric (``shared`` passes through)."""
+        return ScopedFabric(fabric, self.prefix, shared=shared)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JobNamespace({self.tag})"
+
+
+class TraceRouter:
+    """Demultiplex shared-service trace events into per-job tracers.
+
+    The shared EL and store servers emit onto the cluster tracer with
+    the namespaced tuple keys in their ``rank`` field.  The router
+    subscribes to exactly those kinds, translates the tuple back to the
+    job's bare rank, and re-emits into the owning job's tracer — which
+    is where that job's online auditor and (when tracing) its retained
+    records live.  ``store.gc`` carries no rank (a sweep may free many
+    jobs' garbage at once) and is broadcast to every registered job:
+    each auditor checks the dropped digests against *its own* manifests,
+    so a sweep of job A's chunks can never raise a violation in job B.
+    """
+
+    #: the shared-service kinds worth routing (everything else a job
+    #: needs is emitted by its own components, directly onto its tracer)
+    KINDS = frozenset({"el.store", "el.download", "store.commit", "store.gc"})
+
+    def __init__(self, tracer: Tracer) -> None:
+        self._cluster_tracer = tracer
+        self._jobs: dict[str, Tracer] = {}
+        tracer.subscribe(self._route, kinds=self.KINDS)
+
+    def register(self, tag: str, tracer: Tracer) -> None:
+        """Start routing ``tag``'s shared-service events to ``tracer``."""
+        self._jobs[tag] = tracer
+
+    def unregister(self, tag: str) -> None:
+        """Stop routing for a finished job."""
+        self._jobs.pop(tag, None)
+
+    def close(self) -> None:
+        """Detach from the cluster tracer (plane shutdown)."""
+        self._cluster_tracer.unsubscribe(self._route)
+        self._jobs.clear()
+
+    def _route(self, time: float, kind: str, fields: dict) -> None:
+        if kind == "store.gc":
+            for tracer in self._jobs.values():
+                tracer.emit(time, kind, **fields)
+            return
+        rank = fields.get("rank")
+        job: Optional[Any] = None
+        if isinstance(rank, tuple) and len(rank) == 2:
+            job = self._jobs.get(rank[0])
+            if job is not None:
+                fields = dict(fields)
+                fields["rank"] = rank[1]
+        if job is not None:
+            job.emit(time, kind, **fields)

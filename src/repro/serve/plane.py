@@ -1,0 +1,612 @@
+"""The gang-scheduling control plane: many jobs, one shared cluster.
+
+A :class:`ControlPlane` owns one simulated cluster and runs a stream of
+MPI jobs over it concurrently:
+
+* **admission queue + gang scheduler** — a job launches only when *all*
+  its ranks (plus, for v2 jobs, one service host for its dispatcher and
+  checkpoint scheduler) fit in the shared pools; never a partial gang.
+  Among tenants the queue is fair-share — the tenant with the lowest
+  rank-weighted service per unit weight goes first — and FIFO within a
+  tenant.  A head job that cannot fit does not let later jobs of its
+  tenant leapfrog it, and once it has starved past
+  ``cfg.serve_starve_s`` the plane reserves draining capacity for it
+  instead of admitting smaller jobs around it.
+* **shared services, namespaced state** — every job talks to the same
+  event-logger shards and checkpoint-store replicas, but under its
+  :class:`~repro.serve.namespace.JobNamespace`: fabric names are
+  prefixed per job, and EL/store keys (including GC floors) carry the
+  job tag, so checkpoints, logged events and garbage collection never
+  cross job boundaries.  A finished job's keys are evicted.
+* **isolated supervision** — each v2 job gets its own
+  :class:`~repro.ft.dispatcher.Dispatcher` with its own tracer, metrics
+  registry and online auditor, so a rank kill in one job is detected,
+  restarted and audited entirely inside that job while co-resident jobs
+  keep running.
+
+The plane itself is reachable over the wire: a
+:class:`~repro.runtime.session.ServiceBase` listener on ``plane:0``
+accepts ``SUBMIT``/``WAIT`` records, mirroring the programmatic
+:meth:`ControlPlane.submit` / :meth:`ControlPlane.wait` API.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from ..ft.ckpt_scheduler import CheckpointScheduler
+from ..ft.deploy import deploy_el_groups, deploy_store
+from ..ft.dispatcher import Dispatcher
+from ..ft.failure import ComposedFaults
+from ..ft.services import ServiceSupervisor
+from ..mpi.api import MPI
+from ..obs.collect import fold_cluster, fold_device_stats
+from ..obs.registry import Metrics
+from ..runtime.cluster import Cluster
+from ..runtime.config import DEFAULT_TESTBED, TestbedConfig
+from ..runtime.fabric import Fabric
+from ..runtime.results import JobResult
+from ..runtime.session import ServiceBase
+from ..simnet.kernel import Future, all_of, any_of
+from ..simnet.streams import Disconnected
+from ..simnet.trace import Tracer
+from .namespace import JobNamespace, TraceRouter
+from .plan import JobSpec, resolve_fault, resolve_program
+
+__all__ = ["ControlPlane", "JobHandle", "Tenant"]
+
+
+class Tenant:
+    """One fair-share principal: a weight, a FIFO queue, service served."""
+
+    def __init__(self, name: str, weight: float = 1.0) -> None:
+        if weight <= 0:
+            raise ValueError(f"tenant {name!r} needs a positive weight")
+        self.name = name
+        self.weight = weight
+        self.queue: deque[JobHandle] = deque()
+        #: rank-weighted service admitted so far (the fair-share deficit
+        #: denominator: next goes the tenant minimizing served/weight)
+        self.served = 0.0
+        self.completed = 0
+
+
+class JobHandle:
+    """The submitter's view of one job: identity, state, completion."""
+
+    def __init__(self, job_id: int, spec: JobSpec, done: Future) -> None:
+        self.job_id = job_id
+        self.spec = spec
+        self.done = done  # resolves with the JobResult
+        self.state = "created"  # created -> queued -> running -> done
+        self.submit_t: Optional[float] = None
+        self.start_t: Optional[float] = None
+        self.result: Optional[JobResult] = None
+
+    @property
+    def wait_s(self) -> Optional[float]:
+        """Queue wait (admission minus submission), once admitted."""
+        if self.submit_t is None or self.start_t is None:
+            return None
+        return self.start_t - self.submit_t
+
+
+class _PlaneListener(ServiceBase):
+    """The plane's wire API: SUBMIT a job spec, WAIT on a job id."""
+
+    metric_ns = "plane"
+
+    def __init__(self, plane: "ControlPlane", *args: Any, **kw: Any) -> None:
+        super().__init__(*args, **kw)
+        self.plane = plane
+
+    def _serve(self, end, hello):
+        while True:
+            try:
+                msg = yield from self._read_record(end)
+            except Disconnected:
+                return
+            kind = msg[0]
+            if kind == "SUBMIT":
+                spec = msg[1]
+                if isinstance(spec, dict):
+                    spec = JobSpec(**spec)
+                handle = self.plane.submit(spec)
+                try:
+                    yield from end.write(64, ("JOB", handle.job_id))
+                except Disconnected:
+                    return
+            elif kind == "WAIT":
+                handle = self.plane.handles.get(msg[1])
+                if handle is None:
+                    reply = ("ERR", f"unknown job {msg[1]!r}")
+                else:
+                    if not handle.done.done:
+                        yield handle.done
+                    reply = ("DONE", handle.job_id, handle.state)
+                try:
+                    yield from end.write(64, reply)
+                except Disconnected:
+                    return
+            else:
+                self._protocol_error(f"plane got {kind!r}")
+                return
+
+
+class ControlPlane:
+    """Run many jobs concurrently over one shared simulated cluster."""
+
+    def __init__(
+        self,
+        cfg: TestbedConfig = DEFAULT_TESTBED,
+        seed: int = 0,
+        capacity: Optional[int] = None,
+        svc_slots: Optional[int] = None,
+        trace: bool = False,
+        tenants: Optional[dict[str, float]] = None,
+    ) -> None:
+        self.cfg = cfg
+        self.capacity = capacity if capacity is not None else cfg.serve_capacity
+        self.svc_slots = (
+            svc_slots if svc_slots is not None else cfg.serve_svc_slots
+        )
+        self.cluster = Cluster(cfg, seed=seed, trace=trace)
+        self.sim = self.cluster.sim
+        self.fabric = Fabric(self.cluster)
+        #: the plane's own registry (admission/tenant metrics; never a
+        #: job's — each job gets a private Metrics at admission)
+        self.metrics = self.cluster.metrics
+
+        # host pools: CN slots for rank gangs, service hosts for per-job
+        # dispatchers + checkpoint schedulers (v2 jobs take one each)
+        self.plane_host = self.cluster.add_aux("plane")
+        self._free_cn = [
+            self.cluster.add_cn(f"cn{i}") for i in range(self.capacity)
+        ]
+        self._free_svc = [
+            self.cluster.add_aux(f"svc{i}") for i in range(self.svc_slots)
+        ]
+
+        # shared services, deployed once (same topology helpers as a
+        # dedicated run_v2_job deployment)
+        self.supervisor = ServiceSupervisor(
+            self.sim, cfg,
+            tracer=self.cluster.tracer, metrics=self.cluster.metrics,
+        )
+        n_shards = max(1, cfg.el_servers)
+        el_hosts = [
+            self.cluster.add_aux(f"el-host{s}") for s in range(n_shards)
+        ]
+        self.el_groups, self.loggers = deploy_el_groups(
+            self.cluster, self.fabric, cfg, el_hosts,
+            n_shards=n_shards, supervisor=self.supervisor,
+        )
+        cs_hosts = [
+            self.cluster.add_aux("cs-host" if i == 0 else f"cs-host{i}")
+            for i in range(max(1, cfg.ckpt_servers))
+        ]
+        self.cs_names, self.servers = deploy_store(
+            self.cluster, self.fabric, cfg, cs_hosts,
+            supervisor=self.supervisor,
+        )
+        #: fabric names every job may address un-prefixed
+        self.shared_names = (
+            frozenset(n for g in self.el_groups for n in g)
+            | frozenset(self.cs_names)
+            | frozenset({"plane:0"})
+        )
+        self.router = TraceRouter(self.cluster.tracer)
+        self.listener = _PlaneListener(
+            self, self.sim, self.plane_host, self.fabric, "plane:0",
+            tracer=self.cluster.tracer, metrics=self.metrics,
+        )
+        self.listener.start()
+
+        self.tenants: dict[str, Tenant] = {}
+        for name, weight in (tenants or {}).items():
+            self.add_tenant(name, weight)
+        self.handles: dict[int, JobHandle] = {}
+        self._next_id = 0
+        self._running: set[int] = set()
+        m = self.metrics
+        self._m_running = m.gauge("serve.running")
+        self._m_queued = m.gauge("serve.queued")
+        self._finished = False
+
+    # -- tenants -------------------------------------------------------------
+    def add_tenant(self, name: str, weight: float = 1.0) -> Tenant:
+        """Register a fair-share principal (idempotent on the name)."""
+        tenant = self.tenants.get(name)
+        if tenant is None:
+            tenant = self.tenants[name] = Tenant(name, weight)
+        return tenant
+
+    # -- submission ----------------------------------------------------------
+    def submit(self, spec: JobSpec, at: Optional[float] = None) -> JobHandle:
+        """Queue a job (optionally at a future simulated time)."""
+        if self._finished:
+            raise RuntimeError("the control plane has been finished")
+        if spec.nranks > self.capacity:
+            raise ValueError(
+                f"job needs {spec.nranks} ranks; the pool has {self.capacity}"
+            )
+        handle = JobHandle(
+            self._next_id, spec, Future(self.sim, name=f"job{self._next_id}")
+        )
+        self._next_id += 1
+        self.handles[handle.job_id] = handle
+        if at is None or at <= self.sim.now:
+            self._enqueue(handle)
+        else:
+            self.sim.at(at, lambda: self._enqueue(handle))
+        return handle
+
+    def _enqueue(self, handle: JobHandle) -> None:
+        spec = handle.spec
+        tenant = self.add_tenant(spec.tenant)
+        handle.submit_t = self.sim.now
+        handle.state = "queued"
+        tenant.queue.append(handle)
+        self.metrics.counter("serve.submitted", tenant=tenant.name).inc()
+        self.cluster.tracer.emit(
+            self.sim.now, "serve.submit",
+            job=handle.job_id, tenant=tenant.name, nranks=spec.nranks,
+        )
+        self._pump()
+
+    # -- the gang scheduler --------------------------------------------------
+    def _fits(self, spec: JobSpec) -> bool:
+        if len(self._free_cn) < spec.nranks:
+            return False
+        return spec.device != "v2" or len(self._free_svc) >= 1
+
+    def _pick(self) -> Optional[Tenant]:
+        """The tenant whose head job is admitted next (None = nothing).
+
+        Tenants with queued work are visited in fair-share order —
+        lowest ``served / weight`` first, name as the tie-break — and
+        within a tenant strictly FIFO (its head blocks its later jobs).
+        If a more-deserving tenant's head does not fit *and* has starved
+        past ``serve_starve_s``, nothing behind it is admitted either:
+        the capacity now draining is reserved for it.
+        """
+        backlog = [t for t in self.tenants.values() if t.queue]
+        backlog.sort(key=lambda t: (t.served / t.weight, t.name))
+        for tenant in backlog:
+            head = tenant.queue[0]
+            if self._fits(head.spec):
+                return tenant
+            starved_s = self.sim.now - (head.submit_t or 0.0)
+            if starved_s > self.cfg.serve_starve_s:
+                return None
+        return None
+
+    def _pump(self) -> None:
+        while True:
+            tenant = self._pick()
+            if tenant is None:
+                break
+            self._admit(tenant, tenant.queue.popleft())
+        self._m_queued.set(
+            float(sum(len(t.queue) for t in self.tenants.values())),
+            self.sim.now,
+        )
+
+    def _admit(self, tenant: Tenant, handle: JobHandle) -> None:
+        spec = handle.spec
+        cn_hosts = [self._free_cn.pop() for _ in range(spec.nranks)]
+        svc_host = self._free_svc.pop() if spec.device == "v2" else None
+        tenant.served += spec.nranks
+        handle.start_t = self.sim.now
+        handle.state = "running"
+        self._running.add(handle.job_id)
+        m = self.metrics
+        m.counter("serve.admitted", tenant=tenant.name).inc()
+        m.counter("serve.ranks_admitted", tenant=tenant.name).inc(spec.nranks)
+        m.histogram("serve.wait_s", tenant=tenant.name).observe(
+            handle.wait_s or 0.0
+        )
+        self._m_running.set(float(len(self._running)), self.sim.now)
+        self.cluster.tracer.emit(
+            self.sim.now, "serve.admit",
+            job=handle.job_id, tenant=tenant.name, nranks=spec.nranks,
+            wait_s=handle.wait_s,
+        )
+        driver = (
+            self._run_v2(handle, cn_hosts, svc_host)
+            if spec.device == "v2"
+            else self._run_p4(handle, cn_hosts)
+        )
+        proc = self.sim.spawn(driver, name=f"serve.job{handle.job_id}")
+        self.plane_host.register(proc)
+
+    # -- job drivers ---------------------------------------------------------
+    def _run_v2(self, handle: JobHandle, cn_hosts: list, svc_host):
+        sim = self.sim
+        spec = handle.spec
+        ns = JobNamespace(handle.job_id)
+        program, params = resolve_program(spec)
+        job_tracer = Tracer(enabled=spec.trace)
+        job_metrics = Metrics()
+        auditor = None
+        if spec.audit:
+            from ..obs.audit import ProtocolAuditor
+
+            auditor = ProtocolAuditor().attach(job_tracer)
+        self.router.register(ns.tag, job_tracer)
+        fabric = ns.fabric_view(self.fabric, self.shared_names)
+
+        scheduler = None
+        sched_name = None
+        if spec.checkpointing:
+            scheduler = CheckpointScheduler(
+                sim, svc_host, fabric, self.cfg, spec.nranks,
+                interval=spec.ckpt_interval,
+                rng=self.cluster.rng.stream(f"{ns.prefix}ckpt-sched"),
+                tracer=job_tracer, metrics=job_metrics,
+                cs_names=tuple(self.cs_names),
+                key_of=ns.key,
+            )
+            scheduler.start()
+            sched_name = "sched:0"  # scoped per job by the fabric view
+
+        keys = [ns.key(r) for r in range(spec.nranks)]
+
+        def wipe_logs() -> None:
+            # a global restart wipes *this job's* logged history only
+            for el in self.loggers:
+                el.evict(keys)
+            for srv in self.servers:
+                srv.evict(keys)
+            if scheduler is not None:
+                scheduler.reset_store_state()
+
+        dispatcher = Dispatcher(
+            self.cluster, fabric, svc_host, program, params, spec.nranks,
+            cn_hosts, [], self.el_groups, sched_name, list(self.cs_names),
+            wipe_logs=wipe_logs,
+            tracer=job_tracer, metrics=job_metrics,
+            job_key=ns.key, rng_ns=ns.prefix,
+        )
+        dispatcher.start()
+
+        fault = resolve_fault(spec)
+        if fault is not None:
+            if isinstance(fault, (list, tuple)):
+                fault = ComposedFaults(tuple(fault))
+            proc = sim.spawn(
+                fault.driver(dispatcher.fault_context()),
+                name=f"{ns.tag}.faults",
+            )
+            svc_host.register(proc)
+
+        limit = spec.limit if spec.limit is not None else self.cfg.serve_job_limit
+        yield any_of(sim, [dispatcher.done, sim.timeout(limit)])
+        timed_out = not dispatcher.done.done
+
+        # teardown, in dependency order: resolve `done` first so every
+        # crash callback / monitor loop guard sees a finished job, then
+        # withdraw the control listener, then reclaim the machines
+        dispatcher.done.resolve_if_pending(None)
+        dispatcher.stop("job-complete")
+        if scheduler is not None:
+            scheduler.stop("job-complete")
+        for host in cn_hosts:
+            host.crash()  # kills any leftover daemon processes
+            host.on_crash.clear()  # stale dispatcher callbacks
+            host.restart()
+        # stop routing before evicting: the reclaim's store.gc sweep is
+        # end-of-job bookkeeping, not part of the job's audited history
+        self.router.unregister(ns.tag)
+        for el in self.loggers:
+            el.evict(keys)
+        for srv in self.servers:
+            srv.evict(keys)
+
+        device_stats = {
+            st.rank: st.mpi.device.stats
+            for st in dispatcher.states
+            if st.mpi is not None
+        }
+        stats = fold_device_stats(job_metrics, device_stats, "v2")
+        report = auditor.finish() if auditor is not None else None
+        results = dispatcher.done.value if not timed_out else []
+        start_t = handle.start_t or 0.0
+        elapsed = (
+            max(st.finish_time for st in dispatcher.states) - start_t
+            if not timed_out
+            else sim.now - start_t
+        )
+        result = JobResult(
+            nprocs=spec.nranks,
+            device="v2",
+            elapsed=elapsed,
+            results=results or [],
+            timers={
+                st.rank: st.mpi.timer
+                for st in dispatcher.states
+                if st.mpi is not None
+            },
+            tracer=job_tracer,
+            stats=stats,
+            restarts=dispatcher.total_restarts,
+            checkpoints=int(job_metrics.total("ckpt.images")),
+            metrics=job_metrics,
+            audit=report,
+            extras={
+                "job_id": handle.job_id,
+                "tenant": spec.tenant,
+                "namespace": ns.tag,
+                "timed_out": timed_out,
+                "wait_s": handle.wait_s,
+                "global_restarts": dispatcher.global_restarts,
+                "mttr": self._mttr(job_tracer, spec),
+                "faults": fault,
+            },
+        )
+        self._release(handle, result, cn_hosts, svc_host)
+
+    def _run_p4(self, handle: JobHandle, cn_hosts: list):
+        from ..devices.p4 import P4Device
+        from ..runtime.mpirun import rank_main
+
+        sim = self.sim
+        spec = handle.spec
+        ns = JobNamespace(handle.job_id)
+        program, params = resolve_program(spec)
+        job_tracer = Tracer(enabled=spec.trace)
+        job_metrics = Metrics()
+        auditor = None
+        if spec.audit:
+            from ..obs.audit import ProtocolAuditor
+
+            auditor = ProtocolAuditor().attach(job_tracer)
+
+        # the P4 driver's process cannot service receptions while pushing
+        for host in cn_hosts:
+            host.full_duplex = False
+        n = spec.nranks
+        devices = [
+            P4Device(sim, self.cfg, r, n, cn_hosts[r], tracer=job_tracer)
+            for r in range(n)
+        ]
+        ends: list[dict[int, Any]] = [dict() for _ in range(n)]
+        for i in range(n):
+            for j in range(i + 1, n):
+                s = self.cluster.connect(cn_hosts[i], cn_hosts[j])
+                ends[i][j] = s.end_for(cn_hosts[i])
+                ends[j][i] = s.end_for(cn_hosts[j])
+        for r in range(n):
+            devices[r].wire(ends[r])
+        mpis = [
+            MPI(sim, r, n, devices[r], tracer=job_tracer) for r in range(n)
+        ]
+        procs = []
+        for r in range(n):
+            p = sim.spawn(
+                rank_main(mpis[r], program, params), name=f"{ns.tag}.rank{r}"
+            )
+            cn_hosts[r].register(p)
+            procs.append(p)
+
+        done = all_of(sim, [p.done for p in procs])
+        limit = spec.limit if spec.limit is not None else self.cfg.serve_job_limit
+        yield any_of(sim, [done, sim.timeout(limit)])
+        timed_out = not done.done
+
+        # reclaim: crash kills straggler processes and breaks the job's
+        # streams; restart hands the machine back clean
+        for host in cn_hosts:
+            host.crash()
+            host.on_crash.clear()
+            host.restart()
+            host.full_duplex = True
+
+        stats = fold_device_stats(
+            job_metrics, {r: devices[r].stats for r in range(n)}, "p4"
+        )
+        report = auditor.finish() if auditor is not None else None
+        outcome = done.value if not timed_out else [(sim.now, None)] * n
+        result = JobResult(
+            nprocs=n,
+            device="p4",
+            elapsed=max(t for t, _ in outcome) - (handle.start_t or 0.0),
+            results=[res for _, res in outcome],
+            timers={r: mpis[r].timer for r in range(n)},
+            tracer=job_tracer,
+            stats=stats,
+            metrics=job_metrics,
+            audit=report,
+            extras={
+                "job_id": handle.job_id,
+                "tenant": spec.tenant,
+                "namespace": ns.tag,
+                "timed_out": timed_out,
+                "wait_s": handle.wait_s,
+            },
+        )
+        self._release(handle, result, cn_hosts, None)
+
+    @staticmethod
+    def _mttr(job_tracer: Tracer, spec: JobSpec) -> Optional[Any]:
+        if not spec.trace:
+            return None
+        from ..obs.timeline import RecoveryAttribution
+
+        return RecoveryAttribution.from_trace(job_tracer)
+
+    # -- completion ----------------------------------------------------------
+    def _release(
+        self,
+        handle: JobHandle,
+        result: JobResult,
+        cn_hosts: list,
+        svc_host,
+    ) -> None:
+        self._free_cn.extend(cn_hosts)
+        if svc_host is not None:
+            self._free_svc.append(svc_host)
+        self._running.discard(handle.job_id)
+        tenant = self.tenants[handle.spec.tenant]
+        tenant.completed += 1
+        m = self.metrics
+        m.counter("serve.completed", tenant=tenant.name).inc()
+        if result.extras.get("timed_out"):
+            m.counter("serve.timeouts", tenant=tenant.name).inc()
+        if result.audit is not None and not result.audit.clean:
+            m.counter("serve.audit_violations", tenant=tenant.name).inc(
+                len(result.audit.violations)
+            )
+        m.histogram("serve.job_s", tenant=tenant.name).observe(result.elapsed)
+        self._m_running.set(float(len(self._running)), self.sim.now)
+        self.cluster.tracer.emit(
+            self.sim.now, "serve.done",
+            job=handle.job_id, tenant=tenant.name,
+            elapsed=result.elapsed, restarts=result.restarts,
+            timed_out=bool(result.extras.get("timed_out")),
+        )
+        handle.result = result
+        handle.state = "done"
+        handle.done.resolve(result)
+        self._pump()
+
+    # -- blocking API --------------------------------------------------------
+    def wait(
+        self, handle: JobHandle, limit: Optional[float] = None
+    ) -> JobResult:
+        """Drive the simulation until ``handle``'s job completes."""
+        return self.sim.run_until(handle.done, limit=limit)
+
+    def drain(self, limit: Optional[float] = None) -> list[JobResult]:
+        """Drive the simulation until every submitted job completes."""
+        pending = all_of(
+            self.sim, [h.done for h in self.handles.values()]
+        )
+        return self.sim.run_until(pending, limit=limit)
+
+    def finish(self) -> dict[str, Any]:
+        """Stop the plane and report the multi-tenant summary."""
+        if not self._finished:
+            self._finished = True
+            self.listener.stop("plane-shutdown")
+            self.router.close()
+            fold_cluster(self.cluster)
+        m = self.metrics
+        violations = int(m.total("serve.audit_violations", default=0.0))
+        return {
+            "jobs": self._next_id,
+            "completed": sum(t.completed for t in self.tenants.values()),
+            "timeouts": int(m.total("serve.timeouts", default=0.0)),
+            "audit_violations": violations,
+            "tenants": {
+                name: {
+                    "weight": t.weight,
+                    "served_ranks": t.served,
+                    "completed": t.completed,
+                    "queued": len(t.queue),
+                }
+                for name, t in sorted(self.tenants.items())
+            },
+            "elapsed": self.sim.now,
+        }

@@ -66,6 +66,7 @@ class StoreClient:
         metrics: Optional[Metrics] = None,
         rng: Optional[Any] = None,
         on_retry: Optional[Callable[[int, float], None]] = None,
+        key: Optional[Any] = None,
     ) -> None:
         self.sim = sim
         self.cfg = cfg
@@ -73,6 +74,11 @@ class StoreClient:
         self.host = host
         self.names = tuple(names)
         self.rank = rank
+        #: the identity images are stored under on the (possibly shared)
+        #: replicas: the bare rank alone, a job-qualified key under the
+        #: control plane.  Manifests carry the same key in their ``rank``
+        #: field, so HEAD/FETCH and GC floors select this job's images.
+        self.key = rank if key is None else key
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self._rng = rng
         self._on_retry = on_retry
@@ -186,12 +192,15 @@ class StoreClient:
         try:
             if prev is not None and not prev.done:
                 yield prev
-            if not sess.up():
-                end = yield from sess.connect()
-                if end is None:
-                    leg_done(False, "refused")
-                    return
             try:
+                if not sess.up():
+                    # the connect sits inside the handler below: a leg woken
+                    # by its predecessor's gate while the local host is
+                    # crashing must fail cleanly, not crash the process
+                    end = yield from sess.connect()
+                    if end is None:
+                        leg_done(False, "refused")
+                        return
                 send = list(manifest.digests)
                 if incremental:
                     yield from sess.write(
@@ -282,7 +291,7 @@ class StoreClient:
                         refused += 1
                         continue
                 try:
-                    yield from sess.write(16, ("HEAD", self.rank))
+                    yield from sess.write(16, ("HEAD", self.key))
                     reply = yield from sess.read_record()
                 except Disconnected:
                     sess.drop()
@@ -314,7 +323,7 @@ class StoreClient:
             try:
                 yield from sess.write(
                     16 + 8 * len(have),
-                    ("FETCH", self.rank, best_seq, tuple(have)),
+                    ("FETCH", self.key, best_seq, tuple(have)),
                 )
                 reply = yield from sess.read_record()
                 if reply[0] == "NONE":

@@ -241,6 +241,19 @@ class StoreReplica(ServiceBase):
             digests=tuple(freed),
         )
 
+    def evict(self, ranks) -> None:
+        """Drop every manifest of the given rank keys (job reclaim).
+
+        The control plane calls this when a job finishes: its images will
+        never be fetched again, so all its manifests fall below an
+        infinite floor and the reference-counting chunk sweep frees
+        whatever no surviving (co-resident) manifest still names.
+        """
+        self._collect({r: 1 << 62 for r in ranks})
+        for r in ranks:
+            if not self.manifests.get(r):
+                self.manifests.pop(r, None)
+
     # -- diagnostics --------------------------------------------------------
     def latest(self, rank: int) -> Optional[CheckpointImage]:
         """The most recent complete image for ``rank``, if any."""

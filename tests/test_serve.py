@@ -1,0 +1,274 @@
+"""The gang-scheduling control plane (repro.serve).
+
+Covers the admission queue (FIFO within a tenant, head-blocking,
+cross-tenant fair share), all-or-nothing gang placement, per-job
+namespace isolation on the shared fabric / EL shards / store replicas,
+rank-kill isolation between co-resident jobs (with clean audits on both
+sides), per-job metrics-registry isolation, the plane's wire API, and
+``run_job`` acting as a single-job client of a plane.
+"""
+
+import pytest
+
+from repro.runtime.cluster import Cluster
+from repro.runtime.config import DEFAULT_TESTBED
+from repro.runtime.fabric import ConnectionRefused, Fabric, ScopedFabric
+from repro.runtime.mpirun import run_job
+from repro.runtime.results import JobResult
+from repro.runtime.session import Session
+from repro.serve import ControlPlane, JobSpec, load_plan
+from repro.workloads import token_ring
+
+TINY = {"rounds": 3, "nbytes": 256}
+
+
+def _p4(nranks=2, tenant="default", **kw):
+    return JobSpec(
+        workload=token_ring, nranks=nranks, device="p4", tenant=tenant,
+        params=dict(kw.pop("params", TINY)), **kw,
+    )
+
+
+def _v2(nranks=4, tenant="default", **kw):
+    return JobSpec(
+        workload=token_ring, nranks=nranks, device="v2", tenant=tenant,
+        params=dict(kw.pop("params", TINY)), **kw,
+    )
+
+
+# -- namespaces --------------------------------------------------------------
+
+
+def test_scoped_fabric_prefixes_all_but_shared_names():
+    cluster = Cluster(DEFAULT_TESTBED, seed=0)
+    fabric = Fabric(cluster)
+    view = ScopedFabric(fabric, "j0/", shared=frozenset({"el:0"}))
+    assert view.scoped("dispatcher") == "j0/dispatcher"
+    assert view.scoped("el:0") == "el:0"
+
+    host = cluster.add_aux("svc-host")
+    view.listen("svc:0", host)
+    cn = cluster.add_cn("cn0")
+    # the listener landed on the prefixed name, not the bare one
+    with pytest.raises(ConnectionRefused):
+        fabric.connect(cn, "svc:0")
+    assert fabric.connect(cn, "j0/svc:0") is not None
+
+
+def test_cluster_namespaces_keep_host_names_disjoint():
+    cluster = Cluster(DEFAULT_TESTBED, seed=0)
+    cluster.add_cn("cn0", namespace="a/")
+    cluster.add_aux("cn0", namespace="b/")  # same bare name, other namespace
+    with pytest.raises(ValueError):
+        cluster.add_cn("cn0", namespace="a/")
+
+
+# -- plans -------------------------------------------------------------------
+
+
+def test_jobspec_validation():
+    with pytest.raises(ValueError):
+        JobSpec(workload=token_ring, nranks=2, device="v1")
+    with pytest.raises(ValueError):
+        JobSpec(workload=token_ring, nranks=0)
+    with pytest.raises(ValueError):  # faults need the FT device
+        JobSpec(workload=token_ring, nranks=2, device="p4",
+                fault={"kind": "kill", "rank": 0, "at": 1.0})
+
+
+def test_load_plan_rejects_unknown_keys(tmp_path):
+    path = tmp_path / "plan.json"
+    path.write_text('[{"workload": "token_ring", "nranks": 2, "bogus": 1}]')
+    with pytest.raises(ValueError, match="bogus"):
+        load_plan(str(path))
+
+
+def test_load_plan_bare_list_defaults_tenant(tmp_path):
+    path = tmp_path / "plan.json"
+    path.write_text('[{"workload": "token_ring", "nranks": 2}]')
+    tenants, jobs = load_plan(str(path))
+    assert tenants == {"default": 1.0}
+    assert jobs[0].nranks == 2 and jobs[0].device == "p4"
+
+
+# -- admission ---------------------------------------------------------------
+
+
+def test_fifo_within_tenant_and_capacity_gating():
+    plane = ControlPlane(capacity=2, svc_slots=0)
+    handles = [
+        plane.submit(_p4(2, params={"rounds": 50, "nbytes": 2048}))
+        for _ in range(3)
+    ]
+    plane.drain()
+    starts = [h.start_t for h in handles]
+    assert starts == sorted(starts)  # admitted in submit order
+    assert handles[0].start_t == 0.0
+    assert handles[1].start_t > 0.0  # had to wait for job 0's gang
+    assert all(h.state == "done" for h in handles)
+    assert plane.finish()["completed"] == 3
+
+
+def test_gang_is_all_or_nothing_with_tenant_head_blocking():
+    plane = ControlPlane(capacity=4, svc_slots=0)
+    big = plane.submit(_p4(3, tenant="alpha",
+                           params={"rounds": 100, "nbytes": 4096}))
+    blocked = plane.submit(_p4(2, tenant="alpha"))  # 1 slot free: no gang
+    behind = plane.submit(_p4(1, tenant="alpha"))  # would fit, but FIFO
+    other = plane.submit(_p4(1, tenant="beta"))  # other tenant: may run
+    plane.drain()
+    big_done = big.start_t + big.result.elapsed
+    # never a partial gang: the 2-rank job waited for the 3-rank release
+    assert blocked.start_t >= big_done - 1e-9
+    assert blocked.wait_s > 0
+    # a later same-tenant job does not leapfrog its blocked head ...
+    assert behind.start_t >= blocked.start_t
+    # ... but another tenant's 1-rank job takes the free slot immediately
+    assert other.start_t == 0.0
+
+
+def test_fair_share_tracks_tenant_weights():
+    plane = ControlPlane(
+        capacity=2, svc_slots=0, tenants={"alpha": 3.0, "beta": 1.0}
+    )
+    spec = {"rounds": 50, "nbytes": 2048}
+    handles = (
+        [plane.submit(_p4(2, tenant="alpha", params=spec)) for _ in range(9)]
+        + [plane.submit(_p4(2, tenant="beta", params=spec)) for _ in range(3)]
+    )
+    plane.drain()
+    # admissions over the saturation window (both tenants still queued):
+    # rank-weighted share per tenant tracks the 3:1 weights within 20%
+    order = sorted(handles, key=lambda h: h.start_t)[:8]
+    alpha = sum(h.spec.nranks for h in order if h.spec.tenant == "alpha")
+    beta = sum(h.spec.nranks for h in order if h.spec.tenant == "beta")
+    share = alpha / (alpha + beta)
+    assert abs(share - 0.75) <= 0.2 * 0.75
+    summary = plane.finish()
+    assert summary["completed"] == 12
+    assert summary["tenants"]["alpha"]["served_ranks"] == 18.0
+
+
+def test_submit_at_future_time_defers_enqueue():
+    plane = ControlPlane(capacity=4, svc_slots=0)
+    handle = plane.submit(_p4(2), at=1.5)
+    assert handle.state == "created"
+    plane.wait(handle)
+    assert handle.submit_t == 1.5
+    assert handle.start_t >= 1.5
+
+
+def test_oversized_gang_is_rejected_outright():
+    plane = ControlPlane(capacity=2, svc_slots=0)
+    with pytest.raises(ValueError, match="pool has 2"):
+        plane.submit(_p4(4))
+
+
+# -- isolation ---------------------------------------------------------------
+
+
+def test_rank_kill_recovers_without_touching_the_neighbour_job():
+    plane = ControlPlane(capacity=8, svc_slots=2)
+    faulty = plane.submit(_v2(
+        4, tenant="alpha", params={"rounds": 400, "nbytes": 16384},
+        checkpointing=True, ckpt_interval=0.05,
+        fault={"kind": "kill", "rank": 1, "at": 0.08}, trace=True,
+    ))
+    clean = plane.submit(_v2(
+        4, tenant="beta", params={"rounds": 400, "nbytes": 16384},
+    ))
+    plane.drain()
+    a, b = faulty.result, clean.result
+    # both ran concurrently on the shared cluster
+    assert faulty.start_t == 0.0 and clean.start_t == 0.0
+    # the kill was detected and recovered entirely inside job A ...
+    assert a.restarts >= 1
+    assert a.metrics.total("ft.faults") >= 1
+    assert a.audit is not None and a.audit.clean
+    # ... with per-fault recovery attribution from its private trace
+    assert a.extras["mttr"] is not None
+    # job B never saw a fault: no restarts, nothing in its registry,
+    # and its own audit is clean over the shared EL/store services
+    assert b.restarts == 0
+    assert b.metrics.total("ft.faults", default=0.0) == 0.0
+    assert b.audit is not None and b.audit.clean
+    assert plane.finish()["audit_violations"] == 0
+
+
+def test_finished_jobs_are_evicted_from_shared_services():
+    plane = ControlPlane(capacity=4, svc_slots=1)
+    handle = plane.submit(_v2(
+        2, params={"rounds": 200, "nbytes": 8192},
+        checkpointing=True, ckpt_interval=0.05,
+    ))
+    plane.wait(handle)
+    assert handle.result.checkpoints > 0
+    tag = handle.result.extras["namespace"]
+    for el in plane.loggers:
+        assert not any(k[0] == tag for k in el.events)
+    for srv in plane.servers:
+        assert not any(k[0] == tag for k in srv.manifests)
+
+
+def test_per_job_metrics_registries_are_isolated():
+    plane = ControlPlane(capacity=8, svc_slots=2)
+    h1 = plane.submit(_v2(2))
+    h2 = plane.submit(_v2(2))
+    plane.drain()
+    r1, r2 = h1.result, h2.result
+    assert r1.metrics is not r2.metrics
+    assert r1.metrics is not plane.metrics
+    # each job's registry carries its own ranks' client traffic ...
+    assert r1.metrics.total("el.roundtrips") > 0
+    assert r2.metrics.total("el.roundtrips") > 0
+    # ... and none of it leaks into the plane's registry, which keeps
+    # only shared-infrastructure and admission metrics
+    assert plane.metrics.total("el.roundtrips", default=-1.0) == -1.0
+    assert not any(m.name.startswith("ft.") for m in plane.metrics)
+    assert plane.metrics.total("serve.completed") == 2
+
+
+# -- the wire API ------------------------------------------------------------
+
+
+def test_plane_listener_serves_submit_and_wait():
+    plane = ControlPlane(capacity=4, svc_slots=0)
+    client = plane.cluster.add_cn("client")
+    sess = Session(
+        plane.sim, plane.fabric, client, "plane:0",
+        metrics=plane.metrics, labels={"rank": 99},
+    )
+    got = {}
+
+    def run():
+        sess.connect_now()
+        yield from sess.write(64, ("SUBMIT", {
+            "workload": "token_ring", "nranks": 2,
+            "params": {"rounds": 3, "nbytes": 256},
+        }))
+        got["job"] = yield from sess.read_record()
+        yield from sess.write(64, ("WAIT", got["job"][1]))
+        got["done"] = yield from sess.read_record()
+        yield from sess.write(64, ("WAIT", 999))
+        got["err"] = yield from sess.read_record()
+
+    proc = plane.sim.spawn(run(), name="client")
+    plane.sim.run_until(proc.done, limit=60.0)
+    kind, job_id = got["job"]
+    assert kind == "JOB"
+    assert got["done"] == ("DONE", job_id, "done")
+    assert got["err"][0] == "ERR"
+    assert plane.handles[job_id].result.nprocs == 2
+
+
+def test_run_job_as_a_control_plane_client():
+    plane = ControlPlane(capacity=4, svc_slots=1)
+    res = run_job(token_ring, 2, device="p4", plane=plane, params=dict(TINY))
+    assert isinstance(res, JobResult)
+    assert res.nprocs == 2 and res.device == "p4"
+    assert res.extras["tenant"] == "default"
+    # per-cluster instruments cannot ride through a shared plane
+    with pytest.raises(ValueError, match="control plane"):
+        run_job(token_ring, 2, plane=plane, profile=True)
+    with pytest.raises(ValueError, match="not supported"):
+        run_job(token_ring, 2, plane=plane, el_servers=3)
