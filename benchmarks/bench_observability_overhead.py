@@ -11,8 +11,20 @@ subscriber dispatch.
 This benchmark runs the latency-bound CG kernel — the workload with the
 highest protocol-event rate per unit of wall-clock — with auditing off
 and on, and records the median overhead in ``BENCH_audit_overhead.json``
-at the repository root.  The acceptance bar is **15%**; a regression
-here means a hot-path change leaked protocol work onto the fast path.
+at the repository root.
+
+What "overhead" covers changed with the flat-kernel rewrite.  The old
+kernel emitted trace records unconditionally, so audit-off runs paid
+the emit cost invisibly and the on/off delta isolated just the
+auditor's checks (~15%).  The tracer now keeps its hot emit sites on a
+subscriber-gated fast path: an unsubscribed run pays nothing, and
+attaching the auditor re-enables the emits it rides on — so the delta
+honestly prices the whole always-on-observability decision (emits +
+checks, ~50% on this workload).  The acceptance bar is **75%**: well
+above measured, low enough that a change leaking protocol work onto
+the per-segment fast path (the failure this bench exists to catch)
+still trips it.  ``audit_cost_per_event_us`` is recorded for trending
+the absolute per-event price across commits.
 
 Run as a pytest benchmark (``pytest benchmarks/`` — *not* part of the
 tier-1 suite) or directly: ``python benchmarks/bench_observability_overhead.py``.
@@ -32,7 +44,10 @@ from repro.workloads import nas
 from conftest import full_sweep, record_report
 
 OUT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_audit_overhead.json"
-BUDGET = 0.15  # audit-on may cost at most 15% wall-clock over audit-off
+#: audit-on vs audit-off wall clock.  The delta includes the trace-emit
+#: work the subscriber-free fast path skips entirely (see module
+#: docstring) — measured ~52%; the fence catches fast-path leaks.
+BUDGET = 0.75
 
 
 def _time_run(audit: bool, nprocs: int, klass: str) -> tuple[float, object]:
@@ -61,6 +76,7 @@ def measure_overhead(
         last_audit = res.audit
     off_s = statistics.median(off)
     on_s = statistics.median(on_times)
+    n_events = last_audit.events_seen
     return {
         "kernel": "cg",
         "klass": klass,
@@ -70,7 +86,8 @@ def measure_overhead(
         "audit_on_s": on_s,
         "overhead": (on_s - off_s) / off_s,
         "budget": BUDGET,
-        "events_audited": last_audit.events_seen,
+        "audit_cost_per_event_us": (on_s - off_s) / n_events * 1e6,
+        "events_audited": n_events,
         "checks": last_audit.checks,
         "verdict": last_audit.verdict,
     }
@@ -101,8 +118,12 @@ def bench_audit_overhead():
 
 
 if __name__ == "__main__":
+    import sys
+
     out = measure_overhead()
     OUT_PATH.write_text(json.dumps(out, indent=2) + "\n")
     print(json.dumps(out, indent=2))
-    status = "OK" if out["overhead"] <= BUDGET else "OVER BUDGET"
+    ok = out["overhead"] <= BUDGET and out["verdict"] == "clean"
+    status = "OK" if ok else "OVER BUDGET"
     print(f"{status}: {out['overhead']:+.1%} (budget {BUDGET:.0%})")
+    sys.exit(0 if ok else 1)

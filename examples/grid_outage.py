@@ -72,7 +72,13 @@ def main() -> None:
 
     print("== site beta (ranks 4..7) disconnects mid-run;")
     print("   site gamma joins the Grid and picks the ranks up")
-    outage_time = 0.6 * ref.elapsed
+    # The checkpointed run is markedly slower than the bare reference
+    # (every image cycle crosses the wide-area link), so scale the
+    # outage instant up from the reference elapsed: it must land after
+    # site beta's first checkpoint cycle has committed — otherwise the
+    # restarted ranks would have no image to stream back — and before
+    # the job ends.
+    outage_time = 1.4 * ref.elapsed
     faults = ExplicitFaults([(outage_time, r) for r in range(4, 8)])
     res = run_job(
         nas.cg.program, 8, device="v2", cfg=cfg,

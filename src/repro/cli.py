@@ -285,11 +285,18 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
 
     mod = nas.KERNELS[args.name]
     spec = mod.spec(args.klass)
+    ckpt_kw = {}
+    if args.ckpt_interval is not None:
+        if args.device != "v2":
+            print("--ckpt-interval requires --device v2", file=sys.stderr)
+            return 2
+        ckpt_kw = dict(checkpointing=True, ckpt_interval=args.ckpt_interval)
     res = run_job(
         mod.program, args.nprocs, device=args.device,
         cfg=_store_cfg(args, DEFAULT_TESTBED),
         params={"klass": args.klass}, limit=1e8,
         trace=bool(args.trace_out), audit=args.audit,
+        **ckpt_kw,
     )
     b = breakdown(res)
     print(
@@ -667,6 +674,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser("kernel", parents=[_workload_parent(), store, obs],
                         help="run one NPB proxy")
+    sp.add_argument("--ckpt-interval", type=float, default=None,
+                    metavar="SECS",
+                    help="checkpoint every SECS simulated seconds (v2 "
+                         "only); checkpoints let the event loggers "
+                         "garbage-collect acknowledged logs, which bounds "
+                         "logger memory on long runs")
     sp.set_defaults(fn=_cmd_kernel)
 
     sp = sub.add_parser("faulty", parents=[_workload_parent(), store, obs],

@@ -71,6 +71,11 @@ class CheckpointClient:
         # replayed execution reconverges to the same versions and
         # successive checkpoints share every untouched region's chunks
         self.region_versions: list[int] = []
+        # (phase, nregions) -> region index memo: touch_region runs per
+        # API call but its digest only changes once per ckpt_dirty_ops
+        self._dirty_phase = -1
+        self._dirty_nreg = 0
+        self._dirty_idx = 0
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         m = metrics if metrics is not None else Metrics()
         rank = core.rank
@@ -110,11 +115,16 @@ class CheckpointClient:
         or arrival order, so a replayed execution dirties exactly the
         regions the original did and reconverges to the same versions.
         """
-        if not self.region_versions:
+        regions = self.region_versions
+        if not regions:
             return
         phase = op_index // max(1, self.cfg.ckpt_dirty_ops)
-        idx = stable_digest("dirty", phase) % len(self.region_versions)
-        self.region_versions[idx] += 1
+        n = len(regions)
+        if phase != self._dirty_phase or n != self._dirty_nreg:
+            self._dirty_phase = phase
+            self._dirty_nreg = n
+            self._dirty_idx = stable_digest("dirty", phase) % n
+        regions[self._dirty_idx] += 1
 
     def restore(self, image: CheckpointImage) -> None:
         """Re-seed the checkpoint state from a restored image."""
@@ -210,4 +220,4 @@ class CheckpointClient:
             except Disconnected:
                 pass
         else:
-            yield self.sim.timeout(0.0)
+            yield self.sim.pause(0.0)

@@ -86,9 +86,15 @@ class VectorClock:
         return f"VC({inner})"
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class EventRecord:
-    """One logged reception event (sorted by receiver sequence)."""
+    """One logged reception event (sorted by receiver sequence).
+
+    ``slots=True`` matters: event loggers hold one of these per
+    acknowledged delivery until a checkpoint lets them garbage-collect,
+    and a class-B 64-rank run stores ~16M of them — the per-instance
+    ``__dict__`` alone would roughly double logger memory.
+    """
 
     rclock: int  # receiver's delivery sequence number
     src: int  # sender's identity

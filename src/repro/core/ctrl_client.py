@@ -140,7 +140,7 @@ class ControlPlaneClient:
             except Disconnected:
                 pass
         else:
-            yield self.sim.timeout(0.0)
+            yield self.sim.pause(0.0)
 
     # ------------------------------------------------------------------
     # scheduler protocol

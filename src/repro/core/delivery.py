@@ -122,7 +122,7 @@ class DeliveryPipeline:
                 (pkt.payload_bytes + cfg.packet_header_bytes)
                 / cfg.unix_socket_bw
             )
-            yield self.sim.timeout(delay)
+            yield self.sim.pause(delay)
             device.inbox.put((src, pkt))
             device.stats.bytes_received += pkt.payload_bytes
             device.stats.msgs_received += 1

@@ -189,7 +189,7 @@ class EventLogClient:
             d = self._policy.delay(attempt, self._rng)
             if self._on_retry is not None:
                 self._on_retry(attempt, d)
-            yield self.sim.timeout(d)
+            yield self.sim.pause(d)
             attempt += 1
             for rep in self.replicas:
                 if rep.session.up():
@@ -278,12 +278,12 @@ class EventLogClient:
         repush = list(rep.unacked)
         rep.inflight.clear()
         self._spawn(self._rep_reader(rep, end), f"el.rx{rep.idx}")
-        for _bid, batch in repush:
+        for bid, batch in repush:
             t0 = self.sim.now
             try:
                 yield from end.write(
                     self.cfg.event_bytes * len(batch),
-                    ("EVENT", self.key, batch),
+                    ("EVENT", self.key, bid, batch),
                 )
             except (Disconnected, HostDown):
                 rep.reconnecting = False
@@ -310,14 +310,15 @@ class EventLogClient:
         self.outstanding += 1
         self.gate.close()
         self._q.put(rec)
-        self.tracer.emit(
-            self.sim.now,
-            "v2.log_event",
-            rank=self.rank,
-            rclock=rec.rclock,
-            src=rec.src,
-            sclock=rec.sclock,
-        )
+        if self.tracer.hot:
+            self.tracer.emit(
+                self.sim.now,
+                "v2.log_event",
+                rank=self.rank,
+                rclock=rec.rclock,
+                src=rec.src,
+                sclock=rec.sclock,
+            )
 
     def wait_sendable(self) -> Generator[Future, Any, None]:
         """Park until every logged event is quorum-acked (WAITLOGGED)."""
@@ -338,7 +339,9 @@ class EventLogClient:
     def _batcher(self):
         """Drain the record queue into batches and fan them out."""
         while True:
-            first = yield self._q.get()
+            ok, first = self._q.try_get()
+            if not ok:
+                first = yield self._q.get()
             batch = [first]
             while len(batch) < self.cfg.el_batch_cap:
                 ok, more = self._q.try_get()
@@ -347,10 +350,12 @@ class EventLogClient:
                 batch.append(more)
             bid = self._next_bid
             self._next_bid += 1
+            n = len(batch)
             self._pend[bid] = {
-                "n": len(batch),
+                "n": n,
                 "t0": self.sim.now,
-                "ids": tuple(rec.rclock for rec in batch),
+                "ids": (first.rclock,) if n == 1
+                else tuple(rec.rclock for rec in batch),
                 "acked": set(),
                 "done": False,
             }
@@ -367,7 +372,10 @@ class EventLogClient:
 
     def _rep_writer(self, rep: _ReplicaLink):
         while True:
-            bid, batch = yield rep.sendq.get()
+            ok, item = rep.sendq.try_get()
+            if not ok:
+                item = yield rep.sendq.get()
+            bid, batch = item
             # exactly-once hand-off per stream generation: a batch joins
             # the replica's ``unacked`` only once written, so the
             # reconnector (which re-pushes ``unacked``) and this writer
@@ -382,7 +390,7 @@ class EventLogClient:
                 try:
                     yield from end.write(
                         self.cfg.event_bytes * len(batch),
-                        ("EVENT", self.key, batch),
+                        ("EVENT", self.key, bid, batch),
                     )
                 except (Disconnected, HostDown):
                     self._rep_down(rep, end)
@@ -398,16 +406,24 @@ class EventLogClient:
             except Disconnected:
                 self._rep_down(rep, end)
                 return
-            kind, n = msg
-            if kind == "ACK":
-                if not rep.unacked:
-                    continue  # ack of a batch a reconnect already re-owned
-                bid, _batch = rep.unacked.popleft()
-                if rep.inflight:
-                    t0 = rep.inflight.popleft()
-                    self._m_roundtrips.inc()
-                    self._m_rtt.observe(self.sim.now - t0)
-                self._on_ack(rep, bid)
+            if msg[0] == "ACK":
+                # ("ACK", bid, n): cumulative — the server coalesces acks
+                # for a burst of queued batches into one frame, and may
+                # piggyback them on DOWNLOAD replies, so one ack can
+                # cover several unacked entries
+                self._ack_through(rep, msg[1])
+
+    def _ack_through(self, rep: _ReplicaLink, bid: int) -> None:
+        """Retire every unacked batch of ``rep`` up to and including
+        ``bid`` (cumulative acks: ``unacked`` is in batch order)."""
+        unacked = rep.unacked
+        while unacked and unacked[0][0] <= bid:
+            b, _batch = unacked.popleft()
+            if rep.inflight:
+                t0 = rep.inflight.popleft()
+                self._m_roundtrips.inc()
+                self._m_rtt.observe(self.sim.now - t0)
+            self._on_ack(rep, b)
 
     def _on_ack(self, rep: _ReplicaLink, bid: int) -> None:
         """Fold one replica's ack into the quorum ledger.
@@ -438,11 +454,12 @@ class EventLogClient:
         n = ent["n"]
         self.outstanding = max(0, self.outstanding - n)
         self._m_quorum_wait.observe(self.sim.now - ent["t0"])
-        self.tracer.emit(
-            self.sim.now, "v2.el_ack", rank=self.rank, n=n,
-            outstanding=self.outstanding, ids=ent["ids"],
-            quorum=self.quorum,
-        )
+        if self.tracer.hot:
+            self.tracer.emit(
+                self.sim.now, "v2.el_ack", rank=self.rank, n=n,
+                outstanding=self.outstanding, ids=ent["ids"],
+                quorum=self.quorum,
+            )
         if self.outstanding == 0 and len(self._q) == 0:
             self.gate.open()
 
@@ -482,7 +499,13 @@ class EventLogClient:
                     rep.session.drop(end)
                     failovers += 1
                     continue
-                _kind, records = reply
+                records = reply[1]
+                if len(reply) >= 3 and reply[2] is not None:
+                    # quorum acks piggybacked on the serve traffic: the
+                    # DOWNLOAD reply carries the highest batch id this
+                    # replica has stored but not yet acked on a frame of
+                    # its own — fold it in before processing the records
+                    self._ack_through(rep, reply[2])
                 for rec in records:
                     merged.setdefault(rec.rclock, rec)
                 got += 1

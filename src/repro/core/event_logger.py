@@ -16,7 +16,11 @@ shard and
 * pushes reception events asynchronously (~20 bytes each on the wire)
   to all of them;
 * receives acknowledgements — the daemon may not emit application
-  messages while events lack a quorum of acks (the pessimistic gate);
+  messages while events lack a quorum of acks (the pessimistic gate).
+  Acks are *cumulative* by batch id: a burst of queued batches is
+  stored under one CPU charge and answered with a single frame, and a
+  DOWNLOAD queued behind the burst carries the ack on its own reply
+  (``cfg.el_piggyback_acks``);
 * on restart, downloads every event with receiver-clock greater than
   its checkpoint clock (``DownloadEL`` of Appendix A) from the live
   replicas, unioned so any quorum member can serve it;
@@ -47,7 +51,7 @@ from ..obs.registry import Metrics
 from ..runtime.config import TestbedConfig
 from ..runtime.fabric import Fabric
 from ..runtime.retry import RetryPolicy
-from ..runtime.session import ServiceBase, Session
+from ..runtime.session import ServiceBase, Session, framed
 from ..simnet.kernel import Simulator
 from ..simnet.node import Host, HostDown
 from ..simnet.streams import Disconnected, StreamEnd
@@ -201,72 +205,162 @@ class EventLoggerServer(ServiceBase):
         return fresh
 
     # -- the serve loop ------------------------------------------------------
+    def _drain_queued(self, end: StreamEnd, batches: list):
+        """Non-blockingly drain records already queued on ``end``.
+
+        A daemon under load (or re-pushing after a reconnect) often has
+        several EVENT batches sitting in the receive queue by the time
+        the logger finishes the previous one.  Acknowledging each with a
+        dedicated frame puts one server→daemon round trip per batch on
+        the WAITLOGGED critical path; draining them here lets the serve
+        loop store the burst under one CPU charge and answer it with one
+        *cumulative* ack.  Queued heartbeat PINGs are answered in place
+        (liveness must not wait behind the burst); the first non-EVENT
+        protocol record is returned for the main loop to handle after
+        the ack — returning ``None`` means the queue ran dry.
+        """
+        while end.readable:
+            ok, _, msg = end.try_read()
+            if not ok:
+                break
+            if msg is None:
+                continue  # an in-flight segment of a chunked transfer
+            if type(msg) is tuple and len(msg) == 4 and msg[0] == "PING":
+                self.on_ping(end, msg)
+                yield from end.write(24, ("PONG", msg[1], msg[2], msg[3]))
+                continue
+            if not framed(msg, self.payload_types):
+                self._protocol_error(
+                    f"unframed record of type {type(msg).__name__}"
+                )
+                continue
+            if msg[0] == "EVENT":
+                batches.append((msg[1], msg[2], msg[3]))
+                continue
+            return msg
+        return None
+
+    def _store_batch(self, rank: Any, records: list) -> None:
+        """Dedup-store one pushed batch and emit its ``el.store`` trace."""
+        store = self.events.get(rank)
+        if store is None:
+            store = self.events[rank] = {}
+        fresh = 0
+        hw = self.rclock_hw.get(rank, 0)
+        for rec in records:
+            rc = rec.rclock
+            if rc not in store:
+                store[rc] = rec
+                fresh += 1
+                if rc > hw:
+                    hw = rc
+        self.rclock_hw[rank] = hw
+        n = len(records)
+        self.records_received += n
+        dups = n - fresh
+        if dups:
+            self.dup_events += dups
+            self._m_dups.inc(dups)
+        self.events_stored += fresh
+        self._m_stored.inc(fresh)
+        if self.tracer.hot:
+            self.tracer.emit(
+                self.sim.now, "el.store", rank=rank, n=len(records),
+                server=self.name, shard=self.shard,
+                ids=tuple(
+                    (rec.rclock, rec.src, rec.sclock) for rec in records
+                ),
+            )
+
+    def _download(self, end: StreamEnd, rank: Any, after_clock: int,
+                  piggy_bid: Optional[int]):
+        """Serve one DOWNLOAD; the reply's third field piggybacks the
+        cumulative ack for batches stored just before the request."""
+        # a freshly-restarted replica must not answer downloads
+        # from a store it has not finished re-filling: that would
+        # break the read-quorum intersection argument
+        while self._resyncing:
+            yield self.sim.pause(0.01)
+        store = self.events.get(rank, {})
+        records = sorted(
+            rec for rc, rec in store.items() if rc > after_clock
+        )
+        nbytes = self.cfg.event_bytes * max(1, len(records))
+        self.tracer.emit(
+            self.sim.now, "el.download", rank=rank, n=len(records),
+            server=self.name,
+        )
+        yield from end.write(nbytes, ("EVENTS", records, piggy_bid))
+
     def _serve(self, end: StreamEnd, hello: Any):
+        piggyback = self.cfg.el_piggyback_acks
+        pending: Any = None
         while True:
-            try:
-                msg = yield from self._read_record(end)
-            except Disconnected:
-                return  # daemon died; its replacement will reconnect
+            if pending is not None:
+                msg, pending = pending, None
+            else:
+                try:
+                    msg = yield from self._read_record(end)
+                except Disconnected:
+                    return  # daemon died; its replacement will reconnect
             kind = msg[0]
             if kind == "EVENT":
-                _, rank, records = msg
+                _, rank, bid, records = msg
+                batches = [(rank, bid, records)]
+                if piggyback and end.readable:
+                    # coalesce the burst already queued behind this batch
+                    try:
+                        pending = yield from self._drain_queued(end, batches)
+                    except Disconnected:
+                        return
                 # the event logger runs on an auxiliary PIII: storing and
                 # acknowledging events costs real CPU there, serialized
                 # across every daemon it serves (the contention point that
                 # sharding across el_servers groups dilutes)
-                cost = self.cfg.el_cpu_per_event * len(records)
-                begin = max(self.sim.now, self._cpu_free)
+                if len(batches) == 1:
+                    total = len(records)
+                else:
+                    total = sum(len(b[2]) for b in batches)
+                cost = self.cfg.el_cpu_per_event * total
+                now = self.sim.now
+                begin = now if now > self._cpu_free else self._cpu_free
                 self._cpu_free = begin + cost
-                yield self.sim.timeout(self._cpu_free - self.sim.now)
-                store = self.events.setdefault(rank, {})
-                fresh = 0
-                hw = self.rclock_hw.get(rank, 0)
-                for rec in records:
-                    if rec.rclock not in store:
-                        store[rec.rclock] = rec
-                        fresh += 1
-                        hw = max(hw, rec.rclock)
-                self.rclock_hw[rank] = hw
-                self.records_received += len(records)
-                dups = len(records) - fresh
-                self.dup_events += dups
-                self.events_stored += fresh
+                yield self.sim.pause(self._cpu_free - self.sim.now)
+                # store (and trace) every batch *before* any ack leaves:
+                # the auditor's quorum rule orders el.store against the
+                # client's v2.el_ack
+                for brank, _bbid, brecords in batches:
+                    self._store_batch(brank, brecords)
                 self.acks_sent += 1
-                self._m_stored.inc(fresh)
-                self._m_dups.inc(dups)
                 self._m_acks.inc()
                 self._m_cpu_s.inc(cost)
-                self.tracer.emit(
-                    self.sim.now, "el.store", rank=rank, n=len(records),
-                    server=self.name, shard=self.shard,
-                    ids=tuple(
-                        (rec.rclock, rec.src, rec.sclock) for rec in records
-                    ),
-                )
+                last_bid = batches[-1][1]
+                if (
+                    pending is not None
+                    and pending[0] == "DOWNLOAD"
+                    and not self._resyncing
+                ):
+                    # a recovery download queued right behind the burst:
+                    # ride the cumulative ack on its reply instead of
+                    # spending a dedicated ack frame
+                    msg, pending = pending, None
+                    try:
+                        yield from self._download(
+                            end, msg[1], msg[2], last_bid
+                        )
+                    except Disconnected:
+                        return  # the restarting daemon retries its download
+                    continue
                 try:
                     yield from end.write(
-                        self.cfg.event_ack_bytes, ("ACK", len(records))
+                        self.cfg.event_ack_bytes,
+                        ("ACK", last_bid, total),
                     )
                 except Disconnected:
                     return  # the daemon re-pushes the batch after reconnect
             elif kind == "DOWNLOAD":
-                _, rank, after_clock = msg
-                # a freshly-restarted replica must not answer downloads
-                # from a store it has not finished re-filling: that would
-                # break the read-quorum intersection argument
-                while self._resyncing:
-                    yield self.sim.timeout(0.01)
-                store = self.events.get(rank, {})
-                records = sorted(
-                    rec for rc, rec in store.items() if rc > after_clock
-                )
-                nbytes = self.cfg.event_bytes * max(1, len(records))
-                self.tracer.emit(
-                    self.sim.now, "el.download", rank=rank, n=len(records),
-                    server=self.name,
-                )
                 try:
-                    yield from end.write(nbytes, ("EVENTS", records))
+                    yield from self._download(end, msg[1], msg[2], None)
                 except Disconnected:
                     return  # the restarting daemon retries its download
             elif kind == "SYNC":

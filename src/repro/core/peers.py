@@ -29,7 +29,6 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from ..devices.base import segment_sizes
 from ..mpi.protocol import Packet
 from ..obs.registry import Metrics
 from ..runtime.config import TestbedConfig
@@ -225,10 +224,12 @@ class PeerManager:
         cfg = core.cfg
         myq = link.tx
         while not link.stale(epoch):
-            try:
-                item = yield myq.get()
-            except Disconnected:
-                return
+            ok, item = myq.try_get()
+            if not ok:
+                try:
+                    item = yield myq.get()
+                except Disconnected:
+                    return
             if isinstance(item, tuple):  # control message, not gated
                 end = link.end
                 if end is None or link.stale(epoch):
@@ -248,19 +249,17 @@ class PeerManager:
             if end is None or link.stale(epoch):
                 return  # packet dropped; SAVED + handshake recover it
             total = pkt.payload_bytes + cfg.packet_header_bytes
-            sizes = segment_sizes(total, cfg.chunk_bytes)
-            self.tracer.emit(
-                self.sim.now,
-                "v2.tx",
-                rank=core.rank,
-                dst=q,
-                pkt_kind=pkt.kind.value,
-                sclock=pkt.env.sclock,
-            )
+            if self.tracer.hot:
+                self.tracer.emit(
+                    self.sim.now,
+                    "v2.tx",
+                    rank=core.rank,
+                    dst=q,
+                    pkt_kind=pkt.kind.value,
+                    sclock=pkt.env.sclock,
+                )
             try:
-                for nbytes in sizes[:-1]:
-                    yield from end.write(nbytes, None)
-                yield from end.write(sizes[-1], pkt)
+                yield from end.write_frame(total, pkt, mtu=cfg.chunk_bytes)
             except (Disconnected, HostDown):
                 self.link_down(q, epoch)
                 return

@@ -32,9 +32,14 @@ from .clocks import ClockState, EventRecord
 __all__ = ["DeliveryRecord", "CheckpointImage", "ReplayState"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeliveryRecord:
-    """One application-level delivery (mirror of the logged event + data)."""
+    """One application-level delivery (mirror of the logged event + data).
+
+    ``slots=True``: daemons keep the full delivery log between
+    checkpoints for replay, one record per delivery — dropping the
+    per-instance ``__dict__`` is a ~2x memory cut on large runs.
+    """
 
     src: int
     sclock: int

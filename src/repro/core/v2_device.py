@@ -14,7 +14,8 @@ This module is the *protocol core*: logical clocks, the sender log
 :class:`V2Device` channel facade.  The daemon's I/O machinery lives in
 focused modules composed here — :class:`~repro.core.peers.PeerManager`
 (the peer mesh), :class:`~repro.core.el_client.EventLogClient` (the
-WAITLOGGED gate), :class:`~repro.core.ckpt_client.CheckpointClient`
+WAITLOGGED gate, cleared by cumulative quorum acks the logger
+piggybacks on its serve traffic), :class:`~repro.core.ckpt_client.CheckpointClient`
 (capture and quorum push),
 :class:`~repro.core.ctrl_client.ControlPlaneClient` (dispatcher and
 scheduler links), and :class:`~repro.core.delivery.DeliveryPipeline`
@@ -458,14 +459,14 @@ class V2Device(ChannelDevice):
                     + (pkt.payload_bytes + self.cfg.packet_header_bytes)
                     / self.cfg.unix_socket_bw
                 )
-                yield self.sim.timeout(handoff + copy_time)
+                yield self.sim.pause(handoff + copy_time)
         elif not ff:
             handoff = (
                 self.cfg.unix_socket_latency
                 + (pkt.payload_bytes + self.cfg.packet_header_bytes)
                 / self.cfg.unix_socket_bw
             )
-            yield self.sim.timeout(handoff)
+            yield self.sim.pause(handoff)
         if ff:
             return False
         suppressible = pkt.kind in _FIRST_KINDS
@@ -492,7 +493,7 @@ class V2Device(ChannelDevice):
                     f"rank {self.rank}: fast-forward starved of deliveries "
                     f"(op {self.daemon.op_index} < {self.daemon.replay.ff_target_ops})"
                 )
-            yield self.sim.timeout(0.0)
+            yield self.sim.pause(0.0)
             env = rec.to_envelope(self.rank)
             kind = PacketKind.SHORT if env.nbytes <= 1024 else PacketKind.EAGER
             return env.src, Packet(kind, env, payload_bytes=env.nbytes)
@@ -513,10 +514,11 @@ class V2Device(ChannelDevice):
             # fed from the recorded delivery log: already on the EL
             d._m_del_replayed.inc()
             self.stats.deliveries_replayed += 1
-            self.tracer.emit(
-                self.sim.now, "v2.deliver", rank=self.rank, src=env.src,
-                sclock=env.sclock, rclock=rclock, mode="ff",
-            )
+            if self.tracer.hot:
+                self.tracer.emit(
+                    self.sim.now, "v2.deliver", rank=self.rank, src=env.src,
+                    sclock=env.sclock, rclock=rclock, mode="ff",
+                )
             return
         rec = DeliveryRecord(
             src=env.src,
@@ -550,10 +552,11 @@ class V2Device(ChannelDevice):
                 if prev is not None:
                     src_seen, sclock_seen = prev
         self.stats.events_logged += 1
-        self.tracer.emit(
-            self.sim.now, "v2.deliver", rank=self.rank, src=src_seen,
-            sclock=sclock_seen, rclock=rclock, mode=mode,
-        )
+        if self.tracer.hot:
+            self.tracer.emit(
+                self.sim.now, "v2.deliver", rank=self.rank, src=src_seen,
+                sclock=sclock_seen, rclock=rclock, mode=mode,
+            )
 
     def force_probe(self) -> Optional[bool]:
         """Replay-forced iprobe outcome (None: no override)."""
@@ -584,7 +587,7 @@ class V2Device(ChannelDevice):
         """Advance time for a compute segment (+ daemon CPU tax)."""
         if self.fast_forward():
             return
-        yield self.sim.timeout(seconds + self.daemon.take_cpu_tax())
+        yield self.sim.pause(seconds + self.daemon.take_cpu_tax())
 
     def ckpt_poll(self) -> Generator[Future, Any, None]:
         """API-boundary safe point: take an ordered checkpoint here."""
@@ -613,5 +616,5 @@ class V2Device(ChannelDevice):
         ):
             d.ckpt.requested = False
             image = d.ckpt.capture()
-            yield self.sim.timeout(self.cfg.ckpt_fork_cost)
+            yield self.sim.pause(self.cfg.ckpt_fork_cost)
             d.ckpt.start_push(image)

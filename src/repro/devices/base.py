@@ -189,7 +189,7 @@ class ChannelDevice:
         with the MPI process for the CPU — the LU effect in Figure 7).
         """
         if seconds > 0 and not self.fast_forward():
-            yield self.sim.timeout(seconds)
+            yield self.sim.pause(seconds)
 
     def ckpt_poll(self) -> Generator[Future, Any, None]:
         """Checkpoint-at-a-safe-point hook, called at API boundaries."""
@@ -200,12 +200,9 @@ class ChannelDevice:
     def _write_packet(
         self, end: StreamEnd, pkt: Packet
     ) -> Generator[Future, Any, None]:
-        """Send one packet as driver chunks over ``end`` (blocking)."""
+        """Send one packet as a coalesced frame over ``end`` (blocking)."""
         total = pkt.payload_bytes + self.cfg.packet_header_bytes
-        sizes = segment_sizes(total, self.cfg.chunk_bytes)
-        for nbytes in sizes[:-1]:
-            yield from end.write(nbytes, payload=None)
-        yield from end.write(sizes[-1], payload=pkt)
+        yield from end.write_frame(total, pkt, mtu=self.cfg.chunk_bytes)
         self.stats.bytes_sent += pkt.payload_bytes
         self.stats.msgs_sent += 1
 

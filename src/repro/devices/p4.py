@@ -49,7 +49,7 @@ class P4Device(ChannelDevice):
         # the MPI process performs the socket write itself: the syscall and
         # kernel copy are charged to the calling MPI function (this is the
         # MPI_(I)send cost of Table 1, absent on V2 where a daemon writes)
-        yield self.sim.timeout(self.cfg.p4_send_cpu)
+        yield self.sim.pause(self.cfg.p4_send_cpu)
         end = self.ends[dst]
         total = pkt.payload_bytes + self.cfg.packet_header_bytes
         sizes = segment_sizes(total, self.cfg.chunk_bytes)

@@ -96,7 +96,7 @@ class ChannelMemory(ServiceBase):
             if isinstance(msg, Packet):
                 # STORE: a message for one of our receivers
                 dst = msg.env.dst
-                yield self.sim.timeout(self.cfg.cm_store_cpu)
+                yield self.sim.pause(self.cfg.cm_store_cpu)
                 ids = self.seen.setdefault(dst, set())
                 if msg.env.msgid in ids:
                     yield from self._maybe_serve(dst)
@@ -249,7 +249,7 @@ class V1Device(ChannelDevice):
             # beginning -- "a process re-execution is independent of the
             # other processes of the system" (Section 3.2)
             yield from self._own.write(16, ("RESET", self.rank, 0))
-        yield self.sim.timeout(0.0)
+        yield self.sim.pause(0.0)
 
     @property
     def _own_end(self) -> StreamEnd:
@@ -358,7 +358,7 @@ class V1Device(ChannelDevice):
         if self._own is None or not self._own.up():
             # CM link down: poll until the supervised relaunch lets the
             # next pibrecv reconnect
-            yield self.sim.timeout(0.001)
+            yield self.sim.pause(0.001)
             return
         try:
             yield self._own_end.when_readable()
@@ -488,7 +488,7 @@ def run_v1_job(
                 return
 
             def restart():
-                yield sim.timeout(
+                yield sim.pause(
                     cfg.restart_detect_delay + cfg.restart_spawn_delay
                 )
                 if done.done or slots[r].incarnation != i:

@@ -200,13 +200,13 @@ class CheckpointScheduler(ServiceBase):
     # -- the scheduling loop -------------------------------------------------
     def _drive(self):
         # give daemons a moment to connect
-        yield self.sim.timeout(0.05)
+        yield self.sim.pause(0.05)
         while True:
             if not self.continuous:
-                yield self.sim.timeout(self.interval)
+                yield self.sim.pause(self.interval)
             target = yield from self._pick()
             if target is None:
-                yield self.sim.timeout(self.interval if not self.continuous else 1.0)
+                yield self.sim.pause(self.interval if not self.continuous else 1.0)
                 continue
             end = self.links.get(target)
             if end is None:
@@ -230,14 +230,14 @@ class CheckpointScheduler(ServiceBase):
             if cand in self.links:
                 # give the checkpoint server its supervised restart delay
                 # before re-ordering the failed push
-                yield self.sim.timeout(self.cfg.svc_restart_delay)
+                yield self.sim.pause(self.cfg.svc_restart_delay)
                 return cand
         live = sorted(self.links)
         if not live:
-            yield self.sim.timeout(0.0)
+            yield self.sim.pause(0.0)
             return None
         if self.policy == "round_robin":
-            yield self.sim.timeout(0.0)
+            yield self.sim.pause(0.0)
             for _ in range(self.nprocs):
                 cand = self._rr_next % self.nprocs
                 self._rr_next += 1
@@ -245,7 +245,7 @@ class CheckpointScheduler(ServiceBase):
                     return cand
             return None
         if self.policy == "random":
-            yield self.sim.timeout(0.0)
+            yield self.sim.pause(0.0)
             return int(self.rng.choice(live))
         # adaptive: poll status, rank by received/sent ratio (descending)
         yield from self._poll_status(live)
@@ -269,4 +269,4 @@ class CheckpointScheduler(ServiceBase):
             except Disconnected:
                 continue
         # replies arrive through _reader; give them a beat
-        yield self.sim.timeout(0.01)
+        yield self.sim.pause(0.01)

@@ -217,7 +217,7 @@ class Dispatcher:
         where the stream stays up but nothing flows."""
         timeout = self.cfg.hb_timeout
         while not self.done.done:
-            yield self.sim.timeout(timeout / 2)
+            yield self.sim.pause(timeout / 2)
             now = self.sim.now
             for st in self.states:
                 r = st.rank
@@ -262,7 +262,7 @@ class Dispatcher:
         for st in self.states:
             if st.host is not None and not st.host.failed:
                 st.host.crash()
-        yield self.sim.timeout(
+        yield self.sim.pause(
             self.cfg.restart_detect_delay + self.cfg.restart_spawn_delay
         )
         if self.done.done:
@@ -364,7 +364,7 @@ class Dispatcher:
     def _restart(self, rank: int, incarnation: int):
         st = self.states[rank]
         t_crash = self.sim.now
-        yield self.sim.timeout(self.cfg.restart_detect_delay)
+        yield self.sim.pause(self.cfg.restart_detect_delay)
         if self.done.done or st.incarnation != incarnation:
             return
         # a rank already flagged by the heartbeat monitor (partitioned,
@@ -382,7 +382,7 @@ class Dispatcher:
             host = self.spare_hosts.pop(0)
         else:
             host = old_host
-        yield self.sim.timeout(self.cfg.restart_spawn_delay)
+        yield self.sim.pause(self.cfg.restart_spawn_delay)
         if self.done.done or st.incarnation != incarnation:
             return
         if host.failed:

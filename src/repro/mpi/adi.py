@@ -141,16 +141,17 @@ class Adi:
         self.probes_since_delivery = 0
         if env.src != self.rank:
             self.device.on_app_deliver(env, probes)
-        self.tracer.emit(
-            self.sim.now,
-            "adi.deliver",
-            rank=self.rank,
-            src=env.src,
-            tag=env.tag,
-            nbytes=env.nbytes,
-            sclock=env.sclock,
-            probes=probes,
-        )
+        if self.tracer.hot:
+            self.tracer.emit(
+                self.sim.now,
+                "adi.deliver",
+                rank=self.rank,
+                src=env.src,
+                tag=env.tag,
+                nbytes=env.nbytes,
+                sclock=env.sclock,
+                probes=probes,
+            )
 
     # -- probes ---------------------------------------------------------------
     def iprobe(self, src: int, tag: int, context: int) -> Optional[Envelope]:

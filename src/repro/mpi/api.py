@@ -112,7 +112,8 @@ class MPI:
         env = Envelope(
             src=self.rank, dst=dest, tag=tag, context=_context, nbytes=nbytes, data=data
         )
-        yield from self._charge_call_cpu()
+        if not self.device.fast_forward():  # inlined _charge_call_cpu
+            yield self.sim.pause(_API_CALL_CPU)
         req = yield from self.adi.isend(env)
         self.timer.exit(self.sim.now)
         return req
@@ -127,7 +128,8 @@ class MPI:
         """Nonblocking receive; returns a :class:`RecvRequest`."""
         self.timer.enter(_cat, self.sim.now)
         yield from self.device.ckpt_poll()
-        yield from self._charge_call_cpu()
+        if not self.device.fast_forward():  # inlined _charge_call_cpu
+            yield self.sim.pause(_API_CALL_CPU)
         req = self.adi.irecv(source, tag, _context)
         self.timer.exit(self.sim.now)
         return req
@@ -215,7 +217,8 @@ class MPI:
     def test(self, req: Request) -> Generator[Future, Any, bool]:
         """Nonblocking completion check (advances progress)."""
         self.timer.enter("test", self.sim.now)
-        yield from self._charge_call_cpu()
+        if not self.device.fast_forward():  # inlined _charge_call_cpu
+            yield self.sim.pause(_API_CALL_CPU)
         self.adi._progress_nonblocking()
         self.timer.exit(self.sim.now)
         return req.complete
@@ -226,7 +229,8 @@ class MPI:
     ) -> Generator[Future, Any, bool]:
         """Nonblocking probe for a matching unexpected message."""
         self.timer.enter("probe", self.sim.now)
-        yield from self._charge_call_cpu()
+        if not self.device.fast_forward():  # inlined _charge_call_cpu
+            yield self.sim.pause(_API_CALL_CPU)
         env = self.adi.iprobe(source, tag, CTX_PT2PT)
         self.timer.exit(self.sim.now)
         return env is not None
@@ -355,7 +359,7 @@ class MPI:
     # -- internals ------------------------------------------------------------------
     def _charge_call_cpu(self) -> Generator[Future, Any, None]:
         if not self.device.fast_forward():
-            yield self.sim.timeout(_API_CALL_CPU)
+            yield self.sim.pause(_API_CALL_CPU)
 
     def coll_tag(self) -> int:
         """A fresh internal tag for one collective operation.

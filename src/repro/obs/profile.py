@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Callable, Optional
 
-from ..simnet.kernel import Simulator
+from ..simnet.kernel import SLOT_NAMES, Simulator, run_slot
 
 __all__ = [
     "KernelProfiler",
@@ -151,6 +151,9 @@ class KernelProfiler:
         self.sampling = False
         # definition-site key -> [label, count, timed_count, wall_s]
         self._kinds: dict[Any, list] = {}
+        # slot -> the same stats lists, indexed by position: the flat
+        # dispatch path pays a list index instead of a dict probe
+        self._flat: list = []
         self._left = sample_every  # dispatches until the next sample
         self._q_sum = 0
         self._q_max = 0
@@ -262,6 +265,47 @@ class KernelProfiler:
             self.sampling = True
             t0 = perf_counter()
             fn()
+            dt = perf_counter() - t0
+            self.sampling = False
+            stats[3] += dt
+            stats[2] += 1
+
+    def dispatch_flat(
+        self, time: float, slot: int, a: Any, b: Any, qsize: int
+    ) -> None:
+        """Count, classify and (sampled) time one popped *flat* event.
+
+        The twin of :meth:`dispatch` for slot-dispatched events: the kind
+        key is the slot integer (int keys never collide with the code
+        objects :meth:`dispatch` uses), labelled from the kernel's
+        ``SLOT_NAMES`` registry, and execution goes through ``run_slot``.
+        Slot stats live in a list indexed by slot number — this runs once
+        per kernel event, and a list index beats a dict probe there.
+        """
+        flat = self._flat
+        if slot < len(flat):
+            stats = flat[slot]
+        else:
+            stats = None
+        if stats is None:
+            flat.extend([None] * (slot + 1 - len(flat)))
+            stats = flat[slot] = self._kinds[slot] = [
+                SLOT_NAMES.get(slot, f"slot{slot}"), 0, 0, 0.0
+            ]
+        stats[1] += 1
+        left = self._left - 1
+        if left:
+            self._left = left
+            run_slot(slot, a, b)
+        else:
+            self._left = self.sample_every
+            self._q_sum += qsize
+            self._q_n += 1
+            if qsize > self._q_max:
+                self._q_max = qsize
+            self.sampling = True
+            t0 = perf_counter()
+            run_slot(slot, a, b)
             dt = perf_counter() - t0
             self.sampling = False
             stats[3] += dt

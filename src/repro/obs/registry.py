@@ -78,6 +78,10 @@ class Gauge:
 
     def set(self, value: float, now: Optional[float] = None) -> None:
         """Record the new level; pass ``now`` for time-weighted stats."""
+        if value == self.value:
+            # level unchanged: the integral accumulates identically
+            # whether it is folded now or at the next level change
+            return
         if now is not None:
             self._integral += self.value * (now - self._last_t)
             self._last_t = now

@@ -120,7 +120,7 @@ class TimeseriesSampler:
         def _loop():
             while True:
                 self.sample(sim.now)
-                yield sim.timeout(self.interval)
+                yield sim.pause(self.interval)
 
         sim.spawn(_loop(), name="obs.timeseries")
 

@@ -85,5 +85,5 @@ def connect_with_retry(
             d = policy.delay(attempt, rng)
             if on_retry is not None:
                 on_retry(attempt, d)
-            yield sim.timeout(d)
+            yield sim.pause(d)
     return None

@@ -211,7 +211,9 @@ class Session:
             if dn:
                 self._m_stalls.inc(dn)
                 self._bp_stalls = end.stall_count
-        self._m_depth.set(float(end.rx_depth), self.sim.now)
+        d = end.rx_depth
+        if d or self._m_depth.value:
+            self._m_depth.set(float(d), self.sim.now)
 
     # -- heartbeat ---------------------------------------------------------
     def heartbeat(
@@ -239,7 +241,7 @@ class Session:
         self.last_pong = self.sim.now
         seq = 0
         while True:
-            yield self.sim.timeout(interval)
+            yield self.sim.pause(interval)
             end = self.end
             if end is None or end.broken is not None:
                 # a torn-down link is the socket detector's business,
@@ -274,6 +276,22 @@ class Session:
         self._note_io(end)
         yield from end.write(nbytes, record)
         self._note_io(end)  # fold the stall this write just paid, if any
+
+    def write_frame(
+        self,
+        nbytes: int,
+        record: Any,
+        mtu: Optional[int] = None,
+        bulk: bool = False,
+    ) -> Generator[Future, Any, None]:
+        """Send one coalesced frame (``StreamEnd.write_frame``) with the
+        session's backpressure accounting wrapped around it."""
+        end = self.end
+        if end is None:
+            raise Disconnected(self.target, "session down")
+        self._note_io(end)
+        yield from end.write_frame(nbytes, record, mtu=mtu, bulk=bulk)
+        self._note_io(end)
 
     def read_record(
         self, end: Optional[StreamEnd] = None

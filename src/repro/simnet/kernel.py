@@ -16,11 +16,36 @@ Conventions used throughout the code base:
 Processes can be killed abruptly (modelling a node crash): a killed
 process is never resumed again and its completion future fails with
 :class:`Killed`.
+
+Flat events
+-----------
+
+Heap entries are flat ``(time, seq, slot, a, b)`` tuples.  ``slot``
+selects the handler; the hot slots are inlined in the run loops so the
+common events cost no closure allocation and no attribute lookups:
+
+* ``EV_CALL`` (0) — legacy callable: run ``a()``.  Everything scheduled
+  through :meth:`Simulator.at`/:meth:`Simulator.after` uses this slot.
+* ``EV_RESOLVE`` (1) — resolve :class:`Future` ``a`` with value ``b``
+  unless it is already done (the :meth:`Simulator.timeout` fast path).
+* ``EV_START`` (2) — bootstrap :class:`Process` ``a`` (first ``_step``).
+* ``EV_WAKE`` (3) — resume :class:`Process` ``a`` with value ``b`` (the
+  :meth:`Simulator.pause` sleep fast path: no future, no callbacks).
+
+Subsystems register additional slots with :func:`register_slot`; the run
+loops dispatch those through the module-level handler table with a plain
+list index.  The module flag :data:`FLAT_DISPATCH` (mirrored per-instance
+as ``Simulator.flat``) selects between the flat fast path and the legacy
+closure forms at every call site; both schedule exactly one heap entry at
+exactly the same point, so event order — ``(time, seq)`` for every
+event — is byte-identical between the two modes.  The parity test in
+``tests/test_kernel_parity.py`` holds us to that.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from time import perf_counter
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -37,6 +62,14 @@ __all__ = [
     "wait",
     "all_of",
     "any_of",
+    "EV_CALL",
+    "EV_RESOLVE",
+    "EV_START",
+    "EV_WAKE",
+    "FLAT_DISPATCH",
+    "SLOT_NAMES",
+    "register_slot",
+    "run_slot",
 ]
 
 
@@ -50,6 +83,79 @@ class DeadlockError(SimError):
 
 class Killed(SimError):
     """Raised into the completion future of a killed process."""
+
+
+# -- the flat-event slot table ------------------------------------------
+
+#: Run-loop fast path on (the default) vs. legacy closure scheduling
+#: (the reference twin the parity test compares against).  Read once per
+#: Simulator at construction; flip the module global *before* building a
+#: simulator to select a mode.
+FLAT_DISPATCH = True
+
+EV_CALL = 0  # a: callable        b: unused   — run a()
+EV_RESOLVE = 1  # a: Future      b: value    — a.resolve_if_pending(b)
+EV_START = 2  # a: Process       b: unused   — first step of a process
+EV_WAKE = 3  # a: Process        b: value    — resume a sleeping process
+
+#: slot → human label, used by the kernel profiler to classify flat
+#: events (``KernelProfiler.dispatch_flat``) without touching handlers
+SLOT_NAMES: dict[int, str] = {
+    EV_CALL: "call",
+    EV_RESOLVE: "timeout",
+    EV_START: "proc.start",
+    EV_WAKE: "sleep",
+}
+
+# Slots 0-3 are inlined in the run loops; their table entries exist only
+# so ``run_slot`` (the profiler's sampled-execution helper) can execute
+# any slot uniformly.
+_SLOT_HANDLERS: list[Optional[Callable[[Any, Any], None]]] = [
+    None, None, None, None,
+]
+
+
+def register_slot(handler: Callable[[Any, Any], None], name: str) -> int:
+    """Register a subscriber slot; returns its index for ``sched`` calls.
+
+    ``handler(a, b)`` runs when a ``(time, seq, slot, a, b)`` event with
+    this slot is dispatched.  Registration happens at module import time
+    (e.g. ``simnet.streams`` registers its segment-arrival slot), so slot
+    indices are stable for the life of the interpreter.
+    """
+    slot = len(_SLOT_HANDLERS)
+    _SLOT_HANDLERS.append(handler)
+    SLOT_NAMES[slot] = name
+    return slot
+
+
+def run_slot(slot: int, a: Any, b: Any) -> None:
+    """Execute one flat event outside the run loop (profiler sampling)."""
+    if slot == 1:
+        if not a._done:
+            a._done = True
+            a._value = b
+            a._fire()
+    elif slot == 3:
+        a._step(b, None)
+    elif slot == 2:
+        a._step(None, None)
+    elif slot == 0:
+        a()
+    else:
+        _SLOT_HANDLERS[slot](a, b)
+
+
+class _Pause:
+    """The singleton sleep token (see :meth:`Simulator.pause`)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<pause>"
+
+
+_PAUSE = _Pause()
 
 
 class Future:
@@ -68,7 +174,10 @@ class Future:
         self._done = False
         self._value: Any = None
         self._exc: Optional[BaseException] = None
-        self._callbacks: list[Callable[["Future"], None]] = []
+        # None | a single callable | a list of callables: most futures
+        # take exactly one callback (the waiting process), so the common
+        # case allocates no list
+        self._callbacks: Any = None
         self.name = name
 
     # -- inspection ------------------------------------------------------
@@ -126,13 +235,24 @@ class Future:
         """Run ``fn(self)`` at resolution (immediately if already done)."""
         if self._done:
             fn(self)
+            return
+        cbs = self._callbacks
+        if cbs is None:
+            self._callbacks = fn
+        elif cbs.__class__ is list:
+            cbs.append(fn)
         else:
-            self._callbacks.append(fn)
+            self._callbacks = [cbs, fn]
 
     def _fire(self) -> None:
-        callbacks, self._callbacks = self._callbacks, []
-        for fn in callbacks:
-            fn(self)
+        callbacks = self._callbacks
+        if callbacks is not None:
+            self._callbacks = None
+            if callbacks.__class__ is list:
+                for fn in callbacks:
+                    fn(self)
+            else:
+                callbacks(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self._done else "pending"
@@ -207,7 +327,10 @@ class Process:
     :meth:`Simulator.run`.
     """
 
-    __slots__ = ("sim", "gen", "name", "alive", "done", "supervised", "_waiting_on")
+    __slots__ = (
+        "sim", "gen", "name", "alive", "done", "supervised",
+        "_waiting_on", "_resume_cb",
+    )
 
     def __init__(
         self,
@@ -223,8 +346,14 @@ class Process:
         self.supervised = supervised
         self.done = Future(sim, name=f"{name}.done")
         self._waiting_on: Optional[Future] = None
+        # bound once: every blocking yield registers this callback, and
+        # binding a method per block is measurable at CG event rates
+        self._resume_cb = self._resume
         sim._processes.append(self)
-        sim.after(0.0, lambda: self._step(None, None))
+        if sim.flat:
+            sim.sched(sim.now, EV_START, self)
+        else:
+            sim.after(0.0, lambda: self._step(None, None))
 
     def kill(self) -> None:
         """Abruptly terminate the process (models a crash).
@@ -246,8 +375,8 @@ class Process:
     def _resume(self, fut: Future) -> None:
         if not self.alive or self.sim._stopped:
             return
-        if fut.exception is not None:
-            self._step(None, fut.exception)
+        if fut._exc is not None:
+            self._step(None, fut._exc)
         else:
             self._step(fut._value, None)
 
@@ -288,7 +417,19 @@ class Process:
                 if not self.supervised:
                     self.sim._crashes.append((self, err))
                 return
-            if not isinstance(yielded, Future):
+            if yielded is _PAUSE:
+                # sleep fast path: the pause call just stashed its wake
+                # time/value on the simulator — push the wake event and
+                # suspend, with no future and no callback registration
+                sim = self.sim
+                seq = sim._seq
+                sim._seq = seq + 1
+                heapq.heappush(
+                    sim._heap,
+                    (sim._pause_time, seq, 3, self, sim._pause_value),
+                )
+                return
+            if yielded.__class__ is not Future and not isinstance(yielded, Future):
                 err2 = SimError(
                     f"process {self.name!r} yielded {type(yielded).__name__}, "
                     "expected a Future"
@@ -312,7 +453,7 @@ class Process:
                     value, exc = yielded._value, None
                 continue
             self._waiting_on = yielded
-            yielded.add_done_callback(self._resume)
+            yielded.add_done_callback(self._resume_cb)
             return
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -321,40 +462,56 @@ class Process:
 
 
 class Simulator:
-    """The event loop: a heap of ``(time, seq, callback)`` entries."""
+    """The event loop: a heap of flat ``(time, seq, slot, a, b)`` entries."""
 
-    def __init__(self) -> None:
+    def __init__(self, flat: Optional[bool] = None) -> None:
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self.flat: bool = FLAT_DISPATCH if flat is None else flat
+        self._heap: list[tuple[float, int, int, Any, Any]] = []
         self._seq = 0
         self._processes: list[Process] = []
         self._crashes: list[tuple[Process, BaseException]] = []
         self._stopped = False
         self._probe: Optional[Any] = None
+        # scratch for the pause() fast path: the token is consumed by the
+        # very next yield, so one slot per simulator suffices
+        self._pause_time = 0.0
+        self._pause_value: Any = None
 
     # -- instrumentation -------------------------------------------------
     def set_probe(self, probe: Optional[Any]) -> None:
         """Install (or clear, with ``None``) the kernel probe.
 
-        A probe observes the event loop at dispatch granularity:
+        A probe observes the event loop at dispatch granularity: for
+        legacy callable events (slot ``EV_CALL``),
         ``probe.dispatch(time, fn, qsize)`` is called *instead of*
-        ``fn()`` for every popped event (the probe must invoke ``fn``).
-        While the probe has ``probe.sampling`` set, process resumes are
-        timed and reported via ``probe.step_done(name, dt)`` for
-        per-service CPU attribution.  With no probe installed the run
-        loops below are exactly the uninstrumented ones — dispatch costs
-        nothing — which is the property ``benchmarks/bench_kernel.py``
-        fences at 2%.
+        ``fn()`` (the probe must invoke ``fn``); for every other slot,
+        ``probe.dispatch_flat(time, slot, a, b, qsize)`` is called and
+        must execute the event via :func:`run_slot`.  While the probe has
+        ``probe.sampling`` set, process resumes are timed and reported
+        via ``probe.step_done(name, dt)`` for per-service CPU
+        attribution.  With no probe installed the run loops below are
+        exactly the uninstrumented ones — dispatch costs nothing — which
+        is the property ``benchmarks/bench_kernel.py`` fences at 2%.
         """
         self._probe = probe
 
     # -- scheduling ------------------------------------------------------
+    def sched(self, time: float, slot: int, a: Any, b: Any = None) -> None:
+        """Schedule a flat event ``(slot, a, b)`` at absolute ``time``."""
+        if time < self.now:
+            raise SimError(f"cannot schedule in the past ({time} < {self.now})")
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, slot, a, b))
+
     def at(self, time: float, fn: Callable[[], None]) -> None:
         """Schedule ``fn`` to run at absolute simulated ``time``."""
         if time < self.now:
             raise SimError(f"cannot schedule in the past ({time} < {self.now})")
-        heapq.heappush(self._heap, (time, self._seq, fn))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, 0, fn, None))
 
     def after(self, delay: float, fn: Callable[[], None]) -> None:
         """Schedule ``fn`` to run ``delay`` seconds from now."""
@@ -364,9 +521,35 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> Future:
         """A future that resolves ``delay`` seconds from now."""
-        fut = Future(self, name=f"timeout({delay:g})")
-        self.after(delay, lambda: fut.resolve_if_pending(value))
+        if delay < 0:
+            raise SimError(f"negative delay {delay}")
+        fut = Future(self, name="timeout")
+        if self.flat:
+            self.sched(self.now + delay, EV_RESOLVE, fut, value)
+        else:
+            self.at(self.now + delay, lambda: fut.resolve_if_pending(value))
         return fut
+
+    def pause(self, delay: float, value: Any = None) -> Any:
+        """Sleep token: ``value = yield sim.pause(delay)``.
+
+        The allocation-free twin of :meth:`timeout` for the dominant
+        event shape — advance simulated time, then resume the calling
+        process.  The returned token must be yielded *immediately* by
+        the running process (the kernel stashes the wake time on the
+        simulator and the next yield consumes it); for anything fancier
+        — handing the future around, racing it in ``any_of`` — use
+        :meth:`timeout`.  In legacy dispatch mode this *is*
+        :meth:`timeout`, so call sites stay mode-agnostic and event
+        order stays byte-identical between the modes.
+        """
+        if self.flat:
+            if delay < 0:
+                raise SimError(f"negative delay {delay}")
+            self._pause_time = self.now + delay
+            self._pause_value = value
+            return _PAUSE
+        return self.timeout(delay, value)
 
     def future(self, name: str = "") -> Future:
         """Allocate an unresolved future."""
@@ -383,7 +566,7 @@ class Simulator:
 
     def sleep(self, delay: float) -> Generator[Future, Any, None]:
         """Composite sleep: ``yield from sim.sleep(dt)``."""
-        yield self.timeout(delay)
+        yield self.pause(delay)
 
     # -- running ---------------------------------------------------------
     def run(self, until: Optional[float] = None) -> None:
@@ -393,14 +576,34 @@ class Simulator:
         """
         if self._probe is not None:
             return self._run_probed(until)
-        while self._heap and not self._stopped:
-            time, _, fn = self._heap[0]
+        heap = self._heap
+        pop = heapq.heappop
+        handlers = _SLOT_HANDLERS
+        while heap and not self._stopped:
+            entry = heap[0]
+            time = entry[0]
             if until is not None and time > until:
                 self.now = until
                 break
-            heapq.heappop(self._heap)
+            pop(heap)
             self.now = time
-            fn()
+            slot = entry[2]
+            a = entry[3]
+            # probe is None in these loops by construction, so process
+            # resumes skip _step's probe check and go straight in
+            if slot == 3:
+                a._step_inner(entry[4], None)
+            elif slot > 3:
+                handlers[slot](a, entry[4])
+            elif slot == 0:
+                a()
+            elif slot == 1:
+                if not a._done:
+                    a._done = True
+                    a._value = entry[4]
+                    a._fire()
+            else:
+                a._step_inner(None, None)
             if self._crashes:
                 proc, err = self._crashes[0]
                 raise SimError(f"process {proc.name!r} crashed") from err
@@ -413,19 +616,39 @@ class Simulator:
         seconds pass first."""
         if self._probe is not None:
             return self._run_until_probed(fut, limit)
-        while not fut.done and self._heap and not self._stopped:
-            time, _, fn = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        handlers = _SLOT_HANDLERS
+        while not fut._done and heap and not self._stopped:
+            entry = pop(heap)
+            time = entry[0]
             if limit is not None and time > limit:
                 raise SimError(
                     f"simulated time limit {limit} exceeded waiting for "
                     f"{fut.name!r} (now={time})"
                 )
             self.now = time
-            fn()
+            slot = entry[2]
+            a = entry[3]
+            # probe is None in these loops by construction, so process
+            # resumes skip _step's probe check and go straight in
+            if slot == 3:
+                a._step_inner(entry[4], None)
+            elif slot > 3:
+                handlers[slot](a, entry[4])
+            elif slot == 0:
+                a()
+            elif slot == 1:
+                if not a._done:
+                    a._done = True
+                    a._value = entry[4]
+                    a._fire()
+            else:
+                a._step_inner(None, None)
             if self._crashes:
                 proc, err = self._crashes[0]
                 raise SimError(f"process {proc.name!r} crashed") from err
-        if not fut.done:
+        if not fut._done:
             raise DeadlockError(
                 f"event queue drained; {fut.name!r} never resolved; "
                 f"blocked: {self.blocked_processes()}"
@@ -433,18 +656,27 @@ class Simulator:
         return fut.value
 
     # probed twins of the two run loops: identical control flow, with
-    # every dispatch routed through the probe.  Kept separate so the
-    # default loops above stay byte-for-byte the uninstrumented ones.
+    # every dispatch routed through the probe (legacy callables through
+    # ``dispatch``, flat slots through ``dispatch_flat``).  Kept separate
+    # so the default loops above stay byte-for-byte the uninstrumented
+    # ones.
     def _run_probed(self, until: Optional[float]) -> None:
         probe = self._probe
-        while self._heap and not self._stopped:
-            time, _, fn = self._heap[0]
+        heap = self._heap
+        pop = heapq.heappop
+        while heap and not self._stopped:
+            entry = heap[0]
+            time = entry[0]
             if until is not None and time > until:
                 self.now = until
                 break
-            heapq.heappop(self._heap)
+            pop(heap)
             self.now = time
-            probe.dispatch(time, fn, len(self._heap))
+            slot = entry[2]
+            if slot == 0:
+                probe.dispatch(time, entry[3], len(heap))
+            else:
+                probe.dispatch_flat(time, slot, entry[3], entry[4], len(heap))
             if self._crashes:
                 proc, err = self._crashes[0]
                 raise SimError(f"process {proc.name!r} crashed") from err
@@ -453,19 +685,26 @@ class Simulator:
 
     def _run_until_probed(self, fut: Future, limit: Optional[float]) -> Any:
         probe = self._probe
-        while not fut.done and self._heap and not self._stopped:
-            time, _, fn = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        while not fut._done and heap and not self._stopped:
+            entry = pop(heap)
+            time = entry[0]
             if limit is not None and time > limit:
                 raise SimError(
                     f"simulated time limit {limit} exceeded waiting for "
                     f"{fut.name!r} (now={time})"
                 )
             self.now = time
-            probe.dispatch(time, fn, len(self._heap))
+            slot = entry[2]
+            if slot == 0:
+                probe.dispatch(time, entry[3], len(heap))
+            else:
+                probe.dispatch_flat(time, slot, entry[3], entry[4], len(heap))
             if self._crashes:
                 proc, err = self._crashes[0]
                 raise SimError(f"process {proc.name!r} crashed") from err
-        if not fut.done:
+        if not fut._done:
             raise DeadlockError(
                 f"event queue drained; {fut.name!r} never resolved; "
                 f"blocked: {self.blocked_processes()}"
@@ -494,13 +733,21 @@ class Queue:
     ``get`` calls then fail with the supplied exception.
     """
 
+    __slots__ = (
+        "sim", "name", "_items", "_getters", "_watchers", "_broken",
+        "_get_name", "_nonempty_name",
+    )
+
     def __init__(self, sim: Simulator, name: str = "queue") -> None:
         self.sim = sim
         self.name = name
-        self._items: list[Any] = []
-        self._getters: list[Future] = []
+        self._items: deque[Any] = deque()
+        self._getters: deque[Future] = deque()
         self._watchers: list[Future] = []
         self._broken: Optional[BaseException] = None
+        # precomputed once: the hot path allocates no f-strings per call
+        self._get_name = f"{name}.get"
+        self._nonempty_name = f"{name}.nonempty"
 
     def __len__(self) -> int:
         return len(self._items)
@@ -510,28 +757,30 @@ class Queue:
         if self._broken is not None:
             return  # messages to a broken queue are dropped
         if self._getters:
-            self._getters.pop(0).resolve(item)
+            self._getters.popleft().resolve(item)
         else:
             self._items.append(item)
-            watchers, self._watchers = self._watchers, []
-            for fut in watchers:
-                fut.resolve_if_pending(None)
+            if self._watchers:
+                watchers, self._watchers = self._watchers, []
+                for fut in watchers:
+                    fut.resolve_if_pending(None)
 
     def get(self) -> Future:
         """A future for the next item (primitive form: ``yield q.get()``)."""
-        fut = Future(self.sim, name=f"{self.name}.get")
+        fut = Future(self.sim, name=self._get_name)
         if self._broken is not None:
             fut.fail(self._broken)
         elif self._items:
-            fut.resolve(self._items.pop(0))
+            fut._done = True
+            fut._value = self._items.popleft()
         else:
             self._getters.append(fut)
         return fut
 
     def try_get(self) -> tuple[bool, Any]:
-        """Nonblocking get: (ok, item)."""
-        if self._items:
-            return True, self._items.pop(0)
+        """Nonblocking get: (ok, item); a broken queue yields nothing."""
+        if self._items and self._broken is None:
+            return True, self._items.popleft()
         return False, None
 
     def when_nonempty(self) -> Future:
@@ -540,7 +789,7 @@ class Queue:
         After it resolves, the caller should re-check with :meth:`try_get`
         (another consumer may have raced it in the same tick).
         """
-        fut = Future(self.sim, name=f"{self.name}.nonempty")
+        fut = Future(self.sim, name=self._nonempty_name)
         if self._broken is not None:
             fut.fail(self._broken)
         elif self._items:
@@ -556,7 +805,7 @@ class Queue:
     def break_(self, exc: BaseException) -> None:
         """Fail all pending and future gets (peer disconnected/crashed)."""
         self._broken = exc
-        getters, self._getters = self._getters, []
+        getters, self._getters = self._getters, deque()
         for fut in getters:
             fut.fail_if_pending(exc)
         watchers, self._watchers = self._watchers, []
@@ -567,11 +816,14 @@ class Queue:
 class Gate:
     """A level-triggered condition: processes wait until the gate opens."""
 
+    __slots__ = ("sim", "name", "_open", "_waiters", "_wait_name")
+
     def __init__(self, sim: Simulator, opened: bool = False, name: str = "gate") -> None:
         self.sim = sim
         self.name = name
         self._open = opened
         self._waiters: list[Future] = []
+        self._wait_name = f"{name}.wait"
 
     @property
     def is_open(self) -> bool:
@@ -581,9 +833,10 @@ class Gate:
     def open(self) -> None:
         """Open the gate; wakes every waiter."""
         self._open = True
-        waiters, self._waiters = self._waiters, []
-        for fut in waiters:
-            fut.resolve_if_pending(None)
+        if self._waiters:
+            waiters, self._waiters = self._waiters, []
+            for fut in waiters:
+                fut.resolve_if_pending(None)
 
     def close(self) -> None:
         """Close the gate; future waiters block."""
@@ -591,9 +844,9 @@ class Gate:
 
     def waitfor(self) -> Future:
         """A future resolved when (or while) the gate is open."""
-        fut = Future(self.sim, name=f"{self.name}.wait")
+        fut = Future(self.sim, name=self._wait_name)
         if self._open:
-            fut.resolve(None)
+            fut._done = True
         else:
             self._waiters.append(fut)
         return fut
@@ -602,15 +855,22 @@ class Gate:
 class Semaphore:
     """A counting semaphore with FIFO acquire ordering."""
 
+    __slots__ = (
+        "sim", "name", "_tokens", "_waiters", "_observers", "_broken",
+        "_acquire_name", "_avail_name",
+    )
+
     def __init__(self, sim: Simulator, tokens: int, name: str = "sem") -> None:
         if tokens < 0:
             raise ValueError("tokens must be >= 0")
         self.sim = sim
         self.name = name
         self._tokens = tokens
-        self._waiters: list[tuple[int, Future]] = []
+        self._waiters: deque[tuple[int, Future]] = deque()
         self._observers: list[tuple[int, Future]] = []
         self._broken: Optional[BaseException] = None
+        self._acquire_name = f"{name}.acquire"
+        self._avail_name = f"{name}.avail"
 
     @property
     def tokens(self) -> int:
@@ -619,21 +879,38 @@ class Semaphore:
 
     def acquire(self, n: int = 1) -> Future:
         """A future resolved once ``n`` tokens have been taken."""
-        fut = Future(self.sim, name=f"{self.name}.acquire({n})")
+        fut = Future(self.sim, name=self._acquire_name)
         if self._broken is not None:
             fut.fail(self._broken)
         elif not self._waiters and self._tokens >= n:
             self._tokens -= n
-            fut.resolve(None)
+            fut._done = True
         else:
             self._waiters.append((n, fut))
         return fut
 
+    def try_acquire(self, n: int = 1) -> bool:
+        """Take ``n`` tokens now, or none: the allocation-free fast path.
+
+        Exactly :meth:`acquire`'s synchronous-success condition (FIFO
+        order respected — queued waiters refuse the shortcut), without
+        building a future for it.
+        """
+        if (
+            self._broken is not None
+            or self._waiters
+            or self._tokens < n
+        ):
+            return False
+        self._tokens -= n
+        return True
+
     def release(self, n: int = 1) -> None:
         """Return ``n`` tokens; wakes waiters FIFO."""
         self._tokens += n
-        while self._waiters and self._tokens >= self._waiters[0][0]:
-            need, fut = self._waiters.pop(0)
+        waiters = self._waiters
+        while waiters and self._tokens >= waiters[0][0]:
+            need, fut = waiters.popleft()
             self._tokens -= need
             fut.resolve_if_pending(None)
         if self._observers:
@@ -648,7 +925,7 @@ class Semaphore:
     def break_(self, exc: BaseException) -> None:
         """Fail all pending and future acquires (resource vanished)."""
         self._broken = exc
-        waiters, self._waiters = self._waiters, []
+        waiters, self._waiters = self._waiters, deque()
         for _, fut in waiters:
             fut.fail_if_pending(exc)
         observers, self._observers = self._observers, []
@@ -661,7 +938,7 @@ class Semaphore:
         The caller must re-check (and possibly wait again): tokens may be
         taken by another process in the same tick.
         """
-        fut = Future(self.sim, name=f"{self.name}.avail({n})")
+        fut = Future(self.sim, name=self._avail_name)
         if self._broken is not None:
             fut.fail(self._broken)
         elif self._tokens >= n:

@@ -134,10 +134,22 @@ class Network:
         src: Host,
         dst: Host,
         nbytes: int,
-        on_arrival: Callable[[], None],
+        on_arrival: Any,
         bulk: bool = False,
+        segments: int = 1,
     ) -> float:
-        """Schedule a one-way segment; returns the arrival time.
+        """Schedule a one-way frame; returns the arrival time.
+
+        ``on_arrival`` is either a callable (legacy closure delivery) or
+        a flat ``(slot, a, b)`` event tuple scheduled directly on the
+        kernel heap — the zero-allocation path the streams layer uses.
+
+        ``segments`` models a coalesced frame: one transfer call moving
+        what the wire carries as N segments.  Wire time is honest — the
+        payload pays ``frame_overhead`` and ``per_segment_gap`` once per
+        segment, exactly as N separate transfers would — but the endpoint
+        CPU (``send_cpu``/``recv_cpu``) is paid once per *call*, which is
+        the syscall-batching/scatter-gather win coalescing buys.
 
         The caller is responsible for flow control (see ``streams``); the
         network itself never queues unboundedly per-stream because writers
@@ -146,57 +158,68 @@ class Network:
         if src.failed:
             raise HostDown(src.name)
         now = self.sim.now
+        link = self.link
         if src is dst:
             arrival = (
                 now
-                + self.link.loopback_latency
-                + nbytes / self.link.loopback_bandwidth
+                + link.loopback_latency
+                + nbytes / link.loopback_bandwidth
             )
-            self.sim.at(arrival, on_arrival)
+            if on_arrival.__class__ is tuple:
+                self.sim.sched(arrival, on_arrival[0], on_arrival[1], on_arrival[2])
+            else:
+                self.sim.at(arrival, on_arrival)
             return arrival
 
         if self._partitions:
             win = self._crossing(src.name, dst.name)
             if win is not None:
-                # hold the segment at the cut; it re-enters transfer()
+                # hold the frame at the cut; it re-enters transfer()
                 # when the partition heals (and re-checks the remaining
                 # cuts, so overlapping partitions compose)
-                self.segments_deferred += 1
+                self.segments_deferred += segments
                 self.tracer.emit(
                     now, "net.defer", src=src.name, dst=dst.name,
                     nbytes=nbytes, until=win.until,
                 )
                 win.deferred.append(
-                    lambda: self._retry_deferred(src, dst, nbytes, on_arrival, bulk)
+                    lambda: self._retry_deferred(
+                        src, dst, nbytes, on_arrival, bulk, segments
+                    )
                 )
                 return win.until
 
         same_site = src.site == dst.site
         bandwidth = (
-            self.link.bandwidth
+            link.bandwidth
             if same_site
-            else min(self.link.bandwidth, self.link.wan_bandwidth)
+            else min(link.bandwidth, link.wan_bandwidth)
         )
-        latency = self.link.wire_latency if same_site else self.link.wan_latency
+        latency = link.wire_latency if same_site else link.wan_latency
         if self._degrades:
             bwf, latf = self._degradation(src.name, dst.name)
             bandwidth /= bwf
             latency *= latf
         duration = (
-            (nbytes + self.link.frame_overhead) / bandwidth
-            + self.link.per_segment_gap
+            (nbytes + link.frame_overhead * segments) / bandwidth
+            + link.per_segment_gap * segments
         )
         coupling = nbytes if bulk else 0
-        tx_start = src.reserve_tx(now + self.link.send_cpu, duration, coupling)
+        tx_start = src.reserve_tx(now + link.send_cpu, duration, coupling)
         rx_end = dst.reserve_rx(tx_start + latency, duration, coupling)
-        arrival = rx_end + self.link.recv_cpu
+        arrival = rx_end + link.recv_cpu
 
         self.bytes_moved += nbytes
-        self.segments_moved += 1
-        self.tracer.emit(
-            now, "net.xfer", src=src.name, dst=dst.name, nbytes=nbytes, arrival=arrival
-        )
-        self.sim.at(arrival, on_arrival)
+        self.segments_moved += segments
+        if self.tracer.hot:
+            self.tracer.emit(
+                now, "net.xfer",
+                src=src.name, dst=dst.name, nbytes=nbytes, arrival=arrival,
+            )
+        if on_arrival.__class__ is tuple:
+            self.sim.sched(arrival, on_arrival[0], on_arrival[1], on_arrival[2])
+        else:
+            self.sim.at(arrival, on_arrival)
         return arrival
 
     def _retry_deferred(
@@ -204,12 +227,13 @@ class Network:
         src: Host,
         dst: Host,
         nbytes: int,
-        on_arrival: Callable[[], None],
+        on_arrival: Any,
         bulk: bool,
+        segments: int = 1,
     ) -> None:
         if src.failed or dst.failed:
             return  # the crash already broke the stream; the segment dies
-        self.transfer(src, dst, nbytes, on_arrival, bulk=bulk)
+        self.transfer(src, dst, nbytes, on_arrival, bulk=bulk, segments=segments)
 
     # -- link-level faults -------------------------------------------------
     def partition(

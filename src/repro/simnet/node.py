@@ -80,26 +80,41 @@ class Host:
 
     def reserve_tx(self, start: float, duration: float, nbytes: int = 0) -> float:
         """Reserve the transmit side; returns actual transmission start."""
-        coupled = self._coupled(nbytes)
-        free = max(self._tx_free, self._rx_free) if coupled else self._tx_free
-        begin = max(start, free)
-        end = begin + duration
-        self._tx_free = end
+        begin = self._tx_free
+        if not self.full_duplex and nbytes >= 8192:  # inlined _coupled
+            if self._rx_free > begin:
+                begin = self._rx_free
+            if start > begin:
+                begin = start
+            end = begin + duration
+            self._tx_free = end
+            if end > self._rx_free:
+                self._rx_free = end
+        else:
+            if start > begin:
+                begin = start
+            self._tx_free = begin + duration
         self.nic_tx_busy_s += duration
-        if coupled:
-            self._rx_free = max(self._rx_free, end)
         return begin
 
     def reserve_rx(self, start: float, duration: float, nbytes: int = 0) -> float:
         """Reserve the receive side; returns the reception completion time."""
-        coupled = self._coupled(nbytes)
-        free = max(self._tx_free, self._rx_free) if coupled else self._rx_free
-        begin = max(start, free)
-        end = begin + duration
-        self._rx_free = end
+        begin = self._rx_free
+        if not self.full_duplex and nbytes >= 8192:  # inlined _coupled
+            if self._tx_free > begin:
+                begin = self._tx_free
+            if start > begin:
+                begin = start
+            end = begin + duration
+            self._rx_free = end
+            if end > self._tx_free:
+                self._tx_free = end
+        else:
+            if start > begin:
+                begin = start
+            end = begin + duration
+            self._rx_free = end
         self.nic_rx_busy_s += duration
-        if coupled:
-            self._tx_free = max(self._tx_free, end)
         return end
 
     # -- process / stream registry ---------------------------------------

@@ -17,13 +17,14 @@ and in-flight segments are dropped — matching the paper's assumption that
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Generator, Optional
 
-from .kernel import Future, Queue, Semaphore
+from .kernel import Future, Semaphore, register_slot
 from .network import Network
 from .node import Host
 
-__all__ = ["Disconnected", "Stream", "StreamEnd", "DEFAULT_WINDOW"]
+__all__ = ["Disconnected", "Stream", "StreamEnd", "DEFAULT_WINDOW", "EV_ARRIVE"]
 
 DEFAULT_WINDOW = 64 * 1024
 
@@ -35,6 +36,18 @@ class Disconnected(Exception):
         super().__init__(f"stream {stream_name} disconnected ({cause})")
         self.stream_name = stream_name
         self.cause = cause
+
+
+def _arrive(end: "StreamEnd", segment: tuple) -> None:
+    # dropped on the floor when a crash raced the transfer — matching the
+    # paper's "a message is completely received or not at all"
+    if not end.stream.dead and end.broken is None:
+        end._deliver(segment)
+
+
+#: the flat-dispatch slot for segment delivery: ``(EV_ARRIVE, receiving
+#: end, segment)`` heap entries replace the per-segment arrive closures
+EV_ARRIVE = register_slot(_arrive, "streams.arrive")
 
 
 class StreamEnd:
@@ -49,16 +62,49 @@ class StreamEnd:
         self._wcredit = Semaphore(
             stream.net.sim, stream.window, name=f"{stream.name}.{label}.credit"
         )
-        self._rx: Queue = Queue(stream.net.sim, name=f"{stream.name}.{label}.rx")
+        # the receive side, inlined (no kernel Queue): segments are
+        # handed straight to a waiting reader at arrival time — one
+        # future and zero closures per read on the hot path
+        self._rx_items: deque[tuple] = deque()
+        self._rx_getters: deque[Future] = deque()
+        self._rx_watchers: list[Future] = []
         self.broken: Optional[Disconnected] = None
         self.bytes_written = 0
         self.bytes_read = 0
         # window-stall accounting (folded into the metrics registry at
-        # job end): time writers spent blocked on the peer's window
+        # job end): time writers spent blocked on the peer's window.
+        # A stall is one *blocked write call* — a coalesced frame counts
+        # once however many wire segments it spans.
         self.stall_count = 0
         self.stall_s = 0.0
+        self._read_name = f"{stream.name}.{label}.read"
 
     # -- writing ----------------------------------------------------------
+    def _xfer(
+        self, nbytes: int, charge: int, payload: Any, bulk: bool, nsegs: int
+    ) -> None:
+        """Hand one (possibly coalesced) frame to the network."""
+        net = self.stream.net
+        peer = self.peer
+        segment = (nbytes, charge, payload)
+        if net.sim.flat:
+            net.transfer(
+                self.host, peer.host, nbytes, (EV_ARRIVE, peer, segment),
+                bulk=bulk, segments=nsegs,
+            )
+        else:
+            stream = self.stream
+
+            def arrive() -> None:
+                if stream.dead or peer.broken is not None:
+                    return  # dropped on the floor: crash during transfer
+                peer._deliver(segment)
+
+            net.transfer(
+                self.host, peer.host, nbytes, arrive, bulk=bulk, segments=nsegs
+            )
+        self.bytes_written += nbytes
+
     def write(
         self, nbytes: int, payload: Any = None, bulk: bool = False
     ) -> Generator[Future, Any, None]:
@@ -74,45 +120,84 @@ class StreamEnd:
         charge = max(1, min(nbytes, self.stream.window))
         if self.broken is not None:
             raise self.broken
-        if self._wcredit.tokens >= charge:
-            yield self._wcredit.acquire(charge)
-        else:
+        if not self._wcredit.try_acquire(charge):
+            # blocked — whether on missing tokens or FIFO order behind
+            # earlier waiters (the old tokens>=charge check missed those)
             self.stall_count += 1
             t0 = self.stream.net.sim.now
             yield self._wcredit.acquire(charge)
             self.stall_s += self.stream.net.sim.now - t0
+            if self.broken is not None:
+                raise self.broken
+        self._xfer(nbytes, charge, payload, bulk, 1)
+
+    def write_frame(
+        self,
+        nbytes: int,
+        record: Any = None,
+        mtu: Optional[int] = None,
+        bulk: bool = False,
+    ) -> Generator[Future, Any, None]:
+        """Send one length-prefixed frame, coalescing its wire segments.
+
+        Replaces the ``N-1 × write(None) + write(record)`` segment loops:
+        when the whole frame fits in the peer's receive window, its
+        window credit is charged once and the network moves it as a
+        single transfer of ``ceil(nbytes / mtu)`` wire segments — one
+        kernel event and one reader wakeup instead of N (wire time is
+        unchanged; endpoint CPU is paid once, the syscall-batching win).
+        The reader sees exactly one ``(nbytes, record)`` segment.
+
+        A frame larger than the window cannot coalesce without breaking
+        flow control (the reader must drain mid-transfer — the Figure 9
+        stall mechanism), so it falls back to window-respecting segments
+        with ``record`` riding the last one.  Either way a blocked call
+        counts at most one window stall.
+        """
         if self.broken is not None:
             raise self.broken
-        net = self.stream.net
-        peer = self.peer
-        segment = (nbytes, charge, payload)
-
-        def arrive() -> None:
-            if self.stream.dead or peer.broken is not None:
-                return  # dropped on the floor: crash during transfer
-            peer._rx.put(segment)
-
-        net.transfer(self.host, peer.host, nbytes, arrive, bulk=bulk)
-        self.bytes_written += nbytes
+        window = self.stream.window
+        if mtu is None or mtu <= 0:
+            mtu = window
+        if nbytes <= window:
+            charge = max(1, nbytes)
+            if not self._wcredit.try_acquire(charge):
+                self.stall_count += 1
+                t0 = self.stream.net.sim.now
+                yield self._wcredit.acquire(charge)
+                self.stall_s += self.stream.net.sim.now - t0
+                if self.broken is not None:
+                    raise self.broken
+            nsegs = -(-nbytes // mtu) if nbytes > 0 else 1
+            self._xfer(nbytes, charge, record, bulk, nsegs)
+            return
+        remaining = nbytes
+        stalled = False
+        while remaining > 0:
+            seg = mtu if remaining > mtu else remaining
+            charge = max(1, min(seg, window))
+            if not self._wcredit.try_acquire(charge):
+                if not stalled:
+                    stalled = True
+                    self.stall_count += 1
+                t0 = self.stream.net.sim.now
+                yield self._wcredit.acquire(charge)
+                self.stall_s += self.stream.net.sim.now - t0
+                if self.broken is not None:
+                    raise self.broken
+            remaining -= seg
+            self._xfer(seg, charge, record if remaining <= 0 else None, bulk, 1)
 
     def write_nowait(self, nbytes: int, payload: Any = None, bulk: bool = False) -> bool:
-        """Non-blocking write; returns False if the window is full/broken."""
+        """Non-blocking write; returns False if the window is full/broken.
+
+        FIFO order is respected: queued writers go first (try_acquire
+        refuses while waiters exist).
+        """
         charge = max(1, min(nbytes, self.stream.window))
-        if self.broken is not None or self._wcredit.tokens < charge:
+        if self.broken is not None or not self._wcredit.try_acquire(charge):
             return False
-        # acquire resolves synchronously when tokens suffice
-        self._wcredit.acquire(charge)
-        net = self.stream.net
-        peer = self.peer
-        segment = (nbytes, charge, payload)
-
-        def arrive() -> None:
-            if self.stream.dead or peer.broken is not None:
-                return
-            peer._rx.put(segment)
-
-        net.transfer(self.host, peer.host, nbytes, arrive, bulk=bulk)
-        self.bytes_written += nbytes
+        self._xfer(nbytes, charge, payload, bulk, 1)
         return True
 
     @property
@@ -121,34 +206,58 @@ class StreamEnd:
         return self.broken is None and self._wcredit.tokens > 0
 
     # -- reading ----------------------------------------------------------
+    def _deliver(self, segment: tuple) -> None:
+        """Hand one arrived segment to the receive side.
+
+        A waiting reader gets it immediately — credit released and its
+        read future resolved right here, with no intermediate queue hop
+        — otherwise the segment is parked for the next read call.
+        """
+        getters = self._rx_getters
+        if getters:
+            nbytes, charge, payload = segment
+            self.bytes_read += nbytes
+            if self.peer.broken is None:
+                self.peer._wcredit.release(charge)
+            getters.popleft().resolve((nbytes, payload))
+            return
+        self._rx_items.append(segment)
+        if self._rx_watchers:
+            watchers, self._rx_watchers = self._rx_watchers, []
+            for fut in watchers:
+                fut.resolve_if_pending(None)
+
     def read(self) -> Future:
         """A future for the next segment ``(nbytes, payload)``.
 
         Reading releases window credit back to the peer writer — a device
         that delays reads (P4 while sending) therefore stalls its peer.
         """
-        fut = Future(self.stream.net.sim, name=f"{self.stream.name}.{self.label}.read")
-        raw = self._rx.get()
-
-        def done(f: Future) -> None:
-            if f.exception is not None:
-                fut.fail_if_pending(f.exception)
-                return
-            nbytes, charge, payload = f.value
+        items = self._rx_items
+        if items and self.broken is None:
+            # hot path: a segment is already queued — pop it, release the
+            # credit and return a pre-resolved future
+            nbytes, charge, payload = items.popleft()
             self.bytes_read += nbytes
             if self.peer.broken is None:
                 self.peer._wcredit.release(charge)
-            fut.resolve_if_pending((nbytes, payload))
-
-        raw.add_done_callback(done)
+            fut = Future(self.stream.net.sim, name=self._read_name)
+            fut._done = True
+            fut._value = (nbytes, payload)
+            return fut
+        fut = Future(self.stream.net.sim, name=self._read_name)
+        if self.broken is not None:
+            fut.fail(self.broken)
+        else:
+            self._rx_getters.append(fut)
         return fut
 
     def try_read(self) -> tuple[bool, int, Any]:
         """Non-blocking read: ``(ok, nbytes, payload)``."""
-        ok, segment = self._rx.try_get()
-        if not ok:
+        items = self._rx_items
+        if not items:
             return False, 0, None
-        nbytes, charge, payload = segment
+        nbytes, charge, payload = items.popleft()
         self.bytes_read += nbytes
         if self.peer.broken is None:
             self.peer._wcredit.release(charge)
@@ -157,16 +266,23 @@ class StreamEnd:
     @property
     def readable(self) -> bool:
         """Is a segment waiting to be read?"""
-        return len(self._rx) > 0
+        return len(self._rx_items) > 0
 
     @property
     def rx_depth(self) -> int:
         """Segments received but not yet read (the receive backlog)."""
-        return len(self._rx)
+        return len(self._rx_items)
 
     def when_readable(self) -> Future:
         """A future resolved when a segment is (or becomes) available."""
-        return self._rx.when_nonempty()
+        fut = Future(self.stream.net.sim, name=self._read_name)
+        if self.broken is not None:
+            fut.fail(self.broken)
+        elif self._rx_items:
+            fut.resolve(None)
+        else:
+            self._rx_watchers.append(fut)
+        return fut
 
     def when_writable(self, nbytes: int) -> Future:
         """A future resolved when window credit for ``nbytes`` exists."""
@@ -179,7 +295,12 @@ class StreamEnd:
             return
         exc = Disconnected(self.stream.name, cause)
         self.broken = exc
-        self._rx.break_(exc)
+        getters, self._rx_getters = self._rx_getters, deque()
+        for fut in getters:
+            fut.fail_if_pending(exc)
+        watchers, self._rx_watchers = self._rx_watchers, []
+        for fut in watchers:
+            fut.fail_if_pending(exc)
         self._wcredit.break_(exc)
 
 

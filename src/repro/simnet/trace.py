@@ -62,6 +62,11 @@ class Tracer:
         self._subs: list[tuple[Callable[[float, str, dict], None],
                                Optional[frozenset]]] = []
         self._interest: Optional[frozenset] = frozenset()  # union; None=all
+        #: False only when *no* emit can have an effect (retention off,
+        #: no subscribers).  Hot paths guard ``if tracer.hot:`` before
+        #: building an emit's keyword dict — the dict construction, not
+        #: the emit call, is what shows up at CG event rates.
+        self.hot = enabled
         if max_records is not None:
             self.records: Any = deque(maxlen=max_records)
         else:
@@ -90,6 +95,7 @@ class Tracer:
             for _, k in self._subs:
                 acc |= k
             self._interest = frozenset(acc)
+        self.hot = self.enabled or bool(self._subs)
 
     def emit(self, time: float, kind: str, **fields: Any) -> None:
         """Record one event (no-op when disabled and nobody subscribed)."""

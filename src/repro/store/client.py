@@ -33,7 +33,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
-from ..devices.base import segment_sizes
 from ..obs.registry import Metrics
 from ..runtime.config import TestbedConfig
 from ..runtime.fabric import ConnectionRefused, Fabric
@@ -239,10 +238,9 @@ class StoreClient:
 
     def _send_chunks(self, sess: Session, chunks) -> Generator[Future, Any, None]:
         for chunk in chunks:
-            sizes = segment_sizes(max(1, chunk.nbytes), self.cfg.chunk_bytes)
-            for nbytes in sizes[:-1]:
-                yield from sess.write(nbytes, None)
-            yield from sess.write(sizes[-1], ("CHUNK", chunk))
+            yield from sess.write_frame(
+                max(1, chunk.nbytes), ("CHUNK", chunk), mtu=self.cfg.chunk_bytes
+            )
             self._m_push_bytes.inc(chunk.nbytes)
 
     # ------------------------------------------------------------------
@@ -306,7 +304,7 @@ class StoreClient:
                 delay = policy.delay(attempt, self._rng)
                 self._note_retry(attempt, delay)
                 n_retries += 1
-                yield self.sim.timeout(delay)
+                yield self.sim.pause(delay)
                 continue
             if refused and not failed_over:
                 # the preferred replica set is degraded: record that this
@@ -358,7 +356,7 @@ class StoreClient:
                 delay = policy.delay(attempt, self._rng)
                 self._note_retry(attempt, delay)
                 n_retries += 1
-                yield self.sim.timeout(delay)
+                yield self.sim.pause(delay)
             finally:
                 if desync and sess.end is not None:
                     # the replica may still be streaming the rest of the

@@ -37,7 +37,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from ..devices.base import segment_sizes
 from ..obs.registry import Metrics
 from ..runtime.config import TestbedConfig
 from ..runtime.fabric import Fabric
@@ -197,10 +196,9 @@ class StoreReplica(ServiceBase):
                 continue
             sent.add(ref.digest)
             chunk = self.chunks[ref.digest]
-            sizes = segment_sizes(max(1, chunk.nbytes), self.cfg.chunk_bytes)
-            for nbytes in sizes[:-1]:
-                yield from end.write(nbytes, None)
-            yield from end.write(sizes[-1], ("CHUNK", chunk))
+            yield from end.write_frame(
+                max(1, chunk.nbytes), ("CHUNK", chunk), mtu=self.cfg.chunk_bytes
+            )
 
     # -- garbage collection -------------------------------------------------
     def _collect(self, keep: dict[int, int]) -> None:

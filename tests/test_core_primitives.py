@@ -179,15 +179,15 @@ def test_event_logger_store_ack_download():
     def client():
         end = fabric.connect(cn, "el:0", hello=0)
         recs = [EventRecord(1, src=2, sclock=5, probes=0)]
-        yield from end.write(20, ("EVENT", 0, recs))
+        yield from end.write(20, ("EVENT", 0, 0, recs))
         _, ack = yield end.read()
-        assert ack == ("ACK", 1)
+        assert ack == ("ACK", 0, 1)
         yield from end.write(12, ("DOWNLOAD", 0, 0))
         _, reply = yield end.read()
         return reply
 
     p = cluster.sim.spawn(client(), "cli")
-    kind, records = cluster.sim.run_until(p.done)
+    kind, records, _piggy = cluster.sim.run_until(p.done)
     assert kind == "EVENTS"
     assert records == [EventRecord(1, 2, 5, 0)]
 
@@ -198,7 +198,7 @@ def test_event_logger_download_after_clock_filters():
     def client():
         end = fabric.connect(cn, "el:0", hello=0)
         recs = [EventRecord(rc, src=1, sclock=rc, probes=0) for rc in (1, 2, 3)]
-        yield from end.write(60, ("EVENT", 0, recs))
+        yield from end.write(60, ("EVENT", 0, 0, recs))
         yield end.read()
         yield from end.write(12, ("DOWNLOAD", 0, 2))
         _, reply = yield end.read()
@@ -215,11 +215,11 @@ def test_event_logger_dedups_and_prunes():
     def client():
         end = fabric.connect(cn, "el:0", hello=0)
         rec = EventRecord(1, src=1, sclock=1, probes=0)
-        yield from end.write(20, ("EVENT", 0, [rec]))
+        yield from end.write(20, ("EVENT", 0, 0, [rec]))
         yield end.read()
-        yield from end.write(20, ("EVENT", 0, [rec]))  # duplicate (replay)
+        yield from end.write(20, ("EVENT", 0, 1, [rec]))  # duplicate (replay)
         yield end.read()
-        yield from end.write(20, ("EVENT", 0, [EventRecord(2, 1, 2, 1)]))
+        yield from end.write(20, ("EVENT", 0, 2, [EventRecord(2, 1, 2, 1)]))
         yield end.read()
         yield from end.write(12, ("PRUNE", 0, 1))
         yield from end.write(12, ("DOWNLOAD", 0, 0))
@@ -237,7 +237,7 @@ def test_event_logger_survives_client_disconnect():
 
     def client():
         end = fabric.connect(cn, "el:0", hello=0)
-        yield from end.write(20, ("EVENT", 0, [EventRecord(1, 1, 1, 0)]))
+        yield from end.write(20, ("EVENT", 0, 0, [EventRecord(1, 1, 1, 0)]))
         yield end.read()
 
     p = cluster.sim.spawn(client(), "cli")

@@ -1,0 +1,103 @@
+"""Dispatch-path parity: flat slots against legacy closures.
+
+The flat event kernel keeps every heap entry a ``(time, seq, slot, a,
+b)`` 5-tuple in both modes; :data:`repro.simnet.kernel.FLAT_DISPATCH`
+only selects whether *call sites* push inline slot events or slot-0
+closures.  Both paths push exactly one entry at the same point in
+execution, so the two modes must produce the same simulation — not just
+equal results, but byte-identical trace sequences (same kinds, same
+fields, same simulated timestamps, same order) on arbitrary programs.
+These tests run the random-program generators of
+``test_random_programs`` through both dispatch paths and diff the full
+trace streams; any divergence in event ordering between the paths shows
+up here as a first-divergence assertion.
+"""
+
+from contextlib import contextmanager
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.simnet.kernel as kernel
+from repro.ft.failure import ExplicitFaults
+from repro.runtime.mpirun import run_job
+from tests.test_random_programs import NPROCS, make_program, step_st
+
+
+@contextmanager
+def dispatch(flat: bool):
+    """Run a block with the given dispatch mode (Simulator reads the
+    module global once, at construction)."""
+    old = kernel.FLAT_DISPATCH
+    kernel.FLAT_DISPATCH = flat
+    try:
+        yield
+    finally:
+        kernel.FLAT_DISPATCH = old
+
+
+def _trace(res):
+    return [
+        (rec.time, rec.kind, sorted(rec.fields.items()))
+        for rec in res.tracer.records
+    ]
+
+
+def _run_both(prog, device, **kw):
+    out = {}
+    for flat in (True, False):
+        with dispatch(flat):
+            out[flat] = run_job(prog, NPROCS, device=device, trace=True,
+                                limit=3600.0, **kw)
+    return out[True], out[False]
+
+
+def _assert_identical(fast, legacy):
+    assert fast.results == legacy.results
+    t_fast, t_legacy = _trace(fast), _trace(legacy)
+    if t_fast != t_legacy:  # pinpoint the first divergence for the report
+        for i, (a, b) in enumerate(zip(t_fast, t_legacy)):
+            assert a == b, f"trace diverges at record {i}: {a} != {b}"
+        assert len(t_fast) == len(t_legacy)
+
+
+def test_flat_dispatch_is_the_default():
+    assert kernel.FLAT_DISPATCH is True
+    assert kernel.Simulator().flat is True
+    with dispatch(False):
+        assert kernel.Simulator().flat is False
+
+
+@given(st.lists(step_st, min_size=2, max_size=8))
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_v2_traces_identical_across_dispatch_paths(schedule):
+    prog = make_program(schedule)
+    _assert_identical(*_run_both(prog, "v2"))
+
+
+@given(st.lists(step_st, min_size=2, max_size=8))
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_p4_traces_identical_across_dispatch_paths(schedule):
+    prog = make_program(schedule)
+    _assert_identical(*_run_both(prog, "p4"))
+
+
+@given(
+    st.lists(step_st, min_size=3, max_size=8),
+    st.floats(min_value=0.001, max_value=0.2),
+    st.integers(0, NPROCS - 1),
+)
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_v2_fault_recovery_traces_identical_across_dispatch_paths(
+    schedule, t_kill, victim
+):
+    """Recovery exercises every extension slot (stream arrivals during
+    replay, timer storms from reconnect backoff) — the paths must stay
+    in lockstep through a crash and restart, not just in steady state."""
+    prog = make_program(schedule)
+    _assert_identical(*_run_both(
+        prog, "v2", faults=ExplicitFaults([(t_kill, victim)]),
+    ))

@@ -218,6 +218,41 @@ def test_fetch_fails_over_when_a_replica_dies():
     assert cluster.metrics.total("store.failover") >= 1
 
 
+def test_zero_copy_push_and_fetch_share_backing_buffer():
+    """The flat framing path hands chunk *references* all the way from
+    the pushing daemon through the replica store to the fetching
+    restart: every stored chunk still views the original image's one
+    backing buffer, and nothing along the way materialized a copy."""
+    cluster, fabric, replicas, cn = _deploy(2)
+    cfg = cluster.cfg
+    image = _image(footprint=cfg.ckpt_chunk_bytes * 3, regions=(0, 0, 0))
+    manifest, chunks = chunk_image(image, cfg.ckpt_chunk_bytes)
+    buf = next(iter(chunks.values())).view.buf
+    assert all(c.view is not None and c.view.buf is buf
+               for c in chunks.values())
+    # slices tile the serialized image: offsets run contiguously
+    offsets = sorted((c.view.offset, c.view.nbytes) for c in chunks.values())
+    end = 0
+    for offset, nbytes in offsets:
+        assert offset == end
+        end += nbytes
+    assert end == image.image_bytes
+    client = _client(cluster, fabric, replicas, cn, quorum=2)
+    got = {}
+
+    def run():
+        got["ok"] = yield from client.push(manifest, chunks, False)
+        got["image"] = yield from client.fetch()
+
+    cluster.sim.spawn(run())
+    cluster.sim.run()
+    assert got["ok"] is True and got["image"] is not None
+    for r in replicas:
+        for ref in manifest.chunks:
+            assert r.chunks[ref.digest].view.buf is buf  # no re-buffering
+    assert buf.copies == 0  # push → replica → fetch: zero materializations
+
+
 def test_fetch_returns_none_when_no_replica_has_an_image():
     cluster, fabric, replicas, cn = _deploy(2)
     client = _client(cluster, fabric, replicas, cn)

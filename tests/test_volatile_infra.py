@@ -184,22 +184,22 @@ def test_event_logger_stop_start_keeps_durable_events():
     def client():
         end = fabric.connect(cn, "el:0", hello=("DAEMON", 0, 0))
         recs = [EventRecord(i, src=1, sclock=i, probes=0) for i in (1, 2, 3)]
-        yield from end.write(60, ("EVENT", 0, recs))
+        yield from end.write(60, ("EVENT", 0, 0, recs))
         _, ack = yield end.read()
         got["ack"] = ack
         # crash the service; this connection dies with it
         el.stop()
         with pytest.raises(Disconnected):
-            yield from end.write(60, ("EVENT", 0, recs))
+            yield from end.write(60, ("EVENT", 0, 1, recs))
         el.start()
         end = fabric.connect(cn, "el:0", hello=("DAEMON", 0, 1))
         yield from end.write(16, ("DOWNLOAD", 0, 0))
-        _, (tag, events) = yield end.read()
+        _, (tag, events, _piggy) = yield end.read()
         got["events"] = events
 
     sim.spawn(client())
     sim.run()
-    assert got["ack"] == ("ACK", 3)
+    assert got["ack"] == ("ACK", 0, 3)
     assert [e.rclock for e in got["events"]] == [1, 2, 3]
 
 
@@ -215,8 +215,8 @@ def test_event_logger_repush_is_idempotent():
     def client():
         end = fabric.connect(cn, "el:0", hello=("DAEMON", 0, 0))
         recs = [EventRecord(i, src=1, sclock=i, probes=0) for i in (1, 2)]
-        for _ in range(3):  # the same batch, re-pushed after "reconnects"
-            yield from end.write(40, ("EVENT", 0, recs))
+        for bid in range(3):  # the same batch, re-pushed after "reconnects"
+            yield from end.write(40, ("EVENT", 0, bid, recs))
             yield end.read()
 
     sim.spawn(client())
@@ -613,16 +613,16 @@ def test_el_replica_resync_pulls_missing_events():
         for name in ("el:0", "el:0.1"):
             ends[name] = fabric.connect(cn, name, hello=("DAEMON", 0, 0))
         for name in ("el:0", "el:0.1"):
-            yield from ends[name].write(60, ("EVENT", 0, recs(1, 3)))
+            yield from ends[name].write(60, ("EVENT", 0, 0, recs(1, 3)))
             yield ends[name].read()
         # replica b crashes (store lost) while 4..6 land on a only
         el_b.stop()
-        yield from ends["el:0"].write(60, ("EVENT", 0, recs(4, 6)))
+        yield from ends["el:0"].write(60, ("EVENT", 0, 1, recs(4, 6)))
         yield ends["el:0"].read()
         el_b.start()  # relaunch resyncs from el:0
         end = fabric.connect(cn, "el:0.1", hello=("DAEMON", 0, 1))
         yield from end.write(16, ("DOWNLOAD", 0, 0))
-        _, (tag, events) = yield end.read()
+        _, (tag, events, _piggy) = yield end.read()
         got["events"] = events
 
     sim.spawn(client())
